@@ -1,0 +1,115 @@
+"""Prover micro-benchmarks: representative obligation shapes.
+
+These isolate the prover's cost drivers so regressions in any layer
+(SAT, congruence closure, arithmetic, instantiation) show up
+independently of the soundness-checker pipeline."""
+
+import pytest
+
+from repro.core.qualifiers.library import NONNULL, POS, UNIQUE, standard_qualifiers
+from repro.core.soundness.axioms import semantics_axioms
+from repro.core.soundness.obligations import generate_obligations
+from repro.prover.prover import Prover, prove_valid
+from repro.prover.terms import And, Eq, ForAll, Implies, Int, Lt, Not, TVar, fn
+
+QUALS = standard_qualifiers()
+AXIOMS = semantics_axioms()
+
+
+def _prove_obligation(qdef, rule_fragment):
+    (ob,) = [
+        o for o in generate_obligations(qdef, QUALS) if rule_fragment in o.rule
+    ]
+
+    def run():
+        prover = Prover(time_limit=30)
+        prover.add_axioms(AXIOMS)
+        result = prover.prove(ob.goal)
+        assert result.proved
+        return result
+
+    return run
+
+
+@pytest.mark.benchmark(group="prover")
+def test_ground_euf_chain(benchmark):
+    a = fn("a")
+    chain = [Eq(fn(f"c{i}"), fn(f"c{i + 1}")) for i in range(20)]
+    goal = Implies(And(*chain), Eq(fn("f", fn("c0")), fn("f", fn("c20"))))
+    result = benchmark(lambda: prove_valid(goal))
+    assert result.proved
+
+
+@pytest.mark.benchmark(group="prover")
+def test_linear_arithmetic_chain(benchmark):
+    hyps = [
+        Lt(fn(f"x{i}"), fn(f"x{i + 1}")) for i in range(12)
+    ]
+    goal = Implies(And(*hyps), Lt(fn("x0"), fn("x12")))
+    result = benchmark(lambda: prove_valid(goal))
+    assert result.proved
+
+
+@pytest.mark.benchmark(group="prover")
+def test_sign_lemma_obligation(benchmark):
+    a, b = fn("a"), fn("b")
+    goal = Implies(
+        And(Lt(Int(0), a), Lt(Int(0), b)), Lt(Int(0), fn("*", a, b))
+    )
+    result = benchmark(lambda: prove_valid(goal))
+    assert result.proved
+
+
+@pytest.mark.benchmark(group="prover")
+def test_pos_product_obligation(benchmark):
+    result = benchmark.pedantic(
+        _prove_obligation(POS, "E1 * E2"), iterations=1, rounds=3
+    )
+    assert result.proved
+
+
+@pytest.mark.benchmark(group="prover")
+def test_nonnull_addrof_obligation(benchmark):
+    result = benchmark.pedantic(
+        _prove_obligation(NONNULL, "&L"), iterations=1, rounds=3
+    )
+    assert result.proved
+
+
+@pytest.mark.benchmark(group="prover")
+def test_unique_preservation_read_obligation(benchmark):
+    result = benchmark.pedantic(
+        _prove_obligation(UNIQUE, "read of an l-value"), iterations=1, rounds=3
+    )
+    assert result.proved
+
+
+@pytest.mark.benchmark(group="prover")
+def test_quantified_store_reasoning(benchmark):
+    s, A, V, D, W = fn("s"), fn("A"), fn("V"), fn("D"), fn("W")
+    P = TVar("P")
+    select = lambda m, k: fn("select", m, k)  # noqa: E731
+    store = lambda m, k, v: fn("store", m, k, v)  # noqa: E731
+    axioms = [
+        ForAll(("m", "k", "v"), Eq(select(store(TVar("m"), TVar("k"), TVar("v")), TVar("k")), TVar("v"))),
+        ForAll(
+            ("m", "k", "j", "v"),
+            Implies(
+                Not(Eq(TVar("k"), TVar("j"))),
+                Eq(
+                    select(store(TVar("m"), TVar("k"), TVar("v")), TVar("j")),
+                    select(TVar("m"), TVar("j")),
+                ),
+            ),
+            triggers=((select(store(TVar("m"), TVar("k"), TVar("v")), TVar("j")),),),
+        ),
+    ]
+    old_inv = ForAll(
+        ("P",),
+        Implies(Eq(select(s, P), V), Eq(P, A)),
+        triggers=((select(s, P),),),
+    )
+    new_inv = ForAll(("P",), Implies(Eq(select(store(s, D, W), P), V), Eq(P, A)))
+    goal = Implies(And(old_inv, Not(Eq(D, A)), Not(Eq(W, V))), new_inv)
+    result = benchmark(lambda: prove_valid(goal, axioms))
+    assert result.proved

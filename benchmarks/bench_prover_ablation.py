@@ -1,0 +1,78 @@
+"""Ablations of the soundness checker's design choices (DESIGN.md §5).
+
+1. **Instantiation depth**: how many E-matching rounds each qualifier's
+   proof needs; with the rounds capped below that, the obligation is
+   (correctly) not proven — the prover degrades safely.
+2. **Sign lemmas**: pos's product rule is only provable because the
+   prover adds multiplication sign lemmas (Simplify had comparable
+   heuristics); with the lemma module disabled, the prover answers
+   "not proven" rather than anything unsound.
+"""
+
+import pytest
+
+from repro.core.qualifiers.library import POS, UNALIASED, standard_qualifiers
+from repro.core.soundness.axioms import semantics_axioms
+from repro.core.soundness.checker import check_soundness
+from repro.core.soundness.obligations import generate_obligations
+from repro.prover.prover import Prover
+
+QUALS = standard_qualifiers()
+
+
+@pytest.mark.benchmark(group="ablation-depth")
+@pytest.mark.parametrize("max_rounds", [0, 1, 2, 4, 6])
+def test_instantiation_depth(benchmark, max_rounds):
+    def run():
+        return check_soundness(POS, QUALS, max_rounds=max_rounds, time_limit=20)
+
+    report = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\n  pos with max_rounds={max_rounds}: "
+          f"{'SOUND' if report.sound else 'not proven'} in {report.elapsed:.2f}s")
+    if max_rounds >= 2:
+        assert report.sound
+    # With zero rounds no axiom can instantiate: never unsound, only
+    # incomplete.
+    if max_rounds == 0:
+        assert not report.sound
+
+
+@pytest.mark.benchmark(group="ablation-depth")
+@pytest.mark.parametrize("max_rounds", [1, 3, 6])
+def test_ref_qualifier_depth(benchmark, max_rounds):
+    def run():
+        return check_soundness(UNALIASED, QUALS, max_rounds=max_rounds, time_limit=25)
+
+    report = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\n  unaliased with max_rounds={max_rounds}: "
+          f"{'SOUND' if report.sound else 'not proven'} in {report.elapsed:.2f}s")
+    if max_rounds >= 3:
+        assert report.sound
+
+
+@pytest.mark.benchmark(group="ablation-lemmas")
+def test_sign_lemmas_required_for_products(benchmark, monkeypatch):
+    """Disable the nonlinear sign-lemma module: the product rule of pos
+    must become unprovable (never wrongly provable)."""
+    from repro.prover import prover as prover_mod
+
+    product_obligation = [
+        ob for ob in generate_obligations(POS, QUALS) if "E1 * E2" in ob.rule
+    ][0]
+
+    def with_lemmas():
+        p = Prover(time_limit=20)
+        p.add_axioms(semantics_axioms())
+        return p.prove(product_obligation.goal)
+
+    result = benchmark.pedantic(with_lemmas, iterations=1, rounds=1)
+    assert result.proved
+
+    monkeypatch.setattr(
+        prover_mod.Prover, "_add_product_lemmas", lambda self, db, done: None
+    )
+    without = Prover(time_limit=20)
+    without.add_axioms(semantics_axioms())
+    ablated = without.prove(product_obligation.goal)
+    print(f"\n  product rule with lemmas: {result.proved}; without: {ablated.proved}")
+    assert not ablated.proved

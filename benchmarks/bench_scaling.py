@@ -1,0 +1,73 @@
+"""Scaling: qualifier-checking time as a function of program size.
+
+The paper only claims "under one second" for its ~2 kLoC subject; this
+benchmark characterizes how the cost grows with program size on
+parameterized versions of the dfa corpus, checking that the growth
+stays near-linear (the checker is a single AST pass with memoized
+qualifier judgments)."""
+
+import pytest
+
+from repro.analysis.stats import count_lines
+from repro.cfront.parser import parse_c
+from repro.cil.lower import lower_unit
+from repro.core.checker.typecheck import QualifierChecker
+from repro.core.qualifiers.library import standard_qualifiers
+from repro.corpus import generate_dfa_module
+
+QUALS = standard_qualifiers()
+
+#: (scale label, generator kwargs)
+SIZES = {
+    "quarter": dict(
+        n_transition_helpers=4, n_analysis_helpers=4, n_guarded_helpers=3,
+        n_builders=3, n_scalar_helpers=13,
+    ),
+    "half": dict(
+        n_transition_helpers=8, n_analysis_helpers=8, n_guarded_helpers=7,
+        n_builders=5, n_scalar_helpers=26,
+    ),
+    "full": dict(),
+    "double": dict(
+        n_transition_helpers=34, n_analysis_helpers=30, n_guarded_helpers=28,
+        n_builders=20, n_scalar_helpers=104,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def programs():
+    out = {}
+    for label, kwargs in SIZES.items():
+        source = generate_dfa_module(**kwargs)
+        out[label] = (count_lines(source), lower_unit(parse_c(source)))
+    return out
+
+
+@pytest.mark.benchmark(group="scaling")
+@pytest.mark.parametrize("label", list(SIZES))
+def test_checking_scales(benchmark, programs, label):
+    lines, program = programs[label]
+    benchmark.extra_info["lines"] = lines
+    benchmark(lambda: QualifierChecker(program, QUALS).check())
+    print(f"\n  {label}: {lines} lines, mean {benchmark.stats['mean'] * 1000:.1f} ms")
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_growth_is_subquadratic(benchmark, programs):
+    import time
+
+    points = []
+    for label in ("half", "double"):
+        lines, program = programs[label]
+        start = time.perf_counter()
+        QualifierChecker(program, QUALS).check()
+        points.append((lines, time.perf_counter() - start))
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    (l1, t1), (l2, t2) = points
+    size_ratio = l2 / l1
+    time_ratio = t2 / max(t1, 1e-9)
+    print(f"\n  {l1} -> {l2} lines ({size_ratio:.1f}x): "
+          f"time {t1 * 1000:.0f} -> {t2 * 1000:.0f} ms ({time_ratio:.1f}x)")
+    # Near-linear: a 4x program should cost well under 4x^2.
+    assert time_ratio < size_ratio ** 2

@@ -1,0 +1,48 @@
+"""Section 6.2: the uniqueness experiment on the dfa global.
+
+Paper: the unique annotation on grep's ``dfa`` global validates all 49
+subsequent references with no errors; passing the global to a procedure
+(which genuinely breaks uniqueness) is rejected."""
+
+import pytest
+
+from repro.analysis.experiments import uniqueness_experiment
+from repro.cfront.parser import parse_c
+from repro.cil.lower import lower_unit
+from repro.core.checker.typecheck import check_program
+from repro.core.qualifiers.ast import QualifierSet
+from repro.core.qualifiers.library import UNIQUE
+from repro.corpus import generate_dfa_module
+
+
+@pytest.mark.benchmark(group="uniqueness")
+def test_uniqueness_experiment(benchmark):
+    result = benchmark.pedantic(uniqueness_experiment, iterations=1, rounds=3)
+    paper = result["paper"]
+    print("\nSection 6.2: uniqueness of the dfa global")
+    print(f"  validated references: paper {paper['validated_references']}, "
+          f"measured {result['validated_references']}")
+    print(f"  errors: paper {paper['errors']}, measured {result['errors']}")
+    assert result["errors"] == 0
+
+
+@pytest.mark.benchmark(group="uniqueness")
+def test_uniqueness_violation_detected(benchmark):
+    """The negative control: the global passed as an argument (the
+    idiom the paper could not verify) is flagged."""
+    src = generate_dfa_module() + """
+    int consume(struct dfa_obj* d);
+    int leak_global(void) { return consume(dfa); }
+    """
+
+    def run():
+        program = lower_unit(parse_c(src))
+        for g in program.globals:
+            if g.name == "dfa":
+                g.ctype = g.ctype.with_quals(["unique"])
+        return check_program(program, QualifierSet([UNIQUE]))
+
+    report = benchmark.pedantic(run, iterations=1, rounds=3)
+    disallows = [d for d in report.diagnostics if d.kind == "disallow"]
+    print(f"\n  disallow violations found: {len(disallows)}")
+    assert disallows

@@ -1,0 +1,59 @@
+"""Qualifier inference: annotate a module without writing annotations.
+
+The paper lists qualifier inference as future work (section 8); CQUAL
+had it.  This example infers `nonnull` annotations over the synthetic
+grep dfa module — with and without the flow-sensitive extension — and
+compares the result to the manual (cast-assisted) workflow of Table 1.
+
+Run:  python examples/infer_annotations.py
+"""
+
+import repro
+from repro.analysis.annotate import annotate_nonnull
+from repro.analysis.infer import infer_value_qualifier
+from repro.core.qualifiers.library import NONNULL, POS
+from repro.corpus import generate_dfa_module
+
+program = repro.lower_unit(repro.parse_c(generate_dfa_module()))
+
+print("inference on a toy function first:")
+toy = repro.lower_unit(repro.parse_c("""
+    int source(void);
+    int f(void) {
+      int a = 3;
+      int b = a * 2;
+      int c = a * b;
+      int d = source();
+      return c + d;
+    }
+"""))
+res = infer_value_qualifier(toy, POS, repro.standard_qualifiers())
+print(f"  {res.summary()}")
+for entity in sorted(res.inferred):
+    print(f"    pos inferred at {entity}")
+
+print("\ninferring nonnull over the dfa module (cast-free greatest fixpoint):")
+base = infer_value_qualifier(program, NONNULL, repro.QualifierSet([NONNULL]))
+print(f"  {base.summary()}")
+
+flow = infer_value_qualifier(
+    program, NONNULL, repro.QualifierSet([NONNULL]), flow_sensitive=True
+)
+print(f"  with flow-sensitive guards: {flow.summary()}")
+
+def residual_restrict_errors(result):
+    report = repro.check_program(result.program, repro.QualifierSet([NONNULL]))
+    return sum(1 for d in report.diagnostics if d.kind == "restrict")
+
+
+manual = annotate_nonnull(program)
+print("\ncomparison with the Table 1 workflow:")
+print(f"  manual workflow: {manual.annotations} annotations, "
+      f"{manual.casts} casts, {manual.errors} errors")
+print(f"  inference:       {base.count} annotations inferred "
+      f"(assignment-consistent, no casts needed for them); "
+      f"{residual_restrict_errors(base)} dereferences of demoted/nullable "
+      f"pointers still need casts")
+
+assert flow.count >= base.count
+print("\ninference complete.")

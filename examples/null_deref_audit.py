@@ -1,0 +1,57 @@
+"""Audit a C module for NULL dereferences (the paper's Table 1).
+
+Runs the section-6.1 workflow on the synthetic grep dfa module:
+
+1. check the unannotated module — every dereference is flagged by
+   nonnull's restrict rule;
+2. run the iterative annotation workflow (annotate dereferenced
+   pointers, insert casts where the flow-insensitive rules cannot
+   prove non-nullness);
+3. re-check: zero errors, with the annotation/cast burden reported
+   next to the paper's numbers;
+4. run the uniqueness experiment on the dfa global (section 6.2).
+
+Run:  python examples/null_deref_audit.py
+"""
+
+import repro
+from repro.analysis.annotate import annotate_nonnull
+from repro.analysis.experiments import PAPER_TABLE1, uniqueness_experiment
+from repro.analysis.stats import program_stats
+from repro.core.qualifiers.library import NONNULL
+from repro.corpus import generate_dfa_module
+
+source = generate_dfa_module()
+program = repro.lower_unit(repro.parse_c(source))
+stats = program_stats(source, program)
+print(f"synthetic dfa module: {stats}")
+
+print("\nchecking without annotations...")
+raw = repro.check_program(program, repro.QualifierSet([NONNULL]))
+print(f"  {raw.error_count} dereference warnings "
+      f"(one per unproven dereference site)")
+for diag in raw.diagnostics[:3]:
+    print(f"    e.g. {diag}")
+
+print("\nrunning the iterative annotation workflow (section 6.1)...")
+result = annotate_nonnull(program)
+print(f"{'':>16} {'paper':>8} {'measured':>10}")
+rows = [
+    ("lines", PAPER_TABLE1["lines"], stats.lines),
+    ("dereferences", PAPER_TABLE1["dereferences"], stats.dereferences),
+    ("annotations", PAPER_TABLE1["annotations"], result.annotations),
+    ("casts", PAPER_TABLE1["casts"], result.casts),
+    ("errors", PAPER_TABLE1["errors"], result.errors),
+]
+for name, paper, measured in rows:
+    print(f"{name + ':':>16} {paper:>8} {measured:>10}")
+assert result.errors == 0
+
+print("\nuniqueness of the dfa global (section 6.2)...")
+unique_result = uniqueness_experiment()
+print(f"  validated references: {unique_result['validated_references']} "
+      f"(paper: {unique_result['paper']['validated_references']})")
+print(f"  errors: {unique_result['errors']}")
+assert unique_result["errors"] == 0
+
+print("\naudit complete: no NULL dereferences, uniqueness verified.")

@@ -1,0 +1,89 @@
+"""Quickstart: the paper's running example, end to end.
+
+1. Define the ``pos`` qualifier exactly as in figure 1.
+2. Let the soundness checker prove its type rules establish the
+   invariant ``value(E) > 0`` — and catch the paper's ``E1 - E2``
+   mutation.
+3. Typecheck the ``lcm`` procedure of figure 2 (the division needs a
+   programmer cast).
+4. Execute it: the cast's run-time check passes on good inputs and
+   signals a fatal error when the invariant is violated.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+# ---------------------------------------------------------------- step 1
+POS_SOURCE = """
+value qualifier pos(int Expr E)
+  case E of
+      decl int Const C:
+        C, where C > 0
+    | decl int Expr E1, E2:
+        E1 * E2, where pos(E1) && pos(E2)
+    | decl int Expr E1:
+        -E1, where neg(E1)
+  invariant value(E) > 0
+"""
+
+pos = repro.parse_qualifier(POS_SOURCE)
+print(f"parsed qualifier {pos.name!r}: {len(pos.cases)} case clauses, "
+      f"invariant: {pos.invariant}")
+
+# ---------------------------------------------------------------- step 2
+quals = repro.standard_qualifiers()  # pos's rules mention neg
+print("\nproving soundness (one obligation per case clause)...")
+report = repro.check_soundness(pos, quals)
+for result in report.results:
+    print(f"  {result}")
+assert report.sound
+
+print("\nmutating the product rule to E1 - E2 (section 2.1.3)...")
+bad = repro.parse_qualifier(POS_SOURCE.replace("E1 * E2", "E1 - E2"))
+bad_report = repro.check_soundness(bad, quals)
+assert not bad_report.sound
+for failure in bad_report.failures:
+    print(f"  REFUTED: {failure.obligation.rule}")
+
+# ---------------------------------------------------------------- step 3
+LCM = """
+int pos gcd(int pos n0, int pos m0) {
+  /* Euclid over plain ints: m legitimately reaches 0, so only the
+     final result is claimed positive (checked at run time). */
+  int n = n0;
+  int m = m0;
+  while (m != 0) { int t = m; m = n % m; n = t; }
+  return (int pos) n;
+}
+
+int pos lcm(int pos a, int pos b) {
+  int pos d = (int pos) gcd(a, b);
+  int pos prod = a * b;
+  return (int pos) (prod / d);
+}
+
+int main() { return lcm(4, 6); }
+"""
+
+check = repro.check_c_source(LCM)
+print(f"\ntypechecking lcm: {'OK' if check.ok else check.summary()}")
+print(f"  runtime checks inserted for casts: "
+      f"{sorted({c.qualifier for c in check.runtime_checks})}")
+assert check.ok
+
+# ---------------------------------------------------------------- step 4
+value, _output = repro.run_c_source(LCM)
+print(f"\nlcm(4, 6) = {value}")
+assert value == 12
+
+BROKEN = LCM.replace("lcm(4, 6)", "lcm(4, 0 - 6)")
+print("calling lcm(4, -6): the pos casts now fail at run time...")
+try:
+    repro.run_c_source(BROKEN)
+except repro.QualifierViolation as exc:
+    print(f"  fatal error (as section 2.1.3 prescribes): {exc}")
+else:
+    raise SystemExit("expected a QualifierViolation")
+
+print("\nquickstart complete.")

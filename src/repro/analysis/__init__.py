@@ -1,0 +1,21 @@
+"""Experiment tooling: program statistics and the iterative annotation
+workflow the paper applies to open-source programs (section 6)."""
+
+from repro.analysis.stats import ProgramStats, count_dereferences, count_lines, program_stats
+from repro.analysis.annotate import (
+    NonnullAnnotationResult,
+    UntaintedAnnotationResult,
+    annotate_nonnull,
+    annotate_untainted,
+)
+
+__all__ = [
+    "ProgramStats",
+    "count_dereferences",
+    "count_lines",
+    "program_stats",
+    "NonnullAnnotationResult",
+    "UntaintedAnnotationResult",
+    "annotate_nonnull",
+    "annotate_untainted",
+]

@@ -1,0 +1,220 @@
+"""Qualifier inference (the paper's section-8 future work; CQUAL had
+it, this framework's paper version did not).
+
+``infer_value_qualifier`` computes, for any *value* qualifier, the
+greatest set of declaration sites (globals, locals, formals, struct
+fields) that can soundly carry the qualifier with **no casts**:
+
+* start optimistically with every declaration whose base type matches
+  the qualifier's declared type;
+* repeatedly *demote* any entity with an assignment (direct, via call
+  argument/result, or via return) whose right-hand side cannot be
+  shown to have the qualifier under the current optimistic assumption;
+* stop at the fixpoint.
+
+Demotion is monotone, so the loop terminates and yields the greatest
+consistent annotation — the inference analogue of CQUAL's qualifier
+inference, specialized to the paper's rule language.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cfront.ctypes import CType, FuncType, is_pointer_like
+from repro.cil import ir
+from repro.cil.typesof import TypeError_, TypingContext, type_of_lvalue
+from repro.core.checker.patterns import dtype_matches
+from repro.core.checker.typecheck import QualifierChecker
+from repro.core.qualifiers.ast import QualifierDef, QualifierSet
+from repro.analysis.annotate import (
+    Entity,
+    _add_qual_to_entity,
+    _entity_of_lvalue,
+    _refresh_signatures,
+)
+
+
+@dataclass
+class InferenceResult:
+    program: ir.Program  # annotated with the inferred qualifiers
+    qualifier: str
+    inferred: Set[Entity] = field(default_factory=set)
+    demoted: Set[Entity] = field(default_factory=set)
+    iterations: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.inferred)
+
+    def summary(self) -> str:
+        return (
+            f"inferred {len(self.inferred)} {self.qualifier} annotation(s) "
+            f"({len(self.demoted)} demoted) in {self.iterations} iteration(s)"
+        )
+
+
+def _candidate_entities(program: ir.Program, qdef: QualifierDef) -> Set[Entity]:
+    """Declaration sites whose base type matches the qualifier's."""
+    out: Set[Entity] = set()
+
+    def match(ctype: CType) -> bool:
+        return dtype_matches(qdef.dtype, ctype)
+
+    for g in program.globals:
+        if match(g.ctype):
+            out.add(("global", g.name))
+    for func in program.functions:
+        for name, ctype in func.formals:
+            if match(ctype):
+                out.add(("formal", func.name, name))
+        for name, ctype in func.locals:
+            if match(ctype):
+                out.add(("local", func.name, name))
+    for sname, fields in program.structs.items():
+        for fname, ftype in fields:
+            if match(ftype):
+                out.add(("field", sname, fname))
+    return out
+
+
+def _apply_annotations(
+    base: ir.Program, qual: str, entities: Set[Entity]
+) -> ir.Program:
+    program = copy.deepcopy(base)
+    for entity in entities:
+        _add_qual_to_entity_any(program, entity, qual)
+    _refresh_signatures(program)
+    return program
+
+
+def _add_qual_to_entity_any(program: ir.Program, entity: Entity, qual: str) -> None:
+    """Like annotate._add_qual_to_entity but for any base type (the
+    helper there restricts itself to pointers for nonnull)."""
+    kind = entity[0]
+    if kind == "global":
+        for g in program.globals:
+            if g.name == entity[1]:
+                g.ctype = g.ctype.with_quals([qual])
+    elif kind in ("local", "formal"):
+        func = program.function(entity[1])
+        target = func.formals if kind == "formal" else func.locals
+        for i, (name, ctype) in enumerate(target):
+            if name == entity[2]:
+                target[i] = (name, ctype.with_quals([qual]))
+    elif kind == "field":
+        fields = program.structs.get(entity[1], [])
+        for i, (name, ctype) in enumerate(fields):
+            if name == entity[2]:
+                fields[i] = (name, ctype.with_quals([qual]))
+
+
+def _failing_entities(
+    program: ir.Program,
+    qual: str,
+    quals: QualifierSet,
+    candidates: Set[Entity],
+    flow_sensitive: bool,
+) -> Set[Entity]:
+    """Candidates with at least one assignment the rules cannot justify.
+
+    Implemented by running the checker and mapping each value-qualifier
+    assignment diagnostic back to the assigned entity."""
+    checker = QualifierChecker(program, quals, flow_sensitive=flow_sensitive)
+    report = checker.check()
+    failing: Set[Entity] = set()
+    for diag in report.diagnostics:
+        if diag.qualifier != qual or diag.kind not in ("assign", "call", "return"):
+            continue
+        func = program.function(diag.function)
+        entity = _entity_from_diagnostic(program, func, diag.message, candidates)
+        if entity is not None:
+            failing.add(entity)
+    return failing
+
+
+def _entity_from_diagnostic(
+    program: ir.Program,
+    func: ir.Function,
+    message: str,
+    candidates: Set[Entity],
+) -> Optional[Entity]:
+    """Resolve a diagnostic's target description back to an entity.
+
+    Messages name the assignment target (``x requires q, but ...`` /
+    ``argument 'p' of f requires q ...`` / ``return value requires``).
+    """
+    if message.startswith("argument "):
+        # argument 'name' of callee requires ...
+        try:
+            name = message.split("'")[1]
+            callee = message.split(" of ", 1)[1].split(" ", 1)[0]
+        except IndexError:
+            return None
+        entity = ("formal", callee, name)
+        return entity if entity in candidates else None
+    if message.startswith("return value"):
+        return None  # return types are not inferred (kept declared)
+    target = message.split(" requires ", 1)[0]
+    # The target is an l-value rendering; match plain variables and
+    # field writes.
+    for kind in ("local", "formal"):
+        entity = (kind, func.name, target)
+        if entity in candidates:
+            return entity
+    entity = ("global", target)
+    if entity in candidates:
+        return entity
+    # Field writes render as *(base).field or base.field: take the last
+    # component.
+    if "." in target:
+        fieldname = target.rsplit(".", 1)[1].rstrip(")")
+        fieldname = fieldname.split("[")[0]
+        for sname in program.structs:
+            entity = ("field", sname, fieldname)
+            if entity in candidates:
+                return entity
+    return None
+
+
+def infer_value_qualifier(
+    program: ir.Program,
+    qdef: QualifierDef,
+    quals: Optional[QualifierSet] = None,
+    flow_sensitive: bool = False,
+    max_iterations: int = 60,
+) -> InferenceResult:
+    """Infer the greatest cast-free annotation for a value qualifier."""
+    if not qdef.is_value:
+        raise ValueError("inference is defined for value qualifiers")
+    if quals is None:
+        quals = QualifierSet([qdef])
+    elif qdef.name not in quals:
+        quals = QualifierSet(list(quals) + [qdef])
+
+    candidates = _candidate_entities(program, qdef)
+    demoted: Set[Entity] = set()
+    iterations = 0
+    annotated = _apply_annotations(program, qdef.name, candidates)
+
+    for _ in range(max_iterations):
+        iterations += 1
+        failing = _failing_entities(
+            annotated, qdef.name, quals, candidates, flow_sensitive
+        )
+        failing &= candidates
+        if not failing:
+            break
+        candidates -= failing
+        demoted |= failing
+        annotated = _apply_annotations(program, qdef.name, candidates)
+
+    return InferenceResult(
+        program=annotated,
+        qualifier=qdef.name,
+        inferred=candidates,
+        demoted=demoted,
+        iterations=iterations,
+    )

@@ -1,0 +1,47 @@
+"""C-subset front end.
+
+This package stands in for CIL's C parser in the original system.  It
+provides a lexer, a light preprocessor (object-like ``#define`` macros and
+``#include`` skipping), a recursive-descent parser for a C subset that is
+rich enough for the paper's experiments, and a representation of C types
+carrying user-defined qualifier annotations.
+
+The supported C subset includes: struct definitions, global and local
+declarations with initializers, function prototypes and definitions
+(including varargs prototypes such as ``printf``), pointers, arrays,
+casts, ``sizeof``, the usual unary/binary/relational/logical operators,
+assignment (also in expression position), compound assignment, ``++``/
+``--``, conditional expressions, ``if``/``while``/``for``/``return``/
+``break``/``continue``, and gcc ``__attribute__((qual))`` qualifier
+annotations (usually written through macros such as ``nonnull``).
+"""
+
+from repro.cfront.ctypes import (
+    CType,
+    IntType,
+    VoidType,
+    PointerType,
+    ArrayType,
+    StructType,
+    FuncType,
+)
+from repro.cfront.lexer import Lexer, Token, LexError
+from repro.cfront.parser import Parser, ParseError, parse_c
+from repro.cfront.preprocess import preprocess
+
+__all__ = [
+    "CType",
+    "IntType",
+    "VoidType",
+    "PointerType",
+    "ArrayType",
+    "StructType",
+    "FuncType",
+    "Lexer",
+    "Token",
+    "LexError",
+    "Parser",
+    "ParseError",
+    "parse_c",
+    "preprocess",
+]

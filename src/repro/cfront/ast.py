@@ -1,0 +1,271 @@
+"""Abstract syntax for the C subset (pre-lowering).
+
+This is the surface AST produced by :mod:`repro.cfront.parser`.  It still
+contains side-effecting expressions (assignments, calls, ``++``); the
+lowering pass in :mod:`repro.cil.lower` converts it to the CIL-style IR
+that the qualifier checker consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cfront.ctypes import CType
+
+
+@dataclass(frozen=True)
+class Loc:
+    """Source location, for diagnostics."""
+
+    line: int = 0
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"line {self.line}"
+
+
+# ---------------------------------------------------------------- expressions
+
+
+@dataclass
+class Expr:
+    loc: Loc = field(default_factory=Loc, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class CharLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """Prefix unary: ``-``, ``!``, ``~``, ``*`` (deref), ``&`` (addr-of)."""
+
+    op: str = "-"
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = "+"
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment in expression position; ``op`` is '=' or compound."""
+
+    op: str = "="
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class IncDec(Expr):
+    """``++``/``--``; ``prefix`` distinguishes ``++x`` from ``x++``."""
+
+    op: str = "++"
+    target: Expr = None
+    prefix: bool = False
+
+
+@dataclass
+class Call(Expr):
+    func: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    base: Expr = None
+    fieldname: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    to_type: CType = None
+    operand: Expr = None
+
+
+@dataclass
+class SizeofType(Expr):
+    of_type: CType = None
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr = None
+    then: Expr = None
+    otherwise: Expr = None
+
+
+# ----------------------------------------------------------------- statements
+
+
+@dataclass
+class Stmt:
+    loc: Loc = field(default_factory=Loc, kw_only=True)
+
+
+@dataclass
+class Decl(Stmt):
+    """A (possibly initialized) variable declaration."""
+
+    name: str = ""
+    ctype: CType = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: "Block" = None
+    otherwise: Optional["Block"] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: "Block" = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    cond: Expr = None
+    body: "Block" = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: "Block" = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class SwitchCase:
+    """One ``case C:`` (value=None for ``default:``) and its statements
+    up to the next label."""
+
+    value: Optional[int]
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    scrutinee: Expr = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+# ------------------------------------------------------------------ top level
+
+
+@dataclass
+class StructDef:
+    name: str
+    fields: List[Tuple[str, CType]]
+    is_union: bool = False
+    loc: Loc = field(default_factory=Loc)
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret: CType
+    params: List[Param]
+    varargs: bool
+    body: Optional[Block]  # None for prototypes
+    loc: Loc = field(default_factory=Loc)
+
+    @property
+    def is_prototype(self) -> bool:
+        return self.body is None
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    ctype: CType
+    init: Optional[Expr] = None
+    loc: Loc = field(default_factory=Loc)
+
+
+@dataclass
+class TranslationUnit:
+    structs: List[StructDef] = field(default_factory=list)
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)
+
+    def struct(self, name: str) -> StructDef:
+        for s in self.structs:
+            if s.name == name:
+                return s
+        raise KeyError(f"unknown struct {name!r}")
+
+    def function(self, name: str) -> FuncDef:
+        defs = [f for f in self.functions if f.name == name]
+        # Prefer a definition over a prototype when both are present.
+        for f in defs:
+            if not f.is_prototype:
+                return f
+        if defs:
+            return defs[0]
+        raise KeyError(f"unknown function {name!r}")

@@ -1,0 +1,221 @@
+"""A hand-written lexer for the C subset and for the qualifier DSL.
+
+Both languages share token shapes (identifiers, integer/char/string
+constants, multi-character punctuation), so one lexer serves both; the
+parsers decide which identifiers are keywords.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+class LexError(Exception):
+    """Raised on malformed input, with line/column context."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.line = line
+        self.col = col
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'id', 'int', 'char', 'string', 'punct', 'eof'
+    text: str
+    line: int
+    col: int
+
+    @property
+    def int_value(self) -> int:
+        if self.kind != "int":
+            raise ValueError(f"token {self.text!r} is not an integer")
+        text = self.text
+        if text.lower().startswith("0x"):
+            return int(text, 16)
+        if text.startswith("0") and len(text) > 1 and text.isdigit():
+            return int(text, 8)
+        return int(text)
+
+    @property
+    def string_value(self) -> str:
+        if self.kind not in ("string", "char"):
+            raise ValueError(f"token {self.text!r} is not a string/char")
+        return _unescape(self.text[1:-1])
+
+    @property
+    def char_value(self) -> int:
+        if self.kind != "char":
+            raise ValueError(f"token {self.text!r} is not a char constant")
+        body = _unescape(self.text[1:-1])
+        if len(body) != 1:
+            raise ValueError(f"bad char constant {self.text!r}")
+        return ord(body)
+
+
+# Longest-match-first punctuation table.
+_PUNCTS = [
+    "<<=", ">>=", "...",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":", "#",
+]
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+}
+
+
+def _unescape(body: str) -> str:
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            nxt = body[i + 1]
+            out.append(_ESCAPES.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+class Lexer:
+    """Tokenize ``source`` into a list of :class:`Token`.
+
+    Comments (``//`` and ``/* */``) are skipped.  Preprocessor lines are
+    *not* handled here; run :func:`repro.cfront.preprocess.preprocess`
+    first (a stray ``#`` becomes a punct token and will be rejected by
+    the parser).
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def tokens(self) -> List[Token]:
+        toks = []
+        while True:
+            tok = self._next()
+            toks.append(tok)
+            if tok.kind == "eof":
+                return toks
+
+    # -- internals ---------------------------------------------------
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.col)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def _next(self) -> Token:
+        self._skip_trivia()
+        line, col = self.line, self.col
+        if self.pos >= len(self.source):
+            return Token("eof", "", line, col)
+        ch = self._peek()
+
+        if ch.isalpha() or ch == "_":
+            start = self.pos
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            return Token("id", self.source[start : self.pos], line, col)
+
+        if ch.isdigit():
+            start = self.pos
+            if ch == "0" and self._peek(1) in ("x", "X"):
+                self._advance(2)
+                while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                    self._advance()
+            else:
+                while self._peek().isdigit():
+                    self._advance()
+            # Swallow integer suffixes (u/l combinations).  The explicit
+            # truthiness check matters: '"" in "uUlL"' is True in Python.
+            while self._peek() and self._peek() in "uUlL":
+                self._advance()
+            text = self.source[start : self.pos]
+            text = text.rstrip("uUlL")
+            return Token("int", text, line, col)
+
+        if ch == '"':
+            start = self.pos
+            self._advance()
+            while self._peek() and self._peek() != '"':
+                if self._peek() == "\\":
+                    self._advance()
+                self._advance()
+            if not self._peek():
+                raise self._error("unterminated string literal")
+            self._advance()
+            return Token("string", self.source[start : self.pos], line, col)
+
+        if ch == "'":
+            start = self.pos
+            self._advance()
+            while self._peek() and self._peek() != "'":
+                if self._peek() == "\\":
+                    self._advance()
+                self._advance()
+            if not self._peek():
+                raise self._error("unterminated character constant")
+            self._advance()
+            return Token("char", self.source[start : self.pos], line, col)
+
+        for punct in _PUNCTS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token("punct", punct, line, col)
+
+        raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` in one call."""
+    return Lexer(source).tokens()

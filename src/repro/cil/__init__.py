@@ -1,0 +1,50 @@
+"""CIL-style intermediate representation.
+
+Mirrors the essential property of CIL that the paper relies on (section
+2.1): *expressions* are side-effect-free, while side effects — including
+all procedure calls, hence ``malloc`` — live in *instructions*.  L-values
+are represented as a host (variable or memory dereference) plus an
+offset chain (fields / array indices), exactly as in CIL.
+"""
+
+from repro.cil.ir import (
+    AddrOf,
+    BinOp,
+    Break,
+    Call,
+    CastE,
+    Continue,
+    FieldOff,
+    Function,
+    GlobalVar,
+    If,
+    IndexOff,
+    Instr,
+    IntConst,
+    Lval,
+    Lvalue,
+    MemHost,
+    NoOffset,
+    NullConst,
+    Program,
+    Return,
+    Set,
+    SizeOfE,
+    StrConst,
+    UnOp,
+    VarHost,
+    While,
+)
+from repro.cil.lower import LowerError, lower_unit
+from repro.cil.printer import program_to_c
+from repro.cil.typesof import TypeError_ as CilTypeError
+from repro.cil.typesof import TypingContext, type_of_expr, type_of_lvalue
+
+__all__ = [
+    "AddrOf", "BinOp", "Break", "Call", "CastE", "Continue", "FieldOff",
+    "Function", "GlobalVar", "If", "IndexOff", "Instr", "IntConst", "Lval",
+    "Lvalue", "MemHost", "NoOffset", "NullConst", "Program", "Return",
+    "Set", "SizeOfE", "StrConst", "UnOp", "VarHost", "While",
+    "LowerError", "lower_unit", "program_to_c",
+    "CilTypeError", "TypingContext", "type_of_expr", "type_of_lvalue",
+]

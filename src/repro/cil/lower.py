@@ -1,0 +1,517 @@
+"""Lowering from the surface C AST to the CIL-style IR.
+
+The pass performs the expression/instruction split: assignments,
+``++``/``--``, calls and conditional expressions in expression position
+are flattened into instructions (introducing typed temporaries), so that
+every :class:`repro.cil.ir.Expr` is side-effect free — the property the
+paper's pattern language depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cfront import ast as A
+from repro.cfront.ctypes import (
+    ArrayType,
+    CType,
+    FuncType,
+    IntType,
+    PointerType,
+    VoidType,
+    is_pointer_like,
+)
+from repro.cil import ir
+from repro.cil.typesof import TypeError_, TypingContext, type_of_expr, type_of_lvalue
+
+
+class LowerError(Exception):
+    def __init__(self, message: str, loc: A.Loc = A.Loc()):
+        super().__init__(f"{message} ({loc})")
+        self.loc = loc
+
+
+@dataclass
+class _FuncState:
+    """Mutable per-function lowering state."""
+
+    locals: List[Tuple[str, CType]] = field(default_factory=list)
+    scopes: List[Dict[str, str]] = field(default_factory=lambda: [{}])
+    used_names: set = field(default_factory=set)
+    temp_count: int = 0
+    # Step instructions of the innermost enclosing `for` (run on continue).
+    for_step: Optional[List[ir.Instruction]] = None
+
+
+class _Lowerer:
+    def __init__(self, unit: A.TranslationUnit):
+        self.unit = unit
+        self.program = ir.Program()
+        self.state = _FuncState()
+        self._collect_signatures()
+
+    # ------------------------------------------------------------- top level
+
+    def _collect_signatures(self) -> None:
+        for s in self.unit.structs:
+            self.program.structs[s.name] = list(s.fields)
+            if s.is_union:
+                self.program.unions.add(s.name)
+        for g in self.unit.globals:
+            self.program.globals.append(ir.GlobalVar(g.name, g.ctype, g.loc))
+        for f in self.unit.functions:
+            sig = FuncType(
+                ret=f.ret,
+                params=tuple(p.ctype for p in f.params),
+                varargs=f.varargs,
+            )
+            # A definition's signature wins over a prototype's only when
+            # the prototype came first without annotations; in the paper's
+            # workflow the annotated prototype is authoritative, so keep
+            # the first signature that carries any qualifier.
+            existing = self.program.signatures.get(f.name)
+            if existing is None or (not _has_quals(existing) and _has_quals(sig)):
+                self.program.signatures[f.name] = sig
+            if not f.is_prototype or f.name not in self.program.formal_names:
+                # Prototypes supply parameter names for diagnostics too;
+                # a later definition's names win.
+                if any(p.name for p in f.params):
+                    self.program.formal_names[f.name] = [p.name for p in f.params]
+
+    def lower(self) -> ir.Program:
+        init_instrs: List[ir.Instruction] = []
+        for g in self.unit.globals:
+            if g.init is not None:
+                self.state = _FuncState()
+                ctx = self._context()
+                value = self._lower_expr(g.init, init_instrs, ctx)
+                lv = ir.Lvalue(ir.VarHost(g.name))
+                init_instrs.append(ir.Set(lv, value, g.loc))
+        if init_instrs:
+            self.program.functions.append(
+                ir.Function(
+                    name=ir.Program.GLOBAL_INIT,
+                    ret=VoidType(),
+                    formals=[],
+                    locals=self.state.locals,
+                    body=[ir.Instr(init_instrs)],
+                )
+            )
+            self.program.signatures[ir.Program.GLOBAL_INIT] = FuncType(ret=VoidType())
+
+        for f in self.unit.functions:
+            if f.is_prototype:
+                continue
+            self.program.functions.append(self._lower_function(f))
+        return self.program
+
+    def _lower_function(self, f: A.FuncDef) -> ir.Function:
+        self.state = _FuncState()
+        formals = []
+        for p in f.params:
+            name = p.name or f"__anon{len(formals)}"
+            self.state.scopes[0][name] = name
+            self.state.used_names.add(name)
+            formals.append((name, p.ctype))
+        self._formals = formals
+        body = self._lower_block(f.body)
+        return ir.Function(
+            name=f.name,
+            ret=f.ret,
+            formals=formals,
+            locals=self.state.locals,
+            body=body,
+            varargs=f.varargs,
+            loc=f.loc,
+        )
+
+    # ----------------------------------------------------------- environment
+
+    def _context(self) -> TypingContext:
+        var_types = {g.name: g.ctype for g in self.program.globals}
+        if hasattr(self, "_formals"):
+            var_types.update(dict(self._formals))
+        var_types.update(dict(self.state.locals))
+        return TypingContext(var_types=var_types, structs=self.program.structs)
+
+    def _declare_local(self, surface_name: str, ctype: CType) -> str:
+        name = surface_name
+        counter = 2
+        while name in self.state.used_names:
+            name = f"{surface_name}__{counter}"
+            counter += 1
+        self.state.used_names.add(name)
+        self.state.scopes[-1][surface_name] = name
+        self.state.locals.append((name, ctype))
+        return name
+
+    def _resolve(self, surface_name: str) -> str:
+        for scope in reversed(self.state.scopes):
+            if surface_name in scope:
+                return scope[surface_name]
+        return surface_name  # a global or unknown name
+
+    def _fresh_temp(self, ctype: CType) -> ir.Lvalue:
+        name = f"__t{self.state.temp_count}"
+        self.state.temp_count += 1
+        self.state.used_names.add(name)
+        self.state.locals.append((name, ctype))
+        return ir.Lvalue(ir.VarHost(name))
+
+    def _return_type_of(self, func: str) -> CType:
+        sig = self.program.signatures.get(func)
+        if sig is not None:
+            return sig.ret
+        if func in ir.ALLOCATORS:
+            return PointerType(pointee=VoidType())
+        return IntType()
+
+    # ------------------------------------------------------------ statements
+
+    def _lower_block(self, block: A.Block) -> List[ir.Stmt]:
+        self.state.scopes.append({})
+        out: List[ir.Stmt] = []
+        for stmt in block.stmts:
+            out.extend(self._lower_stmt(stmt))
+        self.state.scopes.pop()
+        return out
+
+    def _lower_stmt(self, stmt: A.Stmt) -> List[ir.Stmt]:
+        if isinstance(stmt, A.Block):
+            return self._lower_block(stmt)
+        if isinstance(stmt, A.Decl):
+            return self._lower_decl(stmt)
+        if isinstance(stmt, A.ExprStmt):
+            instrs: List[ir.Instruction] = []
+            self._lower_expr(stmt.expr, instrs, self._context(), as_statement=True)
+            return [ir.Instr(instrs)] if instrs else []
+        if isinstance(stmt, A.If):
+            instrs = []
+            cond = self._lower_expr(stmt.cond, instrs, self._context())
+            then = self._lower_block(stmt.then)
+            otherwise = self._lower_block(stmt.otherwise) if stmt.otherwise else []
+            out: List[ir.Stmt] = []
+            if instrs:
+                out.append(ir.Instr(instrs))
+            out.append(ir.If(cond, then, otherwise, stmt.loc))
+            return out
+        if isinstance(stmt, A.While):
+            return [self._lower_while(stmt.cond, stmt.body, stmt.loc)]
+        if isinstance(stmt, A.DoWhile):
+            first = self._lower_block(stmt.body)
+            loop = self._lower_while(stmt.cond, stmt.body, stmt.loc)
+            return first + [loop]
+        if isinstance(stmt, A.For):
+            return self._lower_for(stmt)
+        if isinstance(stmt, A.Switch):
+            return self._lower_switch(stmt)
+        if isinstance(stmt, A.Return):
+            instrs = []
+            value = None
+            if stmt.value is not None:
+                value = self._lower_expr(stmt.value, instrs, self._context())
+            out = []
+            if instrs:
+                out.append(ir.Instr(instrs))
+            out.append(ir.Return(value, stmt.loc))
+            return out
+        if isinstance(stmt, A.Break):
+            return [ir.Break(stmt.loc)]
+        if isinstance(stmt, A.Continue):
+            if self.state.for_step is not None:
+                return [ir.Instr(list(self.state.for_step)), ir.Continue(stmt.loc)]
+            return [ir.Continue(stmt.loc)]
+        raise LowerError(f"cannot lower statement {stmt!r}", stmt.loc)
+
+    def _lower_switch(self, stmt: A.Switch) -> List[ir.Stmt]:
+        """Desugar ``switch`` into an if/else chain.
+
+        C fallthrough is honoured by splicing each case's statements
+        with the following cases' statements up to the first top-level
+        ``break`` (which terminates the switch, not an enclosing loop).
+        """
+        instrs: List[ir.Instruction] = []
+        scrutinee = self._lower_expr(stmt.scrutinee, instrs, self._context())
+        temp = self._fresh_temp(IntType())
+        instrs.append(ir.Set(temp, scrutinee, stmt.loc))
+
+        def body_from(index: int) -> List[A.Stmt]:
+            """The statements executed when case ``index`` is entered:
+            its own statements plus fallthrough, stopping at a
+            top-level break (dropped)."""
+            out: List[A.Stmt] = []
+            for case in stmt.cases[index:]:
+                for s in case.stmts:
+                    if isinstance(s, A.Break):
+                        return out
+                    out.append(s)
+            return out
+
+        default_body: List[A.Stmt] = []
+        for i, case in enumerate(stmt.cases):
+            if case.value is None:
+                default_body = body_from(i)
+
+        # Build the chain inside-out.
+        saved = self.state.for_step
+        self.state.for_step = None
+        chain: List[ir.Stmt] = self._lower_stmt_list(default_body)
+        for i in reversed(
+            [k for k, c in enumerate(stmt.cases) if c.value is not None]
+        ):
+            case = stmt.cases[i]
+            cond = ir.BinOp("==", ir.Lval(temp), ir.IntConst(case.value))
+            chain = [
+                ir.If(cond, self._lower_stmt_list(body_from(i)), chain, stmt.loc)
+            ]
+        self.state.for_step = saved
+        return [ir.Instr(instrs)] + chain
+
+    def _lower_stmt_list(self, stmts: List[A.Stmt]) -> List[ir.Stmt]:
+        self.state.scopes.append({})
+        out: List[ir.Stmt] = []
+        for s in stmts:
+            out.extend(self._lower_stmt(s))
+        self.state.scopes.pop()
+        return out
+
+    def _lower_decl(self, stmt: A.Decl) -> List[ir.Stmt]:
+        name = self._declare_local(stmt.name, stmt.ctype)
+        if stmt.init is None:
+            return []
+        instrs: List[ir.Instruction] = []
+        lv = ir.Lvalue(ir.VarHost(name))
+        self._lower_assignment(lv, stmt.init, instrs, stmt.loc)
+        return [ir.Instr(instrs)]
+
+    def _lower_while(self, cond: A.Expr, body: A.Block, loc: A.Loc) -> ir.While:
+        cond_instrs: List[ir.Instruction] = []
+        cond_expr = self._lower_expr(cond, cond_instrs, self._context())
+        saved = self.state.for_step
+        self.state.for_step = None
+        body_stmts = self._lower_block(body)
+        self.state.for_step = saved
+        return ir.While(cond_instrs, cond_expr, body_stmts, loc)
+
+    def _lower_for(self, stmt: A.For) -> List[ir.Stmt]:
+        out: List[ir.Stmt] = []
+        self.state.scopes.append({})
+        if stmt.init is not None:
+            out.extend(self._lower_stmt(stmt.init))
+        cond_instrs: List[ir.Instruction] = []
+        if stmt.cond is not None:
+            cond_expr = self._lower_expr(stmt.cond, cond_instrs, self._context())
+        else:
+            cond_expr = ir.IntConst(1)
+        step_instrs: List[ir.Instruction] = []
+        if stmt.step is not None:
+            self._lower_expr(stmt.step, step_instrs, self._context(), as_statement=True)
+        saved = self.state.for_step
+        self.state.for_step = step_instrs
+        body_stmts = self._lower_block(stmt.body)
+        self.state.for_step = saved
+        body_stmts.append(ir.Instr(list(step_instrs)))
+        out.append(ir.While(cond_instrs, cond_expr, body_stmts, stmt.loc))
+        self.state.scopes.pop()
+        return out
+
+    # ----------------------------------------------------------- expressions
+
+    def _lower_assignment(
+        self,
+        target: ir.Lvalue,
+        value: A.Expr,
+        instrs: List[ir.Instruction],
+        loc: A.Loc,
+    ) -> None:
+        """Assign ``value`` to ``target``, keeping calls as Call
+        instructions with their surface result cast recorded."""
+        cast_type = None
+        call = value
+        if isinstance(value, A.Cast) and isinstance(value.operand, A.Call):
+            cast_type = value.to_type
+            call = value.operand
+        if isinstance(call, A.Call):
+            args = [self._lower_expr(a, instrs, self._context()) for a in call.args]
+            instrs.append(ir.Call(target, call.func, args, loc, result_cast=cast_type))
+            return
+        expr = self._lower_expr(value, instrs, self._context())
+        instrs.append(ir.Set(target, expr, loc))
+
+    def _lower_expr(
+        self,
+        expr: A.Expr,
+        instrs: List[ir.Instruction],
+        ctx: TypingContext,
+        as_statement: bool = False,
+    ) -> ir.Expr:
+        loc = expr.loc
+        if isinstance(expr, A.IntLit):
+            return ir.IntConst(expr.value)
+        if isinstance(expr, A.CharLit):
+            return ir.IntConst(expr.value)
+        if isinstance(expr, A.StrLit):
+            return ir.StrConst(expr.value)
+        if isinstance(expr, A.Name):
+            if expr.ident == "NULL":
+                return ir.NullConst()
+            return ir.Lval(ir.Lvalue(ir.VarHost(self._resolve(expr.ident))))
+        if isinstance(expr, A.Unary):
+            if expr.op == "*":
+                operand = self._lower_expr(expr.operand, instrs, ctx)
+                return ir.Lval(ir.Lvalue(ir.MemHost(operand)))
+            if expr.op == "&":
+                lv = self._lower_lvalue(expr.operand, instrs, ctx)
+                if isinstance(lv.host, ir.MemHost) and isinstance(lv.offset, ir.NoOffset):
+                    return lv.host.addr  # &*e simplifies to e, as in CIL
+                return ir.AddrOf(lv)
+            operand = self._lower_expr(expr.operand, instrs, ctx)
+            return ir.UnOp(expr.op, operand)
+        if isinstance(expr, A.Binary):
+            left = self._lower_expr(expr.left, instrs, ctx)
+            right = self._lower_expr(expr.right, instrs, ctx)
+            return ir.BinOp(expr.op, left, right)
+        if isinstance(expr, A.Assign):
+            return self._lower_assign_expr(expr, instrs, ctx, as_statement)
+        if isinstance(expr, A.IncDec):
+            return self._lower_incdec(expr, instrs, ctx, as_statement)
+        if isinstance(expr, A.Call):
+            args = [self._lower_expr(a, instrs, ctx) for a in expr.args]
+            ret = self._return_type_of(expr.func)
+            if as_statement or isinstance(ret, VoidType):
+                instrs.append(ir.Call(None, expr.func, args, loc))
+                return ir.IntConst(0)
+            temp = self._fresh_temp(ret)
+            instrs.append(ir.Call(temp, expr.func, args, loc))
+            return ir.Lval(temp)
+        if isinstance(expr, A.Index) or isinstance(expr, A.Member):
+            return ir.Lval(self._lower_lvalue(expr, instrs, ctx))
+        if isinstance(expr, A.Cast):
+            if isinstance(expr.operand, A.Call):
+                # (T)f(...) in expression position: type the temp with the
+                # cast target so downstream typing sees the cast.
+                args = [self._lower_expr(a, instrs, ctx) for a in expr.operand.args]
+                temp = self._fresh_temp(self._return_type_of(expr.operand.func))
+                instrs.append(
+                    ir.Call(temp, expr.operand.func, args, loc, result_cast=expr.to_type)
+                )
+                return ir.CastE(expr.to_type, ir.Lval(temp))
+            operand = self._lower_expr(expr.operand, instrs, ctx)
+            return ir.CastE(expr.to_type, operand)
+        if isinstance(expr, A.SizeofType):
+            return ir.SizeOfE(expr.of_type)
+        if isinstance(expr, A.Conditional):
+            cond = self._lower_expr(expr.cond, instrs, ctx)
+            then_instrs: List[ir.Instruction] = []
+            then_val = self._lower_expr(expr.then, then_instrs, self._context())
+            else_instrs: List[ir.Instruction] = []
+            else_val = self._lower_expr(expr.otherwise, else_instrs, self._context())
+            if then_instrs or else_instrs:
+                raise LowerError(
+                    "conditional expression with side-effecting branches "
+                    "is outside the supported C subset",
+                    loc,
+                )
+            return ir.CondE(cond, then_val, else_val)
+        raise LowerError(f"cannot lower expression {expr!r}", loc)
+
+    def _lower_assign_expr(
+        self,
+        expr: A.Assign,
+        instrs: List[ir.Instruction],
+        ctx: TypingContext,
+        as_statement: bool,
+    ) -> ir.Expr:
+        target = self._lower_lvalue(expr.target, instrs, ctx)
+        if expr.op == "=":
+            self._lower_assignment(target, expr.value, instrs, expr.loc)
+        else:
+            value = self._lower_expr(expr.value, instrs, ctx)
+            binop = expr.op[:-1]  # '+=' -> '+'
+            current = ir.Lval(target)
+            try:
+                target_type = type_of_lvalue(self._context(), target)
+            except TypeError_:
+                target_type = IntType()
+            if is_pointer_like(target_type) and binop in ("+", "-"):
+                new_value = ir.BinOp("ptradd", current, value)
+            else:
+                new_value = ir.BinOp(binop, current, value)
+            instrs.append(ir.Set(target, new_value, expr.loc))
+        return ir.Lval(target)
+
+    def _lower_incdec(
+        self,
+        expr: A.IncDec,
+        instrs: List[ir.Instruction],
+        ctx: TypingContext,
+        as_statement: bool,
+    ) -> ir.Expr:
+        target = self._lower_lvalue(expr.target, instrs, ctx)
+        op = "+" if expr.op == "++" else "-"
+        try:
+            target_type = type_of_lvalue(self._context(), target)
+        except TypeError_:
+            target_type = IntType()
+        if is_pointer_like(target_type):
+            update = ir.BinOp("ptradd", ir.Lval(target), ir.IntConst(1 if op == "+" else -1))
+        else:
+            update = ir.BinOp(op, ir.Lval(target), ir.IntConst(1))
+        if expr.prefix or as_statement:
+            instrs.append(ir.Set(target, update, expr.loc))
+            return ir.Lval(target)
+        temp = self._fresh_temp(target_type)
+        instrs.append(ir.Set(temp, ir.Lval(target), expr.loc))
+        instrs.append(ir.Set(target, update, expr.loc))
+        return ir.Lval(temp)
+
+    def _lower_lvalue(
+        self, expr: A.Expr, instrs: List[ir.Instruction], ctx: TypingContext
+    ) -> ir.Lvalue:
+        if isinstance(expr, A.Name):
+            return ir.Lvalue(ir.VarHost(self._resolve(expr.ident)))
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            addr = self._lower_expr(expr.operand, instrs, ctx)
+            return ir.Lvalue(ir.MemHost(addr))
+        if isinstance(expr, A.Index):
+            base_lv_expr = self._lower_expr(expr.base, instrs, ctx)
+            index = self._lower_expr(expr.index, instrs, ctx)
+            try:
+                base_type = type_of_expr(self._context(), base_lv_expr)
+            except TypeError_:
+                base_type = PointerType(pointee=IntType())
+            if isinstance(base_type, ArrayType) and isinstance(base_lv_expr, ir.Lval):
+                return base_lv_expr.lvalue.with_offset(ir.IndexOff(index))
+            # Pointer indexing: p[i] is *(p + i); the logical memory model
+            # types p + i like p.
+            return ir.Lvalue(ir.MemHost(ir.BinOp("ptradd", base_lv_expr, index)))
+        if isinstance(expr, A.Member):
+            if expr.arrow:
+                base = self._lower_expr(expr.base, instrs, ctx)
+                return ir.Lvalue(ir.MemHost(base), ir.FieldOff(expr.fieldname))
+            base_lv = self._lower_lvalue(expr.base, instrs, ctx)
+            return base_lv.with_offset(ir.FieldOff(expr.fieldname))
+        if isinstance(expr, A.Assign):
+            # ((t = e)) used as an l-value target is not supported; but
+            # an assignment used where an l-value is syntactically fine
+            # in our subset only appears as a plain expression.
+            lowered = self._lower_expr(expr, instrs, ctx)
+            if isinstance(lowered, ir.Lval):
+                return lowered.lvalue
+        raise LowerError(f"expression is not an l-value: {expr!r}", expr.loc)
+
+
+def lower_unit(unit: A.TranslationUnit) -> ir.Program:
+    """Lower a parsed translation unit into a CIL-style :class:`Program`."""
+    return _Lowerer(unit).lower()
+
+
+def _has_quals(sig: FuncType) -> bool:
+    def any_quals(t: CType) -> bool:
+        if t.quals:
+            return True
+        inner = getattr(t, "pointee", None) or getattr(t, "elem", None)
+        return any_quals(inner) if inner is not None else False
+
+    return any_quals(sig.ret) or any(any_quals(p) for p in sig.params)

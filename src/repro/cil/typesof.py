@@ -1,0 +1,165 @@
+"""Base C typing of IR expressions and l-values.
+
+The qualifier checker and the lowering pass both need to know the
+declared C type (including qualifier annotations) of every expression.
+Typing follows the paper's *logical model of memory* (section 3.3): the
+type of ``p + i`` is the type of ``p``, so array indexing through a
+pointer does not disturb qualifiers.
+
+Reference qualifiers are stripped from the type of an l-value *read*
+(its r-type, section 2.2.1) when the context is constructed with the
+set of reference-qualifier names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.cfront.ctypes import (
+    ArrayType,
+    CType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    VoidType,
+    is_pointer_like,
+    pointee_of,
+)
+from repro.cil import ir
+
+
+class TypeError_(Exception):
+    """Base-type error in the IR (distinct from builtin TypeError)."""
+
+
+@dataclass
+class TypingContext:
+    """Everything needed to type expressions inside one function."""
+
+    var_types: Dict[str, CType] = field(default_factory=dict)
+    structs: Dict[str, list] = field(default_factory=dict)
+    ref_quals: FrozenSet[str] = frozenset()
+
+    def var_type(self, name: str) -> CType:
+        try:
+            return self.var_types[name]
+        except KeyError:
+            raise TypeError_(f"unbound variable {name!r}") from None
+
+    def field_type(self, struct_name: str, fieldname: str) -> CType:
+        for fname, ftype in self.structs.get(struct_name, []):
+            if fname == fieldname:
+                return ftype
+        raise TypeError_(f"no field {fieldname!r} in struct {struct_name!r}")
+
+    @classmethod
+    def for_function(
+        cls,
+        program: "ir.Program",
+        func: Optional["ir.Function"],
+        ref_quals: FrozenSet[str] = frozenset(),
+    ) -> "TypingContext":
+        var_types = {g.name: g.ctype for g in program.globals}
+        if func is not None:
+            for name, ctype in func.formals + func.locals:
+                var_types[name] = ctype
+        return cls(var_types=var_types, structs=program.structs, ref_quals=ref_quals)
+
+
+def type_of_lvalue(ctx: TypingContext, lv: ir.Lvalue) -> CType:
+    """The declared type of an l-value, qualifiers included."""
+    if isinstance(lv.host, ir.VarHost):
+        current = ctx.var_type(lv.host.name)
+    else:
+        addr_type = type_of_expr(ctx, lv.host.addr)
+        if not is_pointer_like(addr_type):
+            raise TypeError_(
+                f"dereference of non-pointer expression {lv.host.addr} "
+                f"of type {addr_type}"
+            )
+        current = pointee_of(addr_type)
+    return _apply_offset(ctx, current, lv.offset)
+
+
+def _apply_offset(ctx: TypingContext, current: CType, off: "ir.Offset") -> CType:
+    while not isinstance(off, ir.NoOffset):
+        if isinstance(off, ir.FieldOff):
+            if not isinstance(current, StructType):
+                raise TypeError_(
+                    f"field access .{off.fieldname} on non-struct type {current}"
+                )
+            current = ctx.field_type(current.name, off.fieldname)
+        elif isinstance(off, ir.IndexOff):
+            if not is_pointer_like(current):
+                raise TypeError_(f"indexing non-array type {current}")
+            current = pointee_of(current)
+        off = off.rest
+    return current
+
+
+def rtype_of_lvalue(ctx: TypingContext, lv: ir.Lvalue) -> CType:
+    """The r-type: top-level reference qualifiers are stripped when the
+    l-value is read (paper section 2.2.1)."""
+    full = type_of_lvalue(ctx, lv)
+    return full.without_quals(full.quals & ctx.ref_quals)
+
+
+def type_of_expr(ctx: TypingContext, expr: ir.Expr) -> CType:
+    if isinstance(expr, ir.IntConst):
+        return IntType()
+    if isinstance(expr, ir.StrConst):
+        return PointerType(pointee=IntType(kind="char"))
+    if isinstance(expr, ir.NullConst):
+        return PointerType(pointee=VoidType())
+    if isinstance(expr, ir.Lval):
+        return rtype_of_lvalue(ctx, expr.lvalue)
+    if isinstance(expr, ir.AddrOf):
+        return PointerType(pointee=type_of_lvalue(ctx, expr.lvalue))
+    if isinstance(expr, ir.UnOp):
+        operand = type_of_expr(ctx, expr.operand)
+        if expr.op == "!":
+            return IntType()
+        # '-' and '~': numeric result, qualifiers do not propagate except
+        # through user-defined case rules.
+        return operand.strip_quals() if isinstance(operand, (IntType, FloatType)) else IntType()
+    if isinstance(expr, ir.BinOp):
+        return _type_of_binop(ctx, expr)
+    if isinstance(expr, ir.CastE):
+        return expr.to_type
+    if isinstance(expr, ir.CondE):
+        # The conditional's static type drops top-level qualifiers: the
+        # checker's built-in rule for conditionals requires *both*
+        # branches to qualify instead.
+        then_type = type_of_expr(ctx, expr.then)
+        if isinstance(then_type, PointerType) and isinstance(expr.then, ir.NullConst):
+            return type_of_expr(ctx, expr.otherwise).strip_quals()
+        return then_type.strip_quals()
+    if isinstance(expr, ir.SizeOfE):
+        return IntType()
+    raise TypeError_(f"cannot type expression {expr!r}")
+
+
+_COMPARISONS = {"==", "!=", "<", ">", "<=", ">=", "&&", "||"}
+
+
+def _type_of_binop(ctx: TypingContext, expr: ir.BinOp) -> CType:
+    left = type_of_expr(ctx, expr.left)
+    if expr.op == "ptradd":
+        # Logical memory model: p + i has the type of p.
+        return left
+    if expr.op in _COMPARISONS:
+        return IntType()
+    right = type_of_expr(ctx, expr.right)
+    # Pointer arithmetic keeps the pointer's type (logical memory model).
+    if is_pointer_like(left) and not is_pointer_like(right):
+        return left
+    if is_pointer_like(right) and not is_pointer_like(left):
+        return right
+    if is_pointer_like(left) and is_pointer_like(right):
+        return IntType()  # pointer difference
+    # Plain arithmetic: result is the unqualified numeric type.
+    if isinstance(left, FloatType) or isinstance(right, FloatType):
+        return FloatType().strip_quals()
+    return IntType()

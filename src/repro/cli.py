@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+    python -m repro check FILE.c [--quals DEFS.qual] [--flow-sensitive]
+    python -m repro prove DEFS.qual [--qualifier NAME]
+    python -m repro run FILE.c [--entry MAIN]
+    python -m repro show-ir FILE.c
+    python -m repro infer FILE.c --qualifier NAME [--quals DEFS.qual]
+
+``check`` exits nonzero when qualifier warnings are found; ``prove``
+exits nonzero when any obligation fails — so both fit CI pipelines.
+Qualifier definition files use the paper's rule language; without
+``--quals`` the standard library (pos/neg/nonzero/nonnull/tainted/
+untainted/unique/unaliased) is loaded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cfront.parser import ParseError, parse_c
+from repro.cil.lower import LowerError, lower_unit
+from repro.cil.printer import program_to_c
+from repro.core.checker.typecheck import QualifierChecker
+from repro.core.qualifiers.ast import QualifierSet
+from repro.core.qualifiers.library import standard_qualifiers
+from repro.core.qualifiers.parser import QualParseError, parse_qualifiers
+from repro.core.soundness.checker import check_soundness
+from repro.semantics.csem import CRuntimeError, run_program
+
+
+def _load_qualifiers(args) -> QualifierSet:
+    defs = []
+    if not getattr(args, "no_std", False):
+        defs.extend(standard_qualifiers(trust_constants=args.trust_constants))
+    if args.quals:
+        with open(args.quals) as handle:
+            for qdef in parse_qualifiers(handle.read()):
+                defs = [d for d in defs if d.name != qdef.name]
+                defs.append(qdef)
+    return QualifierSet(defs)
+
+
+def _load_program(path: str, quals: QualifierSet):
+    with open(path) as handle:
+        source = handle.read()
+    unit = parse_c(source, qualifier_names=quals.names)
+    return lower_unit(unit)
+
+
+def cmd_check(args) -> int:
+    quals = _load_qualifiers(args)
+    program = _load_program(args.file, quals)
+    checker = QualifierChecker(program, quals, flow_sensitive=args.flow_sensitive)
+    report = checker.check()
+    for diag in report.diagnostics:
+        print(diag)
+    if report.runtime_checks:
+        print(f"{len(report.runtime_checks)} runtime check(s) inserted for casts")
+    print(f"{report.error_count} qualifier warning(s)")
+    return 1 if report.diagnostics else 0
+
+
+def cmd_prove(args) -> int:
+    with open(args.file) as handle:
+        defs = parse_qualifiers(handle.read())
+    quals = QualifierSet(
+        list(standard_qualifiers())
+        + [d for d in defs if d.name not in standard_qualifiers().names]
+    )
+    failed = 0
+    for qdef in defs:
+        if args.qualifier and qdef.name != args.qualifier:
+            continue
+        report = check_soundness(qdef, quals, time_limit=args.time_limit)
+        print(report.summary())
+        if not report.sound:
+            failed += 1
+    return 1 if failed else 0
+
+
+def cmd_run(args) -> int:
+    quals = _load_qualifiers(args)
+    program = _load_program(args.file, quals)
+    try:
+        value, output = run_program(
+            program, quals=quals, entry=args.entry, args=list(args.args)
+        )
+    except CRuntimeError as exc:
+        print(f"runtime error: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.write("".join(output))
+    print(f"[exit value: {value}]")
+    return 0
+
+
+def cmd_show_ir(args) -> int:
+    quals = _load_qualifiers(args)
+    program = _load_program(args.file, quals)
+    print(program_to_c(program))
+    return 0
+
+
+def cmd_infer(args) -> int:
+    from repro.analysis.infer import infer_value_qualifier
+
+    quals = _load_qualifiers(args)
+    qdef = quals.get(args.qualifier)
+    if qdef is None:
+        print(f"unknown qualifier {args.qualifier!r}", file=sys.stderr)
+        return 2
+    program = _load_program(args.file, quals)
+    result = infer_value_qualifier(
+        program, qdef, quals, flow_sensitive=args.flow_sensitive
+    )
+    print(result.summary())
+    for entity in sorted(result.inferred):
+        print(f"  {args.qualifier} at {entity}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semantic type qualifiers: check, prove, run.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_flow=True):
+        p.add_argument("--quals", help="qualifier definition file")
+        p.add_argument(
+            "--no-std",
+            action="store_true",
+            help="do not load the standard qualifier library",
+        )
+        p.add_argument(
+            "--trust-constants",
+            action="store_true",
+            help="treat constants as untainted (section 6.3)",
+        )
+        if with_flow:
+            p.add_argument(
+                "--flow-sensitive",
+                action="store_true",
+                help="enable guard refinement (section 8 extension)",
+            )
+
+    p_check = sub.add_parser("check", help="qualifier-check a C file")
+    p_check.add_argument("file")
+    common(p_check)
+    p_check.set_defaults(fn=cmd_check)
+
+    p_prove = sub.add_parser("prove", help="soundness-check qualifier definitions")
+    p_prove.add_argument("file")
+    p_prove.add_argument("--qualifier", help="prove only this qualifier")
+    p_prove.add_argument("--time-limit", type=float, default=45.0)
+    p_prove.set_defaults(fn=cmd_prove)
+
+    p_run = sub.add_parser("run", help="execute a C file with runtime checks")
+    p_run.add_argument("file")
+    p_run.add_argument("--entry", default="main")
+    p_run.add_argument("args", nargs="*", type=int)
+    common(p_run, with_flow=False)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_ir = sub.add_parser("show-ir", help="print the lowered CIL-style IR")
+    p_ir.add_argument("file")
+    common(p_ir, with_flow=False)
+    p_ir.set_defaults(fn=cmd_show_ir)
+
+    p_infer = sub.add_parser("infer", help="infer annotations for a qualifier")
+    p_infer.add_argument("file")
+    p_infer.add_argument("--qualifier", required=True)
+    common(p_infer)
+    p_infer.set_defaults(fn=cmd_infer)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ParseError, LowerError, QualParseError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,2 @@
+"""The paper's primary contribution: the qualifier-definition language,
+the extensible typechecker, and the automated soundness checker."""

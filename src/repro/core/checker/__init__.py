@@ -1,0 +1,24 @@
+"""The extensible typechecker (paper section 3).
+
+Takes a CIL-style program and a :class:`QualifierSet` and performs
+qualifier checking: user-defined ``case`` rules decide when expressions
+may be given qualified types; ``restrict`` rules tighten base-type
+checks; ``assign``/``disallow``/``ondecl`` rules govern reference-
+qualified l-values.  Casts to value-qualified types are recorded so the
+program can be instrumented with run-time checks (section 2.1.3).
+"""
+
+from repro.core.checker.diagnostics import Diagnostic, Report
+from repro.core.checker.patterns import MatchBinding, match_expr_pattern
+from repro.core.checker.typecheck import QualifierChecker, check_program
+from repro.core.checker.instrument import instrument_program
+
+__all__ = [
+    "Diagnostic",
+    "Report",
+    "MatchBinding",
+    "match_expr_pattern",
+    "QualifierChecker",
+    "check_program",
+    "instrument_program",
+]

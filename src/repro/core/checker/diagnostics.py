@@ -1,0 +1,77 @@
+"""Diagnostics produced by qualifier checking.
+
+As in the paper's implementation, type errors are reported as warnings
+and checking continues (section 3.2), so a single run reports every
+violation in the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cfront.ast import Loc
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One qualifier-checking warning."""
+
+    kind: str  # 'assign', 'restrict', 'disallow', 'call', 'return', 'base'
+    qualifier: str
+    message: str
+    loc: Loc = field(default_factory=Loc)
+    function: str = ""
+
+    def __str__(self) -> str:
+        where = f"{self.function}: " if self.function else ""
+        return f"{where}{self.loc}: [{self.qualifier}/{self.kind}] {self.message}"
+
+
+@dataclass
+class RuntimeCheck:
+    """A run-time check the instrumenter must insert for a cast to a
+    value-qualified type (section 2.1.3)."""
+
+    qualifier: str
+    loc: Loc
+    function: str
+
+    def __str__(self) -> str:
+        return f"{self.function}: {self.loc}: runtime check for cast to {self.qualifier}"
+
+
+@dataclass
+class Report:
+    """The result of running the extensible typechecker."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    runtime_checks: List[RuntimeCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def error_count(self) -> int:
+        return len(self.diagnostics)
+
+    def errors_for(self, qualifier: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.qualifier == qualifier]
+
+    def add(
+        self,
+        kind: str,
+        qualifier: str,
+        message: str,
+        loc: Loc = Loc(),
+        function: str = "",
+    ) -> None:
+        self.diagnostics.append(Diagnostic(kind, qualifier, message, loc, function))
+
+    def summary(self) -> str:
+        lines = [f"{len(self.diagnostics)} qualifier warning(s)"]
+        lines.extend(str(d) for d in self.diagnostics)
+        if self.runtime_checks:
+            lines.append(f"{len(self.runtime_checks)} runtime check(s) inserted")
+        return "\n".join(lines)

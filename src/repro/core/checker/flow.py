@@ -1,0 +1,253 @@
+"""Flow-sensitive guard refinement (the paper's section 8 future work).
+
+The flow-insensitive checker cannot validate the grep idiom of
+section 6.1::
+
+    if ((t = d->trans[works]) != NULL) {
+        works = t[*p];        /* safe, but needs a cast */
+    }
+
+This module derives *guard facts* from branch conditions: a condition
+that syntactically matches a value qualifier's invariant establishes
+that qualifier for the tested l-value within the guarded branch.  The
+mapping is generic over the qualifier library:
+
+* invariant ``value(E) != NULL`` ⇐ guards ``p != NULL``, ``p``;
+* invariant ``value(E) > 0``     ⇐ guard ``x > 0``;
+* invariant ``value(E) != 0``    ⇐ guards ``x != 0``, ``x``;
+* ... and the corresponding negations for else-branches.
+
+Facts are killed by assignments to the guarded l-value; writes through
+pointers conservatively kill every fact about memory and about
+address-taken variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.cil import ir
+from repro.core.qualifiers import ast as Q
+from repro.core.qualifiers.ast import QualifierSet
+
+#: A fact: this l-value currently satisfies this qualifier's invariant.
+Fact = Tuple[ir.Lvalue, str]
+
+
+@dataclass(frozen=True)
+class _CmpShape:
+    """A normalized comparison invariant: value(E) <op> <int>."""
+
+    op: str
+    bound: int
+
+
+def _invariant_shape(qdef: Q.QualifierDef) -> Optional[_CmpShape]:
+    """Extract a guardable shape from a value qualifier's invariant."""
+    inv = qdef.invariant
+    if not isinstance(inv, Q.ICmp):
+        return None
+    if not isinstance(inv.left, Q.IValue):
+        return None
+    if isinstance(inv.right, Q.INum):
+        return _CmpShape(inv.op, inv.right.value)
+    if isinstance(inv.right, Q.INull):
+        return _CmpShape(inv.op, 0)
+    return None
+
+
+_NEGATED = {"==": "!=", "!=": "==", "<": ">=", ">": "<=", "<=": ">", ">=": "<"}
+
+
+def _implies(established_op: str, established_bound: int, shape: _CmpShape) -> bool:
+    """Does ``v <op> bound`` (known) imply ``v <shape.op> shape.bound``?
+
+    Decided exactly over the integers for the handful of comparison
+    pairs guards produce."""
+    op, b = established_op, established_bound
+    t_op, t_b = shape.op, shape.bound
+    # Normalize: express the established fact as a set description.
+    if op == t_op and b == t_b:
+        return True
+    checks = {
+        # established -> candidate target checks
+        (">", "!="): lambda: b >= t_b,        # v > b, b >= t implies v != t
+        (">", ">"): lambda: b >= t_b,
+        (">", ">="): lambda: b >= t_b - 1,
+        ("<", "!="): lambda: b <= t_b,
+        ("<", "<"): lambda: b <= t_b,
+        ("<", "<="): lambda: b <= t_b + 1,
+        (">=", ">"): lambda: b > t_b,
+        (">=", ">="): lambda: b >= t_b,
+        (">=", "!="): lambda: b > t_b,
+        ("<=", "<"): lambda: b < t_b,
+        ("<=", "<="): lambda: b <= t_b,
+        ("<=", "!="): lambda: b < t_b,
+        ("==", "!="): lambda: b != t_b,
+        ("==", ">"): lambda: b > t_b,
+        ("==", "<"): lambda: b < t_b,
+        ("==", ">="): lambda: b >= t_b,
+        ("==", "<="): lambda: b <= t_b,
+    }
+    fn = checks.get((op, t_op))
+    return bool(fn and fn())
+
+
+class GuardAnalysis:
+    """Derives then/else guard facts from branch conditions."""
+
+    def __init__(self, quals: QualifierSet):
+        self.shapes: Dict[str, _CmpShape] = {}
+        for qdef in quals.value_qualifiers():
+            shape = _invariant_shape(qdef)
+            if shape is not None:
+                self.shapes[qdef.name] = shape
+
+    # --------------------------------------------------------- condition
+
+    def facts_of_condition(
+        self, cond: ir.Expr
+    ) -> Tuple[Set[Fact], Set[Fact]]:
+        """(facts holding when cond is true, facts when it is false)."""
+        then_facts: Set[Fact] = set()
+        else_facts: Set[Fact] = set()
+        self._collect(cond, positive=True, out=then_facts)
+        self._collect(cond, positive=False, out=else_facts)
+        return then_facts, else_facts
+
+    def _collect(self, cond: ir.Expr, positive: bool, out: Set[Fact]) -> None:
+        if isinstance(cond, ir.BinOp):
+            if cond.op == "&&":
+                if positive:  # both conjuncts hold
+                    self._collect(cond.left, True, out)
+                    self._collect(cond.right, True, out)
+                return
+            if cond.op == "||":
+                if not positive:  # both disjuncts fail
+                    self._collect(cond.left, False, out)
+                    self._collect(cond.right, False, out)
+                return
+            self._collect_comparison(cond, positive, out)
+            return
+        if isinstance(cond, ir.UnOp) and cond.op == "!":
+            self._collect(cond.operand, not positive, out)
+            return
+        if isinstance(cond, ir.Lval):
+            # `if (p)` asserts p != 0 in the then-branch.
+            self._established(cond.lvalue, "!=", 0, positive, out)
+
+    def _collect_comparison(
+        self, cond: ir.BinOp, positive: bool, out: Set[Fact]
+    ) -> None:
+        op = cond.op
+        if op not in ("==", "!=", "<", ">", "<=", ">="):
+            return
+        lv, bound, op_on_lv = None, None, None
+        if isinstance(cond.left, ir.Lval) and _const_int(cond.right) is not None:
+            lv, bound, op_on_lv = cond.left.lvalue, _const_int(cond.right), op
+        elif isinstance(cond.right, ir.Lval) and _const_int(cond.left) is not None:
+            lv, bound = cond.right.lvalue, _const_int(cond.left)
+            op_on_lv = _FLIPPED[op]
+        if lv is None:
+            return
+        self._established(lv, op_on_lv, bound, positive, out)
+
+    def _established(
+        self,
+        lv: ir.Lvalue,
+        op: str,
+        bound: int,
+        positive: bool,
+        out: Set[Fact],
+    ) -> None:
+        if not positive:
+            op = _NEGATED[op]
+        for qual, shape in self.shapes.items():
+            if _implies(op, bound, shape):
+                out.add((lv, qual))
+
+    # -------------------------------------------------------------- kills
+
+    @staticmethod
+    def kills_of_instruction(
+        instr: ir.Instruction,
+        facts: Set[Fact],
+        address_taken: FrozenSet[str] = frozenset(),
+    ) -> Set[Fact]:
+        """Facts surviving one instruction."""
+        target: Optional[ir.Lvalue] = None
+        if isinstance(instr, ir.Set):
+            target = instr.lvalue
+        elif isinstance(instr, ir.Call):
+            target = instr.result
+        if target is None:
+            return facts
+        if isinstance(target.host, ir.MemHost) or not isinstance(
+            target.offset, ir.NoOffset
+        ):
+            # A write through memory may alias any non-variable fact and
+            # any address-taken variable.
+            return {
+                f
+                for f in facts
+                if f[0].is_plain_var and f[0].var_name not in address_taken
+            }
+        return {f for f in facts if f[0] != target}
+
+    @staticmethod
+    def address_taken(func: ir.Function) -> FrozenSet[str]:
+        """Variables whose address is taken anywhere in the function;
+        memory writes may alias them, so their facts die on such writes."""
+        taken: Set[str] = set()
+
+        def scan_expr(expr: ir.Expr) -> None:
+            for node in ir.subexprs(expr):
+                if isinstance(node, ir.AddrOf) and node.lvalue.is_plain_var:
+                    taken.add(node.lvalue.var_name)
+
+        for stmt in ir.walk_stmts(func.body):
+            if isinstance(stmt, ir.Instr):
+                for instr in stmt.instrs:
+                    if isinstance(instr, ir.Set):
+                        scan_expr(instr.expr)
+                    elif isinstance(instr, ir.Call):
+                        for a in instr.args:
+                            scan_expr(a)
+            elif isinstance(stmt, (ir.If, ir.While)):
+                scan_expr(stmt.cond)
+            elif isinstance(stmt, ir.Return) and stmt.expr is not None:
+                scan_expr(stmt.expr)
+        return frozenset(taken)
+
+    @staticmethod
+    def assigned_vars(stmts: List[ir.Stmt]) -> FrozenSet[str]:
+        """Plain variables assigned anywhere in a statement list (used
+        to pre-kill loop-condition facts inside loop bodies)."""
+        out: Set[str] = set()
+        for stmt in ir.walk_stmts(stmts):
+            instrs: List[ir.Instruction] = []
+            if isinstance(stmt, ir.Instr):
+                instrs = stmt.instrs
+            elif isinstance(stmt, ir.While):
+                instrs = stmt.cond_instrs
+            for instr in instrs:
+                target = None
+                if isinstance(instr, ir.Set):
+                    target = instr.lvalue
+                elif isinstance(instr, ir.Call):
+                    target = instr.result
+                if target is not None and target.is_plain_var:
+                    out.add(target.var_name)
+        return frozenset(out)
+
+
+_FLIPPED = {"==": "==", "!=": "!=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+def _const_int(expr: ir.Expr) -> Optional[int]:
+    if isinstance(expr, ir.IntConst):
+        return expr.value
+    if isinstance(expr, ir.NullConst):
+        return 0
+    return None

@@ -1,0 +1,120 @@
+"""Run-time check instrumentation (paper section 2.1.3).
+
+For every cast to a value-qualified type, the extensible typechecker
+inserts a run-time check that the cast expression satisfies the
+qualifier's invariant; a fatal error is signaled when it fails.  Here
+the instrumentation is materialized as explicit ``__check_<qual>``
+calls inserted before the instruction containing the cast, so the
+printed program shows exactly what would run.  (The interpreter in
+:mod:`repro.semantics.csem` enforces the same checks natively.)
+
+Casts involving *reference* qualifiers remain unchecked (section 2.2.3).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List
+
+from repro.cil import ir
+from repro.core.qualifiers.ast import QualifierSet
+
+
+def check_function_name(qualifier: str) -> str:
+    return f"__check_{qualifier}"
+
+
+def instrument_program(program: ir.Program, quals: QualifierSet) -> ir.Program:
+    """Return a copy of ``program`` with run-time checks inserted for
+    every cast to a value-qualified type."""
+    value_names = {d.name for d in quals.value_qualifiers()}
+    out = copy.deepcopy(program)
+    for func in out.functions:
+        func.body = _instrument_stmts(func.body, value_names)
+    return out
+
+
+def _instrument_stmts(stmts: List[ir.Stmt], value_names: set) -> List[ir.Stmt]:
+    out: List[ir.Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, ir.Instr):
+            new_instrs: List[ir.Instruction] = []
+            for instr in stmt.instrs:
+                pre, post = _checks_for_instruction(instr, value_names)
+                new_instrs.extend(pre)
+                new_instrs.append(instr)
+                new_instrs.extend(post)
+            out.append(ir.Instr(new_instrs))
+        elif isinstance(stmt, ir.If):
+            out.extend(_checks_in_expr_stmt(stmt.cond, stmt.loc, value_names))
+            stmt.then = _instrument_stmts(stmt.then, value_names)
+            stmt.otherwise = _instrument_stmts(stmt.otherwise, value_names)
+            out.append(stmt)
+        elif isinstance(stmt, ir.While):
+            new_cond: List[ir.Instruction] = []
+            for instr in stmt.cond_instrs:
+                pre, post = _checks_for_instruction(instr, value_names)
+                new_cond.extend(pre)
+                new_cond.append(instr)
+                new_cond.extend(post)
+            new_cond.extend(
+                c.instrs[0]
+                for c in _checks_in_expr_stmt(stmt.cond, stmt.loc, value_names)
+            )
+            stmt.cond_instrs = new_cond
+            stmt.body = _instrument_stmts(stmt.body, value_names)
+            out.append(stmt)
+        elif isinstance(stmt, ir.Return):
+            if stmt.expr is not None:
+                out.extend(_checks_in_expr_stmt(stmt.expr, stmt.loc, value_names))
+            out.append(stmt)
+        else:
+            out.append(stmt)
+    return out
+
+
+def _checks_for_instruction(instr: ir.Instruction, value_names: set):
+    """Checks to run before and after one instruction.
+
+    Casts inside argument/RHS expressions are checked *before* the
+    instruction; a cast applied to a call's result (``p = (T q)f(...)``)
+    is checked *after* the call, on the result l-value.
+    """
+    pre: List[ir.Instruction] = []
+    post: List[ir.Instruction] = []
+    exprs: List[ir.Expr] = []
+    if isinstance(instr, ir.Set):
+        exprs.append(instr.expr)
+        exprs.extend(ir._lvalue_exprs(instr.lvalue))
+    elif isinstance(instr, ir.Call):
+        exprs.extend(instr.args)
+        if instr.result_cast is not None and instr.result is not None:
+            for q in sorted(instr.result_cast.quals & value_names):
+                post.append(
+                    ir.Call(
+                        None,
+                        check_function_name(q),
+                        [ir.Lval(instr.result)],
+                        instr.loc,
+                    )
+                )
+    for expr in exprs:
+        pre.extend(_checks_in_expr(expr, instr.loc, value_names))
+    return pre, post
+
+
+def _checks_in_expr(expr: ir.Expr, loc, value_names: set) -> List[ir.Call]:
+    """A check call for every cast-to-qualified-type inside ``expr``."""
+    checks: List[ir.Call] = []
+    for node in ir.subexprs(expr):
+        if isinstance(node, ir.CastE):
+            for q in sorted(node.to_type.quals & value_names):
+                checks.append(
+                    ir.Call(None, check_function_name(q), [node.operand], loc)
+                )
+    return checks
+
+
+def _checks_in_expr_stmt(expr: ir.Expr, loc, value_names: set) -> List[ir.Instr]:
+    checks = _checks_in_expr(expr, loc, value_names)
+    return [ir.Instr([c]) for c in checks]

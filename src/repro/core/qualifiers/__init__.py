@@ -1,0 +1,58 @@
+"""The qualifier-definition language (paper section 2).
+
+Qualifier definitions are written in the concrete syntax of the paper's
+figures and parsed by :func:`parse_qualifier`.  A definition declares a
+``value`` or ``ref`` qualifier, its type rules (``case`` / ``restrict``
+for value qualifiers; ``assign`` / ``disallow`` / ``ondecl`` for
+reference qualifiers) and optionally the run-time ``invariant`` the
+rules are meant to establish.
+"""
+
+from repro.core.qualifiers.ast import (
+    AssignClause,
+    CaseClause,
+    Classifier,
+    DisallowClause,
+    QualifierDef,
+    QualifierSet,
+    RestrictClause,
+)
+from repro.core.qualifiers.parser import QualParseError, parse_qualifier, parse_qualifiers
+from repro.core.qualifiers.validate import validate_definition, validate_set
+from repro.core.qualifiers.library import (
+    NEG,
+    NONNULL,
+    NONZERO,
+    POS,
+    TAINTED,
+    UNALIASED,
+    UNIQUE,
+    UNTAINTED,
+    UNTAINTED_WITH_CONSTS,
+    standard_qualifiers,
+)
+
+__all__ = [
+    "AssignClause",
+    "CaseClause",
+    "Classifier",
+    "DisallowClause",
+    "QualifierDef",
+    "QualifierSet",
+    "RestrictClause",
+    "QualParseError",
+    "parse_qualifier",
+    "parse_qualifiers",
+    "validate_definition",
+    "validate_set",
+    "POS",
+    "NEG",
+    "NONZERO",
+    "NONNULL",
+    "TAINTED",
+    "UNTAINTED",
+    "UNTAINTED_WITH_CONSTS",
+    "UNIQUE",
+    "UNALIASED",
+    "standard_qualifiers",
+]

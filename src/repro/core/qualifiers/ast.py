@@ -1,0 +1,575 @@
+"""Abstract syntax of the qualifier-definition language.
+
+Grammar (paper section 2; patterns from section 2.1.1):
+
+    P ::= X | *X | &X | new | uop X | X bop X
+
+where ``X`` ranges over variable patterns with a declared type and
+classifier (``Expr``, ``Const``, ``LValue``, ``Var``).  ``NULL`` is also
+accepted as a pattern in ``assign`` blocks (figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class Classifier(str, Enum):
+    """What kind of program fragment a pattern variable may match."""
+
+    EXPR = "Expr"
+    CONST = "Const"
+    LVALUE = "LValue"
+    VAR = "Var"
+
+
+# ------------------------------------------------------------- DSL types
+# Types inside qualifier definitions may mention a type variable (``T``),
+# so they are a separate small grammar that *matches against* C types.
+
+
+@dataclass(frozen=True)
+class DType:
+    pass
+
+
+@dataclass(frozen=True)
+class DInt(DType):
+    kind: str = "int"
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class DVoid(DType):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class DTypeVar(DType):
+    name: str = "T"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class DPtr(DType):
+    inner: DType = field(default_factory=DTypeVar)
+
+    def __str__(self) -> str:
+        return f"{self.inner}*"
+
+
+# ------------------------------------------------------------- variables
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """``decl int Expr E1`` — a pattern variable declaration."""
+
+    name: str
+    dtype: DType
+    classifier: Classifier
+
+    def __str__(self) -> str:
+        return f"{self.dtype} {self.classifier.value} {self.name}"
+
+
+# -------------------------------------------------------------- patterns
+
+
+@dataclass(frozen=True)
+class Pattern:
+    pass
+
+
+@dataclass(frozen=True)
+class PVar(Pattern):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PDeref(Pattern):
+    name: str
+
+    def __str__(self) -> str:
+        return f"*{self.name}"
+
+
+@dataclass(frozen=True)
+class PAddrOf(Pattern):
+    name: str
+
+    def __str__(self) -> str:
+        return f"&{self.name}"
+
+
+@dataclass(frozen=True)
+class PNew(Pattern):
+    def __str__(self) -> str:
+        return "new"
+
+
+@dataclass(frozen=True)
+class PNull(Pattern):
+    def __str__(self) -> str:
+        return "NULL"
+
+
+@dataclass(frozen=True)
+class PUnop(Pattern):
+    op: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.name}"
+
+
+@dataclass(frozen=True)
+class PBinop(Pattern):
+    op: str
+    left: str
+    right: str
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+def pattern_vars(p: Pattern) -> Tuple[str, ...]:
+    if isinstance(p, (PVar, PDeref, PAddrOf)):
+        return (p.name,)
+    if isinstance(p, PUnop):
+        return (p.name,)
+    if isinstance(p, PBinop):
+        return (p.left, p.right)
+    return ()
+
+
+# ------------------------------------------------------------ predicates
+# The predicate after `where`: qualifier checks, operations on constants,
+# conjunction and disjunction (section 2.1.1).
+
+
+@dataclass(frozen=True)
+class Pred:
+    pass
+
+
+@dataclass(frozen=True)
+class PredTrue(Pred):
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class PredQual(Pred):
+    """``pos(E1)`` — a (possibly recursive) qualifier check."""
+
+    qualifier: str
+    var: str
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}({self.var})"
+
+
+@dataclass(frozen=True)
+class AVar:
+    """A pattern variable used as an arithmetic operand (must have
+    classifier Const when the predicate is evaluated)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ANum:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ANull:
+    def __str__(self) -> str:
+        return "NULL"
+
+
+@dataclass(frozen=True)
+class ABin:
+    op: str
+    left: "AExpr"
+    right: "AExpr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+AExpr = AVar | ANum | ANull | ABin
+
+
+@dataclass(frozen=True)
+class PredCmp(Pred):
+    """``C > 0`` — comparison over constant operands."""
+
+    op: str  # '>', '<', '>=', '<=', '==', '!='
+    left: AExpr
+    right: AExpr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class PredAnd(Pred):
+    left: Pred
+    right: Pred
+
+    def __str__(self) -> str:
+        return f"({self.left} && {self.right})"
+
+
+@dataclass(frozen=True)
+class PredOr(Pred):
+    left: Pred
+    right: Pred
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+@dataclass(frozen=True)
+class PredNot(Pred):
+    operand: Pred
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+# ------------------------------------------------------------- invariants
+# Terms and formulas of the invariant language (sections 2.1.3, 2.2.3).
+
+
+@dataclass(frozen=True)
+class ITerm:
+    pass
+
+
+@dataclass(frozen=True)
+class IValue(ITerm):
+    """``value(E)`` — the value of the qualified expression in ρ."""
+
+    var: str
+
+    def __str__(self) -> str:
+        return f"value({self.var})"
+
+
+@dataclass(frozen=True)
+class ILocation(ITerm):
+    """``location(L)`` — the address of the qualified l-value in ρ."""
+
+    var: str
+
+    def __str__(self) -> str:
+        return f"location({self.var})"
+
+
+@dataclass(frozen=True)
+class IDeref(ITerm):
+    """``*P`` — the contents of location ``P`` in ρ."""
+
+    operand: ITerm
+
+    def __str__(self) -> str:
+        return f"*{self.operand}"
+
+
+@dataclass(frozen=True)
+class IVar(ITerm):
+    """A quantified variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class INum(ITerm):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class INull(ITerm):
+    def __str__(self) -> str:
+        return "NULL"
+
+
+@dataclass(frozen=True)
+class IBin(ITerm):
+    """Arithmetic in invariants, e.g. ``value(E) % 2``."""
+
+    op: str  # '+', '-', '*', '/', '%'
+    left: ITerm
+    right: ITerm
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class IFormula:
+    pass
+
+
+@dataclass(frozen=True)
+class ICmp(IFormula):
+    op: str  # '==', '!=', '>', '<', '>=', '<='
+    left: ITerm
+    right: ITerm
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class IIsHeapLoc(IFormula):
+    operand: ITerm
+
+    def __str__(self) -> str:
+        return f"isHeapLoc({self.operand})"
+
+
+@dataclass(frozen=True)
+class IAnd(IFormula):
+    left: IFormula
+    right: IFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} && {self.right})"
+
+
+@dataclass(frozen=True)
+class IOr(IFormula):
+    left: IFormula
+    right: IFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+@dataclass(frozen=True)
+class INot(IFormula):
+    operand: IFormula
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class IImplies(IFormula):
+    left: IFormula
+    right: IFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} => {self.right})"
+
+
+@dataclass(frozen=True)
+class IForall(IFormula):
+    """``forall T** P: body`` — quantification over memory locations of
+    a given type (used by reference-qualifier invariants)."""
+
+    var: str
+    dtype: DType
+    body: IFormula
+
+    def __str__(self) -> str:
+        return f"forall {self.dtype} {self.var}: {self.body}"
+
+
+# --------------------------------------------------------------- clauses
+
+
+@dataclass(frozen=True)
+class CaseClause:
+    """Introduction rule: an expression matching ``pattern`` whose
+    ``predicate`` holds may be given the qualified type."""
+
+    decls: Tuple[VarDecl, ...]
+    pattern: Pattern
+    predicate: Pred = field(default_factory=PredTrue)
+
+    def decl_of(self, name: str) -> VarDecl:
+        for d in self.decls:
+            if d.name == name:
+                return d
+        raise KeyError(f"pattern variable {name!r} not declared")
+
+    def __str__(self) -> str:
+        decls = f"decl {', '.join(str(d) for d in self.decls)}: " if self.decls else ""
+        where = f", where {self.predicate}" if not isinstance(self.predicate, PredTrue) else ""
+        return f"{decls}{self.pattern}{where}"
+
+
+@dataclass(frozen=True)
+class RestrictClause:
+    """Any program expression matching ``pattern`` must satisfy
+    ``predicate`` (section 2.1.1)."""
+
+    decls: Tuple[VarDecl, ...]
+    pattern: Pattern
+    predicate: Pred = field(default_factory=PredTrue)
+
+    def decl_of(self, name: str) -> VarDecl:
+        for d in self.decls:
+            if d.name == name:
+                return d
+        raise KeyError(f"pattern variable {name!r} not declared")
+
+
+@dataclass(frozen=True)
+class AssignClause:
+    """Allowed right-hand sides in assignments to a ref-qualified
+    l-value (section 2.2.1)."""
+
+    decls: Tuple[VarDecl, ...]
+    pattern: Pattern
+    predicate: Pred = field(default_factory=PredTrue)
+
+    def decl_of(self, name: str) -> VarDecl:
+        for d in self.decls:
+            if d.name == name:
+                return d
+        raise KeyError(f"pattern variable {name!r} not declared")
+
+
+@dataclass(frozen=True)
+class DisallowClause:
+    """What uses of a ref-qualified l-value are forbidden: appearing as
+    a reference (``disallow L``) and/or having its address taken
+    (``disallow &L``)."""
+
+    forbid_reference: bool = False
+    forbid_address_of: bool = False
+
+    def __str__(self) -> str:
+        parts = []
+        if self.forbid_reference:
+            parts.append("L")
+        if self.forbid_address_of:
+            parts.append("&L")
+        return "disallow " + " | ".join(parts)
+
+
+# -------------------------------------------------------------- definition
+
+
+@dataclass
+class QualifierDef:
+    """A complete qualifier definition."""
+
+    name: str
+    kind: str  # 'value' or 'ref'
+    dtype: DType
+    classifier: Classifier
+    var: str
+    cases: List[CaseClause] = field(default_factory=list)
+    restricts: List[RestrictClause] = field(default_factory=list)
+    assigns: List[AssignClause] = field(default_factory=list)
+    disallow: Optional[DisallowClause] = None
+    ondecl: bool = False
+    invariant: Optional[IFormula] = None
+    source: str = ""
+
+    @property
+    def is_value(self) -> bool:
+        return self.kind == "value"
+
+    @property
+    def is_ref(self) -> bool:
+        return self.kind == "ref"
+
+    def referenced_qualifiers(self) -> set:
+        """Names of other qualifiers mentioned in this one's predicates
+        (qualifier definitions may be mutually recursive)."""
+        names = set()
+        for clause in list(self.cases) + list(self.restricts) + list(self.assigns):
+            names |= _pred_quals(clause.predicate)
+        names.discard(self.name)
+        return names
+
+
+def _pred_quals(pred: Pred) -> set:
+    if isinstance(pred, PredQual):
+        return {pred.qualifier}
+    if isinstance(pred, (PredAnd, PredOr)):
+        return _pred_quals(pred.left) | _pred_quals(pred.right)
+    if isinstance(pred, PredNot):
+        return _pred_quals(pred.operand)
+    return set()
+
+
+class QualifierSet:
+    """A collection of qualifier definitions, indexed by name.
+
+    The extensible typechecker and soundness checker both operate
+    relative to a qualifier set, since definitions may refer to each
+    other (e.g. ``pos``'s rules mention ``neg`` and vice versa).
+    """
+
+    def __init__(self, defs: List[QualifierDef] = ()):  # noqa: B006
+        self._defs: Dict[str, QualifierDef] = {}
+        for d in defs:
+            self.add(d)
+
+    def add(self, d: QualifierDef) -> None:
+        if d.name in self._defs:
+            raise ValueError(f"duplicate qualifier definition {d.name!r}")
+        self._defs[d.name] = d
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._defs
+
+    def __getitem__(self, name: str) -> QualifierDef:
+        return self._defs[name]
+
+    def __iter__(self):
+        return iter(self._defs.values())
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def get(self, name: str) -> Optional[QualifierDef]:
+        return self._defs.get(name)
+
+    @property
+    def names(self) -> set:
+        return set(self._defs)
+
+    def value_qualifiers(self) -> List[QualifierDef]:
+        return [d for d in self if d.is_value]
+
+    def ref_qualifiers(self) -> List[QualifierDef]:
+        return [d for d in self if d.is_ref]
+
+    def missing_references(self) -> set:
+        """Qualifiers referenced in rules but not defined in this set."""
+        missing = set()
+        for d in self:
+            missing |= d.referenced_qualifiers() - self.names
+        return missing

@@ -1,0 +1,168 @@
+"""The paper's qualifier definitions, verbatim.
+
+Each definition below is the source text of a figure from the paper
+(figures 1, 3, 4, 5, 7, 12, plus the ``neg`` qualifier the paper
+mentions but does not display, and the constants-are-untainted
+augmentation of section 2.1.4/6.3).  They are parsed at import time, so
+the module doubles as an integration test of the DSL parser.
+"""
+
+from __future__ import annotations
+
+from repro.core.qualifiers.ast import QualifierDef, QualifierSet
+from repro.core.qualifiers.parser import parse_qualifier
+
+# Figure 1: positive integers.
+POS_SOURCE = """
+value qualifier pos(int Expr E)
+  case E of
+      decl int Const C:
+        C, where C > 0
+    | decl int Expr E1, E2:
+        E1 * E2, where pos(E1) && pos(E2)
+    | decl int Expr E1:
+        -E1, where neg(E1)
+  invariant value(E) > 0
+"""
+
+# The paper states neg's definition mirrors pos's and mutually refers to
+# it (section 2.1.1).
+NEG_SOURCE = """
+value qualifier neg(int Expr E)
+  case E of
+      decl int Const C:
+        C, where C < 0
+    | decl int Expr E1:
+        -E1, where pos(E1)
+    | decl int Expr E1, E2:
+        E1 * E2, where pos(E1) && neg(E2)
+  invariant value(E) < 0
+"""
+
+# A natural companion to pos/neg in the paper's style: non-negative
+# integers, closed under +, * and the pos subsumption.
+NONNEG_SOURCE = """
+value qualifier nonneg(int Expr E)
+  case E of
+      decl int Const C:
+        C, where C >= 0
+    | decl int Expr E1:
+        E1, where pos(E1)
+    | decl int Expr E1, E2:
+        E1 + E2, where nonneg(E1) && nonneg(E2)
+    | decl int Expr E1, E2:
+        E1 * E2, where nonneg(E1) && nonneg(E2)
+  invariant value(E) >= 0
+"""
+
+# Figure 3: nonzero integers, with the restrict clause guarding division.
+NONZERO_SOURCE = """
+value qualifier nonzero(int Expr E)
+  case E of
+      decl int Const C:
+        C, where C != 0
+    | decl int Expr E1:
+        E1, where pos(E1)
+    | decl int Expr E1, E2:
+        E1 * E2, where nonzero(E1) && nonzero(E2)
+  restrict
+      decl int Expr E1, E2:
+        E1 / E2, where nonzero(E2)
+  invariant value(E) != 0
+"""
+
+# Figure 4: the flow qualifiers for taintedness.
+UNTAINTED_SOURCE = """
+value qualifier untainted(T Expr E)
+"""
+
+TAINTED_SOURCE = """
+value qualifier tainted(T Expr E)
+  case E of
+      E
+"""
+
+# Section 2.1.4 / 6.3: untainted augmented so all constants are trusted.
+UNTAINTED_WITH_CONSTS_SOURCE = """
+value qualifier untainted(T Expr E)
+  case E of
+      decl T Const C:
+        C
+"""
+
+# Section 2.1.4 also names the user/kernel flow qualifiers of Johnson &
+# Wagner: user pointers must never be dereferenced in kernel space.
+# Like taintedness they are flow qualifiers: kernel data may be treated
+# as user-supplied, never the reverse, and a restrict clause forbids
+# dereferencing anything not known to be a kernel pointer.
+KERNEL_SOURCE = """
+value qualifier kernel(T* Expr E)
+"""
+
+USER_SOURCE = """
+value qualifier user(T* Expr E)
+  case E of
+      E
+  restrict
+      decl T* Expr E1:
+        *E1, where kernel(E1)
+"""
+
+# Figure 5: unique pointers.
+UNIQUE_SOURCE = """
+ref qualifier unique(T* LValue L)
+  assign L
+      NULL
+    | new
+  disallow L
+  invariant value(L) == NULL ||
+            (isHeapLoc(value(L)) &&
+             forall T** P: *P = value(L) => P = location(L))
+"""
+
+# Figure 7: unaliased variables.
+UNALIASED_SOURCE = """
+ref qualifier unaliased(T Var X)
+  ondecl
+  disallow &X
+  invariant forall T** P: *P != location(X)
+"""
+
+# Figure 12: nonnull pointers.
+NONNULL_SOURCE = """
+value qualifier nonnull(T* Expr E)
+  case E of
+      decl T LValue L:
+        &L
+  restrict
+      decl T* Expr E1:
+        *E1, where nonnull(E1)
+  invariant value(E) != NULL
+"""
+
+KERNEL: QualifierDef = parse_qualifier(KERNEL_SOURCE)
+USER: QualifierDef = parse_qualifier(USER_SOURCE)
+
+POS: QualifierDef = parse_qualifier(POS_SOURCE)
+NONNEG: QualifierDef = parse_qualifier(NONNEG_SOURCE)
+NEG: QualifierDef = parse_qualifier(NEG_SOURCE)
+NONZERO: QualifierDef = parse_qualifier(NONZERO_SOURCE)
+UNTAINTED: QualifierDef = parse_qualifier(UNTAINTED_SOURCE)
+TAINTED: QualifierDef = parse_qualifier(TAINTED_SOURCE)
+UNTAINTED_WITH_CONSTS: QualifierDef = parse_qualifier(UNTAINTED_WITH_CONSTS_SOURCE)
+UNIQUE: QualifierDef = parse_qualifier(UNIQUE_SOURCE)
+UNALIASED: QualifierDef = parse_qualifier(UNALIASED_SOURCE)
+NONNULL: QualifierDef = parse_qualifier(NONNULL_SOURCE)
+
+
+def standard_qualifiers(trust_constants: bool = False) -> QualifierSet:
+    """The full library of paper qualifiers as a :class:`QualifierSet`.
+
+    With ``trust_constants`` the untainted definition includes the
+    constants-are-trusted case clause used in the paper's format-string
+    experiment (section 6.3).
+    """
+    untainted = UNTAINTED_WITH_CONSTS if trust_constants else UNTAINTED
+    return QualifierSet(
+        [POS, NEG, NONNEG, NONZERO, NONNULL, TAINTED, untainted, UNIQUE, UNALIASED]
+    )

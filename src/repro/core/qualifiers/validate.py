@@ -1,0 +1,191 @@
+"""Static validation of qualifier definitions.
+
+The parser enforces syntactic well-formedness; this pass catches the
+semantic slips that would otherwise surface as confusing failures
+during typechecking or obligation generation:
+
+* patterns using undeclared variables;
+* declared pattern variables that the pattern never binds;
+* ``where`` predicates doing arithmetic on non-``Const`` variables;
+* qualifier checks referencing undefined qualifiers;
+* invariants naming a variable other than the subject, or using
+  ``location`` on a value qualifier;
+* ``value``/``ref`` blocks and classifier combinations the parser
+  cannot rule out locally (e.g. a ref qualifier with no rules at all).
+
+``validate_definition`` returns a list of human-readable problems
+(empty = clean); ``validate_set`` covers a whole library including
+cross-references.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.core.qualifiers import ast as Q
+from repro.core.qualifiers.ast import QualifierDef, QualifierSet
+
+
+def validate_definition(
+    qdef: QualifierDef, quals: Optional[QualifierSet] = None
+) -> List[str]:
+    problems: List[str] = []
+    known = quals.names if quals is not None else {qdef.name}
+    known = set(known) | {qdef.name}
+
+    clauses = (
+        [("case", c) for c in qdef.cases]
+        + [("restrict", r) for r in qdef.restricts]
+        + [("assign", a) for a in qdef.assigns]
+    )
+    for kind, clause in clauses:
+        problems.extend(_validate_clause(qdef, kind, clause, known))
+
+    if qdef.invariant is not None:
+        problems.extend(_validate_invariant(qdef))
+
+    if qdef.is_ref and not (qdef.assigns or qdef.ondecl):
+        problems.append(
+            f"ref qualifier {qdef.name!r} has neither assign rules nor "
+            f"ondecl: no l-value can ever be given it"
+        )
+    if qdef.is_value and not qdef.cases and qdef.invariant is not None:
+        # Only casts can introduce it; legal (flow-qualifier style with
+        # a checked invariant) but worth a note.
+        problems.append(
+            f"value qualifier {qdef.name!r} has an invariant but no case "
+            f"rules: only casts (with run-time checks) can introduce it"
+        )
+    return problems
+
+
+def _clause_env(qdef: QualifierDef, clause) -> dict:
+    env = {d.name: d for d in clause.decls}
+    env.setdefault(qdef.var, Q.VarDecl(qdef.var, qdef.dtype, qdef.classifier))
+    return env
+
+
+def _validate_clause(qdef: QualifierDef, kind: str, clause, known: Set[str]) -> List[str]:
+    problems: List[str] = []
+    env = _clause_env(qdef, clause)
+    where = f"{kind} clause `{clause.pattern}`"
+
+    bound = set(Q.pattern_vars(clause.pattern))
+    for name in bound:
+        if name not in env:
+            problems.append(f"{where}: pattern variable {name!r} is not declared")
+    for decl in clause.decls:
+        if decl.name not in bound:
+            problems.append(
+                f"{where}: declared variable {decl.name!r} is never bound "
+                f"by the pattern"
+            )
+
+    problems.extend(_validate_pred(qdef, clause.predicate, env, bound, known, where))
+    return problems
+
+
+def _validate_pred(qdef, pred, env, bound, known, where) -> List[str]:
+    problems: List[str] = []
+    if isinstance(pred, (Q.PredAnd, Q.PredOr)):
+        problems += _validate_pred(qdef, pred.left, env, bound, known, where)
+        problems += _validate_pred(qdef, pred.right, env, bound, known, where)
+    elif isinstance(pred, Q.PredNot):
+        problems += _validate_pred(qdef, pred.operand, env, bound, known, where)
+    elif isinstance(pred, Q.PredQual):
+        if pred.qualifier not in known:
+            problems.append(
+                f"{where}: predicate references undefined qualifier "
+                f"{pred.qualifier!r}"
+            )
+        if pred.var not in bound:
+            problems.append(
+                f"{where}: qualifier check on {pred.var!r}, which the "
+                f"pattern does not bind"
+            )
+    elif isinstance(pred, Q.PredCmp):
+        for side in (pred.left, pred.right):
+            problems += _validate_aexpr(side, env, bound, where)
+    return problems
+
+
+def _validate_aexpr(aexpr, env, bound, where) -> List[str]:
+    problems: List[str] = []
+    if isinstance(aexpr, Q.AVar):
+        decl = env.get(aexpr.name)
+        if decl is None or aexpr.name not in bound:
+            problems.append(
+                f"{where}: comparison uses {aexpr.name!r}, which the "
+                f"pattern does not bind"
+            )
+        elif decl.classifier is not Q.Classifier.CONST:
+            problems.append(
+                f"{where}: comparison on {aexpr.name!r} requires the Const "
+                f"classifier (it is {decl.classifier.value})"
+            )
+    elif isinstance(aexpr, Q.ABin):
+        problems += _validate_aexpr(aexpr.left, env, bound, where)
+        problems += _validate_aexpr(aexpr.right, env, bound, where)
+    return problems
+
+
+def _validate_invariant(qdef: QualifierDef) -> List[str]:
+    problems: List[str] = []
+    quantified: Set[str] = set()
+
+    def term(t: Q.ITerm) -> None:
+        if isinstance(t, Q.IValue):
+            if t.var != qdef.var:
+                problems.append(
+                    f"invariant: value({t.var}) does not name the subject "
+                    f"{qdef.var!r}"
+                )
+        elif isinstance(t, Q.ILocation):
+            if qdef.is_value:
+                problems.append(
+                    "invariant: location() is only meaningful for "
+                    "reference qualifiers"
+                )
+            elif t.var != qdef.var:
+                problems.append(
+                    f"invariant: location({t.var}) does not name the "
+                    f"subject {qdef.var!r}"
+                )
+        elif isinstance(t, Q.IVar):
+            if t.name not in quantified and t.name != qdef.var:
+                problems.append(
+                    f"invariant: unbound variable {t.name!r}"
+                )
+        elif isinstance(t, Q.IDeref):
+            term(t.operand)
+        elif isinstance(t, Q.IBin):
+            term(t.left)
+            term(t.right)
+
+    def formula(g: Q.IFormula) -> None:
+        if isinstance(g, Q.ICmp):
+            term(g.left)
+            term(g.right)
+        elif isinstance(g, Q.IIsHeapLoc):
+            term(g.operand)
+        elif isinstance(g, (Q.IAnd, Q.IOr, Q.IImplies)):
+            formula(g.left)
+            formula(g.right)
+        elif isinstance(g, Q.INot):
+            formula(g.operand)
+        elif isinstance(g, Q.IForall):
+            quantified.add(g.var)
+            formula(g.body)
+            quantified.discard(g.var)
+
+    formula(qdef.invariant)
+    return problems
+
+
+def validate_set(quals: QualifierSet) -> List[str]:
+    """Validate every definition in a set, including cross-references."""
+    problems: List[str] = []
+    for qdef in quals:
+        for problem in validate_definition(qdef, quals):
+            problems.append(f"{qdef.name}: {problem}")
+    return problems

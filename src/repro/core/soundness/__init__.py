@@ -1,0 +1,30 @@
+"""The automated soundness checker (paper section 4).
+
+Takes a qualifier definition, generates one proof obligation per type
+rule (case clauses for value qualifiers; assign/ondecl establishment
+plus a preservation obligation for reference qualifiers), and
+discharges them with the Simplify-style prover.  A rule whose
+obligation cannot be proven is reported as potentially unsound — e.g.
+the paper's ``E1 - E2`` mutation of ``pos``, or ``unique`` without its
+``disallow`` clause.
+"""
+
+from repro.core.soundness.axioms import semantics_axioms
+from repro.core.soundness.checker import (
+    Obligation,
+    ObligationResult,
+    SoundnessReport,
+    check_all_soundness,
+    check_soundness,
+)
+from repro.core.soundness.obligations import generate_obligations
+
+__all__ = [
+    "semantics_axioms",
+    "Obligation",
+    "ObligationResult",
+    "SoundnessReport",
+    "check_soundness",
+    "check_all_soundness",
+    "generate_obligations",
+]

@@ -1,0 +1,396 @@
+"""Axioms formalizing the dynamic semantics of the CIL subset
+(paper section 4.1).
+
+The execution state ρ = (π, ι, ε, σ) is an opaque term; ``getStore``,
+``getEnv`` and ``getStmt`` project it.  Program syntax is reified with
+function symbols (``var(x)``, ``deref(e)``, ``assign(lv, e)``, ...), and
+``evalExpr``/``location``/``stepState`` give it meaning.  ``NULL`` is
+the integer 0.
+
+Like the paper, we elide *typing predicates* — side conditions the type
+system guarantees — by building them into the axioms and into the
+hypotheses the obligation generator emits (e.g. "the location of a
+variable is not a heap location", "distinct variables have distinct
+locations").  The paper states explicitly that its Simplify encoding
+does the same (section 4, footnote 2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prover.terms import (
+    And,
+    Eq,
+    ForAll,
+    Formula,
+    Implies,
+    Int,
+    Le,
+    Lt,
+    Not,
+    Or,
+    Pr,
+    TApp,
+    Term,
+    TVar,
+    fn,
+)
+
+# ----------------------------------------------------------- reified syntax
+# Expressions.
+
+
+def const_expr(c: Term) -> Term:
+    return fn("constE", c)
+
+
+def lval_expr(lv: Term) -> Term:
+    """Reading an l-value in expression position."""
+    return fn("readE", lv)
+
+
+def addr_expr(lv: Term) -> Term:
+    return fn("addrE", lv)
+
+
+def unop_expr(op: str, e: Term) -> Term:
+    return fn(f"unop_{_mangle(op)}E", e)
+
+
+def binop_expr(op: str, e1: Term, e2: Term) -> Term:
+    return fn(f"binop_{_mangle(op)}E", e1, e2)
+
+
+_OP_NAMES = {
+    "*": "mult", "/": "div", "+": "add", "-": "sub", "%": "mod",
+    "<<": "shl", ">>": "shr", "&": "band", "^": "bxor", "!": "lnot",
+    "~": "bnot", "==": "eq", "!=": "ne", "<": "lt", ">": "gt",
+    "<=": "le", ">=": "ge", "&&": "land", "||": "lor",
+}
+
+
+def _mangle(op: str) -> str:
+    return _OP_NAMES.get(op, f"op{abs(hash(op)) % 1000}")
+
+
+# L-values.
+
+
+def var_lv(x: Term) -> Term:
+    return fn("varL", x)
+
+
+def deref_lv(e: Term) -> Term:
+    return fn("derefL", e)
+
+
+# Statements.
+
+
+def assign_stmt(lv: Term, e: Term) -> Term:
+    return fn("assign", lv, e)
+
+
+def assign_new_stmt(lv: Term) -> Term:
+    return fn("assignNew", lv)
+
+
+# Semantic functions.
+
+
+def eval_expr(rho: Term, e: Term) -> Term:
+    return fn("evalExpr", rho, e)
+
+
+def location(rho: Term, lv: Term) -> Term:
+    return fn("location", rho, lv)
+
+
+def get_store(rho: Term) -> Term:
+    return fn("getStore", rho)
+
+
+def get_env(rho: Term) -> Term:
+    return fn("getEnv", rho)
+
+
+def get_stmt(rho: Term) -> Term:
+    return fn("getStmt", rho)
+
+
+def step_state(rho: Term) -> Term:
+    return fn("stepState", rho)
+
+
+def select(m: Term, k: Term) -> Term:
+    return fn("select", m, k)
+
+
+def store(m: Term, k: Term, v: Term) -> Term:
+    return fn("store", m, k, v)
+
+
+def new_val(rho: Term) -> Term:
+    """The fresh heap location produced by an allocation in ρ."""
+    return fn("newVal", rho)
+
+
+def is_heap_loc(v: Term) -> Formula:
+    return Pr("isHeapLoc", (v,))
+
+
+NULL: Term = Int(0)
+
+
+# ------------------------------------------------------------------- axioms
+
+
+def semantics_axioms() -> List[Formula]:
+    """The axiom set handed to the prover for every obligation."""
+    rho = TVar("rho")
+    e = TVar("e")
+    e1, e2 = TVar("e1"), TVar("e2")
+    lv = TVar("lv")
+    c = TVar("c")
+    x, y = TVar("x"), TVar("y")
+    m, k, j, v = TVar("m"), TVar("k"), TVar("j"), TVar("v")
+    p = TVar("p")
+
+    axioms: List[Formula] = []
+
+    # --- McCarthy select/store.
+    axioms.append(
+        ForAll(("m", "k", "v"), Eq(select(store(m, k, v), k), v))
+    )
+    axioms.append(
+        ForAll(
+            ("m", "k", "j", "v"),
+            Implies(
+                Not(Eq(k, j)),
+                Eq(select(store(m, k, v), j), select(m, j)),
+            ),
+            triggers=((select(store(m, k, v), j),),),
+        )
+    )
+
+    # --- Evaluation of expressions (section 4.1's evalExpr axioms).
+    axioms.append(
+        ForAll(
+            ("rho", "c"),
+            Eq(eval_expr(rho, const_expr(c)), c),
+            triggers=((eval_expr(rho, const_expr(c)),),),
+        )
+    )
+    axioms.append(
+        ForAll(
+            ("rho", "lv"),
+            Eq(
+                eval_expr(rho, lval_expr(lv)),
+                select(get_store(rho), location(rho, lv)),
+            ),
+            triggers=((eval_expr(rho, lval_expr(lv)),),),
+        )
+    )
+    axioms.append(
+        ForAll(
+            ("rho", "lv"),
+            Eq(eval_expr(rho, addr_expr(lv)), location(rho, lv)),
+            triggers=((eval_expr(rho, addr_expr(lv)),),),
+        )
+    )
+    # Arithmetic operators with exact semantics.
+    axioms.append(
+        ForAll(
+            ("rho", "e1", "e2"),
+            Eq(
+                eval_expr(rho, binop_expr("*", e1, e2)),
+                fn("*", eval_expr(rho, e1), eval_expr(rho, e2)),
+            ),
+            triggers=((eval_expr(rho, binop_expr("*", e1, e2)),),),
+        )
+    )
+    for op in ("+", "-"):
+        axioms.append(
+            ForAll(
+                ("rho", "e1", "e2"),
+                Eq(
+                    eval_expr(rho, binop_expr(op, e1, e2)),
+                    fn(op, eval_expr(rho, e1), eval_expr(rho, e2)),
+                ),
+                triggers=((eval_expr(rho, binop_expr(op, e1, e2)),),),
+            )
+        )
+    axioms.append(
+        ForAll(
+            ("rho", "e"),
+            Eq(
+                eval_expr(rho, unop_expr("-", e)),
+                fn("-", Int(0), eval_expr(rho, e)),
+            ),
+            triggers=((eval_expr(rho, unop_expr("-", e)),),),
+        )
+    )
+    # Division: characterized only when it appears (value qualifiers do
+    # not define rules whose soundness depends on exact division, and
+    # Simplify's arithmetic was similarly partial).  We give the sign
+    # property needed for completeness experiments: nothing.
+
+    # --- Locations.
+    axioms.append(
+        ForAll(
+            ("rho", "x"),
+            Eq(location(rho, var_lv(x)), select(get_env(rho), x)),
+            triggers=((location(rho, var_lv(x)),),),
+        )
+    )
+    axioms.append(
+        ForAll(
+            ("rho", "e"),
+            Eq(location(rho, deref_lv(e)), eval_expr(rho, e)),
+            triggers=((location(rho, deref_lv(e)),),),
+        )
+    )
+    # Valid l-values have non-NULL addresses (the address-of rule for
+    # nonnull depends on this; the paper's logical memory model makes
+    # the same assumption).
+    axioms.append(
+        ForAll(
+            ("rho", "lv"),
+            Not(Eq(location(rho, lv), NULL)),
+            triggers=((location(rho, lv),),),
+        )
+    )
+    # Typing predicate: a variable's location is never a heap location
+    # (variables live in globals or on the stack).
+    axioms.append(
+        ForAll(
+            ("rho", "x"),
+            Not(is_heap_loc(location(rho, var_lv(x)))),
+            triggers=((location(rho, var_lv(x)),),),
+        )
+    )
+    # Environments are injective: distinct variables, distinct locations.
+    axioms.append(
+        ForAll(
+            ("rho", "x", "y"),
+            Implies(
+                Not(Eq(x, y)),
+                Not(Eq(location(rho, var_lv(x)), location(rho, var_lv(y)))),
+            ),
+            triggers=(
+                (location(rho, var_lv(x)), location(rho, var_lv(y))),
+            ),
+        )
+    )
+    # NULL is not a heap location.
+    axioms.append(Not(is_heap_loc(NULL)))
+
+    # --- State stepping: ordinary assignment.  Stated directly in
+    # select form (what the written cell and every other cell contain
+    # after the step) so purely syntactic E-matching can chain the
+    # instances; Simplify's E-graph matching gets the same effect with
+    # the store() form.
+    axioms.append(
+        ForAll(
+            ("rho", "lv", "e"),
+            Implies(
+                Eq(get_stmt(rho), assign_stmt(lv, e)),
+                Eq(
+                    select(get_store(step_state(rho)), location(rho, lv)),
+                    eval_expr(rho, e),
+                ),
+            ),
+            triggers=((assign_stmt(lv, e), step_state(rho)),),
+        )
+    )
+    axioms.append(
+        ForAll(
+            ("rho", "lv", "e", "p"),
+            Implies(
+                And(
+                    Eq(get_stmt(rho), assign_stmt(lv, e)),
+                    Not(Eq(p, location(rho, lv))),
+                ),
+                Eq(
+                    select(get_store(step_state(rho)), p),
+                    select(get_store(rho), p),
+                ),
+            ),
+            triggers=(
+                (select(get_store(step_state(rho)), p), assign_stmt(lv, e)),
+            ),
+        )
+    )
+    # Allocation assignment: stores a fresh heap location.
+    axioms.append(
+        ForAll(
+            ("rho", "lv"),
+            Implies(
+                Eq(get_stmt(rho), assign_new_stmt(lv)),
+                Eq(
+                    select(get_store(step_state(rho)), location(rho, lv)),
+                    new_val(rho),
+                ),
+            ),
+            triggers=((assign_new_stmt(lv), step_state(rho)),),
+        )
+    )
+    axioms.append(
+        ForAll(
+            ("rho", "lv", "p"),
+            Implies(
+                And(
+                    Eq(get_stmt(rho), assign_new_stmt(lv)),
+                    Not(Eq(p, location(rho, lv))),
+                ),
+                Eq(
+                    select(get_store(step_state(rho)), p),
+                    select(get_store(rho), p),
+                ),
+            ),
+            triggers=(
+                (select(get_store(step_state(rho)), p), assign_new_stmt(lv)),
+            ),
+        )
+    )
+    axioms.append(
+        ForAll(("rho",), is_heap_loc(new_val(rho)), triggers=((new_val(rho),),))
+    )
+    # Freshness: the new location is referenced from nowhere in the old
+    # store...
+    axioms.append(
+        ForAll(
+            ("rho", "p"),
+            Not(Eq(select(get_store(rho), p), new_val(rho))),
+            triggers=((select(get_store(rho), p), new_val(rho)),),
+        )
+    )
+    # ... and is distinct from every existing l-value's address.
+    axioms.append(
+        ForAll(
+            ("rho", "lv"),
+            Not(Eq(location(rho, lv), new_val(rho))),
+            triggers=((location(rho, lv), new_val(rho)),),
+        )
+    )
+
+    # --- The environment (hence every l-value's address) is unchanged
+    # by a step.  (A model simplification matching the paper's: location
+    # is stable across the assignments the obligations quantify over.)
+    axioms.append(
+        ForAll(
+            ("rho",),
+            Eq(get_env(step_state(rho)), get_env(rho)),
+            triggers=((get_env(step_state(rho)),),),
+        )
+    )
+    axioms.append(
+        ForAll(
+            ("rho", "lv"),
+            Eq(location(step_state(rho), lv), location(rho, lv)),
+            triggers=((location(step_state(rho), lv),),),
+        )
+    )
+
+    return axioms

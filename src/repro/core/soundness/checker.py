@@ -1,0 +1,117 @@
+"""Soundness-checker driver: generate obligations, discharge with the
+prover, and report per-rule results (paper section 4)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.qualifiers.ast import QualifierDef, QualifierSet
+from repro.core.soundness.axioms import semantics_axioms
+from repro.core.soundness.obligations import Obligation, generate_obligations
+from repro.prover.prover import ProofResult, Prover
+
+
+@dataclass
+class ObligationResult:
+    obligation: Obligation
+    result: Optional[ProofResult]  # None for trivial obligations
+
+    @property
+    def proved(self) -> bool:
+        return self.obligation.trivial or (
+            self.result is not None and self.result.proved
+        )
+
+    def __str__(self) -> str:
+        if self.obligation.trivial:
+            return f"{self.obligation}: trivially sound (no invariant)"
+        return f"{self.obligation}: {self.result}"
+
+    def explain_failure(self, max_facts: int = 12) -> str:
+        """A readable account of why the rule was rejected, from the
+        prover's candidate countermodel."""
+        if self.proved:
+            return "obligation proved; nothing to explain"
+        lines = [f"rule not proven: {self.obligation.rule}"]
+        # NB: ProofResult.__bool__ is `proved`, so test identity.
+        facts = self.result.countermodel if self.result is not None else []
+        if facts:
+            lines.append("a scenario the rule fails to exclude:")
+            shown = [f for f in facts if not f.startswith("¬")][:max_facts]
+            shown += [f for f in facts if f.startswith("¬")][
+                : max(0, max_facts - len(shown))
+            ]
+            lines.extend(f"  {fact}" for fact in shown)
+        return "\n".join(lines)
+
+
+@dataclass
+class SoundnessReport:
+    qualifier: str
+    results: List[ObligationResult] = field(default_factory=list)
+    elapsed: float = 0.0
+    # Definition-level lint findings (see qualifiers.validate); these do
+    # not affect soundness but usually explain why a proof failed.
+    lint: List[str] = field(default_factory=list)
+
+    @property
+    def sound(self) -> bool:
+        return all(r.proved for r in self.results)
+
+    @property
+    def failures(self) -> List[ObligationResult]:
+        return [r for r in self.results if not r.proved]
+
+    def summary(self) -> str:
+        verdict = "SOUND" if self.sound else "POTENTIALLY UNSOUND"
+        lines = [
+            f"qualifier {self.qualifier}: {verdict} "
+            f"({len(self.results)} obligation(s), {self.elapsed:.2f} s)"
+        ]
+        lines.extend(f"  {r}" for r in self.results)
+        lines.extend(f"  note: {p}" for p in self.lint)
+        return "\n".join(lines)
+
+
+def check_soundness(
+    qdef: QualifierDef,
+    quals: Optional[QualifierSet] = None,
+    max_rounds: int = 6,
+    time_limit: float = 45.0,
+) -> SoundnessReport:
+    """Prove every obligation of one qualifier definition.
+
+    ``quals`` supplies the definitions of qualifiers referenced by
+    ``qdef``'s rules (their invariants are needed, section 4.2); it
+    defaults to a set containing only ``qdef``.
+    """
+    if quals is None:
+        quals = QualifierSet([qdef])
+    elif qdef.name not in quals:
+        quals = QualifierSet(list(quals) + [qdef])
+    start = time.perf_counter()
+    report = SoundnessReport(qualifier=qdef.name)
+    from repro.core.qualifiers.validate import validate_definition
+
+    report.lint = validate_definition(qdef, quals)
+    axioms = semantics_axioms()
+    for obligation in generate_obligations(qdef, quals):
+        if obligation.trivial:
+            report.results.append(ObligationResult(obligation, None))
+            continue
+        prover = Prover(max_rounds=max_rounds, time_limit=time_limit)
+        prover.add_axioms(axioms)
+        result = prover.prove(obligation.goal)
+        report.results.append(ObligationResult(obligation, result))
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+def check_all_soundness(
+    quals: QualifierSet, **kwargs
+) -> Dict[str, SoundnessReport]:
+    """Soundness-check every qualifier in a set (definitions may be
+    mutually recursive; each proof may use all the others' invariants)."""
+    return {q.name: check_soundness(q, quals, **kwargs) for q in quals}

@@ -1,0 +1,24 @@
+"""Synthetic experiment corpus.
+
+The paper evaluates on open-source C programs we cannot ship: grep 2.5's
+``dfa.c``/``dfa.h`` (Table 1, section 6.2) and the bftpd / mingetty /
+identd network daemons (Table 2).  This package generates synthetic
+stand-ins calibrated to the paper's reported size metrics (lines,
+dereference counts, printf-call counts) and exhibiting the same idioms
+the paper discusses: pointer-heavy DFA construction and traversal,
+NULL-guarded access that defeats flow-insensitive checking, global
+data structures built by ``malloc``, printf wrappers taking format
+parameters, and — in the bftpd stand-in — the exact format-string
+vulnerability shape (``sendstrf(s, entry->d_name)``) of the paper's
+one true positive.
+"""
+
+from repro.corpus.dfa_module import generate_dfa_module
+from repro.corpus.servers import generate_bftpd, generate_identd, generate_mingetty
+
+__all__ = [
+    "generate_dfa_module",
+    "generate_bftpd",
+    "generate_identd",
+    "generate_mingetty",
+]

@@ -1,0 +1,410 @@
+"""Synthetic stand-ins for the paper's Table 2 programs.
+
+Shankar et al.'s format-string study (which the paper reproduces in
+section 6.3) checked bftpd 1.0.11, mingetty 0.9.4 and identd 1.0.
+These generators produce daemons of matching shape:
+
+* **bftpd** — an FTP server: command dispatch, directory listing, and
+  the ``sendstrf(int s, char* format, ...)`` reply wrapper whose
+  format parameter must be annotated untainted.  The known exploit is
+  planted verbatim: ``sendstrf(s, entry->d_name)`` passes a client-
+  controlled file name as a format string.
+* **mingetty** — a terminal spawner with one ``error(char* fmt, ...)``
+  logging wrapper (one annotation) and direct printf calls otherwise.
+* **identd** — an identification daemon that only ever passes string
+  literals to printf (zero annotations, zero casts with the constants
+  rule).
+
+Each generator's default parameters are calibrated to the paper's
+reported line and printf-call counts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_LIB = """\
+int printf(char* __attribute__((untainted)) fmt, ...);
+int fprintf(int stream, char* __attribute__((untainted)) fmt, ...);
+int sprintf(char* buf, char* __attribute__((untainted)) fmt, ...);
+int syslog(char* __attribute__((untainted)) fmt, ...);
+void* malloc(int size);
+int strlen(char* s);
+char* strcpy(char* dst, char* src);
+void exit(int code);
+int read_socket(int s, char* buf, int len);
+int write_socket(int s, char* buf, int len);
+"""
+
+
+# ------------------------------------------------------------------- bftpd
+
+
+def generate_bftpd(n_commands: int = 15, n_helpers: int = 11, n_utils: int = 12) -> str:
+    """An FTP-server-shaped program (~750 lines, ~134 printf calls)."""
+    parts: List[str] = [_LIB, _BFTPD_PRELUDE]
+    for i in range(n_commands):
+        parts.append(_bftpd_command(i))
+    for i in range(n_helpers):
+        parts.append(_bftpd_helper(i))
+    for i in range(n_utils):
+        parts.append(_bftpd_util(i))
+    parts.append(_BFTPD_MAIN)
+    return "\n".join(parts)
+
+
+_BFTPD_PRELUDE = """\
+struct dirent {
+  int inode;
+  char* d_name;
+};
+
+struct session {
+  int sock;
+  int logged_in;
+  int passive;
+  char* user;
+  char* cwd;
+};
+
+/* Reply wrapper: its format parameter is what the workflow annotates. */
+int sendstrf(int s, char* format, ...) {
+  char buf[512];
+  int n = sprintf(buf, format);
+  write_socket(s, buf, n);
+  return n;
+}
+
+/* Logging wrapper: the second annotation the paper reports for bftpd. */
+int log_event(char* format, ...) {
+  return syslog(format);
+}
+
+struct dirent* read_dir_entry(int handle) {
+  struct dirent* e = (struct dirent*)malloc(sizeof(struct dirent));
+  e->inode = handle * 7;
+  e->d_name = "%n%n%n%n";  /* client-controlled in the real bftpd */
+  return e;
+}
+"""
+
+
+def _bftpd_command(i: int) -> str:
+    verbs = [
+        "USER", "PASS", "QUIT", "PORT", "PASV", "TYPE", "RETR", "STOR",
+        "DELE", "RNFR", "RNTO", "MKD", "RMD", "PWD", "CWD", "CDUP",
+        "LIST", "NLST", "SYST", "NOOP", "SIZE", "MDTM", "ABOR", "STAT",
+    ]
+    verb = verbs[i % len(verbs)]
+    return f"""\
+int cmd_{verb.lower()}_{i}(struct session* sess, char* arg) {{
+  if (sess->logged_in == 0 && {i} % 5 != 0) {{
+    sendstrf(sess->sock, "530 Not logged in.\\r\\n");
+    log_event("unauthenticated {verb}");
+    return -1;
+  }}
+  if (strlen(arg) > 255) {{
+    sendstrf(sess->sock, "501 Argument too long.\\r\\n");
+    return -1;
+  }}
+  printf("handling {verb} (session %d)\\n", sess->sock);
+  sendstrf(sess->sock, "200 {verb} ok.\\r\\n");
+  if ({i} % 4 == 0) {{
+    log_event("{verb} completed");
+  }}
+  return 0;
+}}
+"""
+
+
+def _bftpd_helper(i: int) -> str:
+    if i == 0:
+        # The paper's exploitable call, verbatim (section 6.3): a
+        # directory entry's name used as a format string.
+        return """\
+int list_directory(struct session* sess, int handle) {
+  struct dirent* entry = read_dir_entry(handle);
+  sendstrf(sess->sock, entry->d_name);
+  return 0;
+}
+"""
+    return f"""\
+int helper_{i}(struct session* sess, int code) {{
+  if (code < 0) {{
+    sendstrf(sess->sock, "550 Failure (%d).\\r\\n", code);
+    log_event("helper_{i} failed");
+    return -1;
+  }}
+  if (code > 100) {{
+    printf("helper_{i}: unusual code %d\\n", code);
+    sendstrf(sess->sock, "250 Done.\\r\\n");
+  }}
+  return code % {i + 2};
+}}
+"""
+
+
+def _bftpd_util(i: int) -> str:
+    """Protocol utilities without any printf-family calls (path and
+    permission bookkeeping), keeping the line/call ratio realistic."""
+    return f"""\
+int util_perm_check_{i}(struct session* sess, int mode) {{
+  int allowed = 0;
+  if (sess->logged_in) {{
+    allowed = mode & {0o644 + i};
+  }}
+  if (sess->passive && mode > {i + 2}) {{
+    allowed = allowed | {1 << (i % 8)};
+  }}
+  int bits = 0;
+  while (allowed > 0) {{
+    bits = bits + (allowed & 1);
+    allowed = allowed / 2;
+  }}
+  return bits;
+}}
+
+int util_path_depth_{i}(char* path) {{
+  int depth = 0;
+  int j;
+  int n = strlen(path);
+  for (j = 0; j < n; j++) {{
+    if (path[j] == 47) {{
+      depth = depth + 1;
+    }}
+  }}
+  return depth + {i % 3};
+}}
+"""
+
+
+_BFTPD_MAIN = """\
+int dispatch(struct session* sess, int cmd, char* arg) {
+  int rc = 0;
+  if (cmd == 0) { rc = cmd_user_0(sess, arg); }
+  else if (cmd == 1) { rc = cmd_pass_1(sess, arg); }
+  else if (cmd == 16) { rc = list_directory(sess, cmd); }
+  else { sendstrf(sess->sock, "502 Command not implemented.\\r\\n"); }
+  return rc;
+}
+
+int main() {
+  struct session sess;
+  sess.sock = 4;
+  sess.logged_in = 1;
+  sess.user = "anonymous";
+  printf("bftpd-like daemon starting\\n");
+  int rc = dispatch(&sess, 16, "");
+  printf("done rc=%d\\n", rc);
+  return rc;
+}
+"""
+
+
+# ----------------------------------------------------------------- mingetty
+
+
+def generate_mingetty(n_setup_steps: int = 9, n_utils: int = 3) -> str:
+    """A getty-shaped program (~293 lines, ~23 printf calls)."""
+    parts: List[str] = [_LIB, _MINGETTY_PRELUDE]
+    for i in range(n_setup_steps):
+        parts.append(_mingetty_step(i))
+    for i in range(n_utils):
+        parts.append(_mingetty_util(i))
+    parts.append(_MINGETTY_MAIN)
+    return "\n".join(parts)
+
+
+_MINGETTY_PRELUDE = """\
+struct termios_like {
+  int iflag;
+  int oflag;
+  int cflag;
+  int lflag;
+};
+
+char* tty_name;
+int keep_baud;
+
+/* The one wrapper mingetty needs annotated: its error reporter. */
+int error(char* fmt, ...) {
+  int n = syslog(fmt);
+  exit(1);
+  return n;
+}
+"""
+
+
+def _mingetty_step(i: int) -> str:
+    return f"""\
+int setup_step_{i}(struct termios_like* t, int fd) {{
+  if (fd < 0) {{
+    error("step {i}: bad fd");
+  }}
+  t->iflag = t->iflag | {1 << (i % 8)};
+  t->oflag = t->oflag & ~{1 << ((i + 3) % 8)};
+  if (t->cflag == 0) {{
+    t->cflag = {9600 + i};
+  }}
+  if ({i} % 3 == 0) {{
+    printf("configured step {i} on fd %d\\n", fd);
+  }}
+  t->lflag = t->lflag + {i};
+  int rate = t->cflag % 38400;
+  if (rate == 0) {{
+    rate = 9600;
+  }}
+  return rate;
+}}
+"""
+
+
+def _mingetty_util(i: int) -> str:
+    return f"""\
+int baud_index_{i}(int rate) {{
+  int idx = 0;
+  if (rate >= 300) {{ idx = 1; }}
+  if (rate >= 1200) {{ idx = 2; }}
+  if (rate >= 2400) {{ idx = 3; }}
+  if (rate >= 9600) {{ idx = 4; }}
+  if (rate >= 19200) {{ idx = 5; }}
+  if (rate >= 38400) {{ idx = 6; }}
+  return idx + {i % 2};
+}}
+
+int parse_issue_char_{i}(int c, int state) {{
+  if (state == 0 && c == 92) {{
+    return 1;
+  }}
+  if (state == 1) {{
+    if (c == 110 || c == 115 || c == 108) {{
+      return 2;
+    }}
+    return 0;
+  }}
+  return state;
+}}
+"""
+
+
+_MINGETTY_MAIN = """\
+int spawn_login(char* user) {
+  if (strlen(user) == 0) {
+    error("empty login name");
+  }
+  printf("login: %s\\n", user);
+  return 0;
+}
+
+int main() {
+  struct termios_like t;
+  t.iflag = 0; t.oflag = 0; t.cflag = 0; t.lflag = 0;
+  tty_name = "tty1";
+  printf("mingetty-like starting on %s\\n", tty_name);
+  int i;
+  int rate = 0;
+  for (i = 0; i < 9; i++) {
+    rate = setup_step_0(&t, i);
+  }
+  printf("final rate %d\\n", rate);
+  spawn_login("operator");
+  return 0;
+}
+"""
+
+
+# -------------------------------------------------------------------- identd
+
+
+def generate_identd(n_handlers: int = 6, n_utils: int = 5) -> str:
+    """An identd-shaped program (~228 lines, ~21 printf calls): every
+    format string is a literal, so no annotations are needed."""
+    parts: List[str] = [_LIB, _IDENTD_PRELUDE]
+    for i in range(n_handlers):
+        parts.append(_identd_handler(i))
+    for i in range(n_utils):
+        parts.append(_identd_util(i))
+    parts.append(_IDENTD_MAIN)
+    return "\n".join(parts)
+
+
+_IDENTD_PRELUDE = """\
+struct query {
+  int local_port;
+  int remote_port;
+  int uid;
+};
+
+int parse_ports(char* line, struct query* q) {
+  if (strlen(line) < 3) {
+    return -1;
+  }
+  q->local_port = line[0] - 48;
+  q->remote_port = line[2] - 48;
+  return 0;
+}
+"""
+
+
+def _identd_handler(i: int) -> str:
+    return f"""\
+int handle_query_{i}(int sock, struct query* q) {{
+  if (q->local_port <= 0 || q->local_port > 65535) {{
+    fprintf(2, "%d , %d : ERROR : INVALID-PORT\\r\\n",
+            q->local_port, q->remote_port);
+    return -1;
+  }}
+  if (q->uid < 0) {{
+    fprintf(2, "%d , %d : ERROR : NO-USER\\r\\n",
+            q->local_port, q->remote_port);
+    return -1;
+  }}
+  printf("%d , %d : USERID : UNIX : user%d\\n",
+         q->local_port, q->remote_port, q->uid % {i + 2});
+  return 0;
+}}
+"""
+
+
+def _identd_util(i: int) -> str:
+    return f"""\
+int lookup_uid_{i}(int local_port, int remote_port) {{
+  int key = local_port * 31 + remote_port;
+  int probe = key % {97 + i};
+  int tries = 0;
+  while (tries < 8) {{
+    if (probe % {i + 3} == 0) {{
+      return probe;
+    }}
+    probe = (probe + tries) % {97 + i};
+    tries = tries + 1;
+  }}
+  return -1;
+}}
+
+int validate_port_{i}(int port) {{
+  if (port <= 0) {{
+    return 0;
+  }}
+  if (port > 65535) {{
+    return 0;
+  }}
+  return 1;
+}}
+"""
+
+
+_IDENTD_MAIN = """\
+int main() {
+  struct query q;
+  q.local_port = 113;
+  q.remote_port = 1000;
+  q.uid = 42;
+  printf("identd-like starting\\n");
+  int rc = handle_query_0(4, &q);
+  if (rc < 0) {
+    printf("query failed\\n");
+  }
+  return 0;
+}
+"""

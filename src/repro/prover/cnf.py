@@ -1,0 +1,223 @@
+"""NNF conversion, skolemization, and Tseitin-style clausification.
+
+The pipeline (used by :mod:`repro.prover.prover`):
+
+1. negate the goal and push negations inward (NNF), turning negative
+   ``forall`` into ``exists``;
+2. skolemize existentials (fresh constants, or functions of enclosing
+   universal variables);
+3. clausify with Tseitin auxiliary variables.  After NNF every
+   remaining quantifier is a *positive* ``forall``; each becomes an
+   opaque "quantifier atom" encoded one-sidedly (Plaisted–Greenbaum):
+   instances are added as ``qatom -> instance`` clauses by the
+   instantiation engine, which keeps the encoding refutation-sound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.prover import terms as T
+from repro.prover.terms import (
+    And,
+    Eq,
+    Exists,
+    FFalse,
+    ForAll,
+    Formula,
+    FTrue,
+    Iff,
+    Implies,
+    Le,
+    Lt,
+    Not,
+    Or,
+    Pr,
+    TApp,
+    Term,
+    TVar,
+    formula_subst,
+)
+
+# ------------------------------------------------------------------------ NNF
+
+
+def nnf(f: Formula, positive: bool = True) -> Formula:
+    """Negation normal form; ``positive=False`` computes nnf(¬f)."""
+    if isinstance(f, (FTrue,)):
+        return T.TRUE if positive else T.FALSE
+    if isinstance(f, (FFalse,)):
+        return T.FALSE if positive else T.TRUE
+    if isinstance(f, (Eq, Le, Lt, Pr)):
+        return f if positive else Not(f)
+    if isinstance(f, Not):
+        return nnf(f.operand, not positive)
+    if isinstance(f, And):
+        parts = tuple(nnf(c, positive) for c in f.conjuncts)
+        return And(*parts) if positive else Or(*parts)
+    if isinstance(f, Or):
+        parts = tuple(nnf(d, positive) for d in f.disjuncts)
+        return Or(*parts) if positive else And(*parts)
+    if isinstance(f, Implies):
+        if positive:
+            return Or(nnf(f.left, False), nnf(f.right, True))
+        return And(nnf(f.left, True), nnf(f.right, False))
+    if isinstance(f, Iff):
+        a, b = f.left, f.right
+        if positive:
+            return And(
+                Or(nnf(a, False), nnf(b, True)),
+                Or(nnf(b, False), nnf(a, True)),
+            )
+        return Or(
+            And(nnf(a, True), nnf(b, False)),
+            And(nnf(b, True), nnf(a, False)),
+        )
+    if isinstance(f, ForAll):
+        if positive:
+            return ForAll(f.vars, nnf(f.body, True), f.triggers)
+        return Exists(f.vars, nnf(f.body, False))
+    if isinstance(f, Exists):
+        if positive:
+            return Exists(f.vars, nnf(f.body, True))
+        return ForAll(f.vars, nnf(f.body, False))
+    raise TypeError(f"unknown formula {f!r}")
+
+
+# -------------------------------------------------------------- skolemization
+
+_skolem_counter = itertools.count()
+
+
+def skolemize(f: Formula, scope: Tuple[TVar, ...] = ()) -> Formula:
+    """Replace existentials in an NNF formula with skolem terms."""
+    if isinstance(f, (FTrue, FFalse, Eq, Le, Lt, Pr, Not)):
+        return f
+    if isinstance(f, And):
+        return And(*(skolemize(c, scope) for c in f.conjuncts))
+    if isinstance(f, Or):
+        return Or(*(skolemize(d, scope) for d in f.disjuncts))
+    if isinstance(f, ForAll):
+        new_scope = scope + tuple(TVar(v) for v in f.vars)
+        return ForAll(f.vars, skolemize(f.body, new_scope), f.triggers)
+    if isinstance(f, Exists):
+        subst: Dict[str, Term] = {}
+        for v in f.vars:
+            sk_name = f"@sk{next(_skolem_counter)}_{v}"
+            subst[v] = TApp(sk_name, tuple(scope))
+        return skolemize(formula_subst(f.body, subst), scope)
+    raise TypeError(f"skolemize expects NNF, got {f!r}")
+
+
+# --------------------------------------------------------------------- quants
+
+
+@dataclass(frozen=True)
+class QuantAtom:
+    """A positive forall subformula, reified as a boolean atom."""
+
+    vars: Tuple[str, ...]
+    body: Formula  # NNF, skolemized
+    triggers: Tuple[Tuple[Term, ...], ...]
+
+
+# ----------------------------------------------------------------------- CNF
+
+
+@dataclass
+class ClauseDb:
+    """Clauses over integer literals, with the atom <-> variable maps
+    the theory layer and instantiation engine need."""
+
+    clauses: List[Tuple[int, ...]] = field(default_factory=list)
+    atom_of_var: Dict[int, object] = field(default_factory=dict)
+    var_of_atom: Dict[object, int] = field(default_factory=dict)
+    _next_var: int = 1
+
+    def new_var(self, atom: Optional[object] = None) -> int:
+        var = self._next_var
+        self._next_var = var + 1
+        if atom is not None:
+            self.atom_of_var[var] = atom
+            self.var_of_atom[atom] = var
+        return var
+
+    def var_for(self, atom: object) -> int:
+        existing = self.var_of_atom.get(atom)
+        if existing is not None:
+            return existing
+        return self.new_var(atom)
+
+    def add_clause(self, lits) -> None:
+        clause = tuple(sorted(set(lits)))
+        # Drop tautologies.
+        seen = set(clause)
+        if any(-l in seen for l in clause):
+            return
+        self.clauses.append(clause)
+
+    @property
+    def num_vars(self) -> int:
+        return self._next_var - 1
+
+    def theory_atoms(self):
+        """(var, atom) for atoms the theory solver understands."""
+        for var, atom in self.atom_of_var.items():
+            if isinstance(atom, (Eq, Le, Lt, Pr)):
+                yield var, atom
+
+    def quant_atoms(self):
+        for var, atom in self.atom_of_var.items():
+            if isinstance(atom, QuantAtom):
+                yield var, atom
+
+
+def _normalize_atom(atom: Formula) -> Formula:
+    """Share variables between symmetric atoms (a = b vs b = a)."""
+    if isinstance(atom, Eq) and repr(atom.left) > repr(atom.right):
+        return Eq(atom.right, atom.left)
+    return atom
+
+
+def encode(db: ClauseDb, f: Formula) -> int:
+    """Tseitin-encode an NNF, skolemized formula; returns the literal
+    representing it.  Quantifiers become :class:`QuantAtom` variables
+    (positive polarity only — NNF guarantees this suffices)."""
+    if isinstance(f, FTrue):
+        var = db.var_for("@TRUE")
+        db.add_clause([var])
+        return var
+    if isinstance(f, FFalse):
+        var = db.var_for("@TRUE")
+        db.add_clause([var])
+        return -var
+    if isinstance(f, (Eq, Le, Lt, Pr)):
+        return db.var_for(_normalize_atom(f))
+    if isinstance(f, Not):
+        return -encode(db, f.operand)
+    if isinstance(f, And):
+        lits = [encode(db, c) for c in f.conjuncts]
+        var = db.new_var()
+        for lit in lits:
+            db.add_clause([-var, lit])
+        db.add_clause([var] + [-lit for lit in lits])
+        return var
+    if isinstance(f, Or):
+        lits = [encode(db, d) for d in f.disjuncts]
+        var = db.new_var()
+        db.add_clause([-var] + lits)
+        for lit in lits:
+            db.add_clause([var, -lit])
+        return var
+    if isinstance(f, ForAll):
+        atom = QuantAtom(f.vars, f.body, f.triggers)
+        return db.var_for(atom)
+    raise TypeError(f"encode expects NNF without Exists, got {f!r}")
+
+
+def assert_formula(db: ClauseDb, f: Formula) -> None:
+    """NNF, skolemize, encode and assert ``f`` as a unit clause."""
+    prepared = skolemize(nnf(f))
+    db.add_clause([encode(db, prepared)])

@@ -1,0 +1,290 @@
+"""Nelson–Oppen-style combination of congruence closure and linear
+arithmetic.
+
+``check(literals)`` decides the conjunction of theory literals produced
+by the SAT core.  Equalities go to both theories; derived equalities
+are exchanged between them until fixpoint (the theories are convex
+enough over our obligations for this to be complete in practice).
+Uninterpreted predicates are encoded as equations with distinguished
+boolean constants, the standard Simplify trick.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.prover.euf import CongruenceClosure, EufConflict
+from repro.prover.linarith import (
+    Constraint,
+    entails_eq,
+    linearize,
+    make_eq,
+    make_le,
+    satisfiable,
+)
+from repro.prover.terms import (
+    ARITH_FNS,
+    Eq,
+    Formula,
+    Le,
+    Lt,
+    Pr,
+    TApp,
+    TInt,
+    Term,
+    fn,
+    subterms,
+)
+
+#: (atom, polarity)
+Literal = Tuple[Formula, bool]
+
+_TRUE = fn("@true")
+_FALSE = fn("@false")
+
+#: Cap on pairwise LA->EUF equality propagation (quadratic in shared
+#: atoms); beyond this only disequality-relevant pairs are tested.
+_PAIR_LIMIT = 14
+
+
+class _Conflict(Exception):
+    pass
+
+
+def check(
+    literals: List[Literal], deadline: Optional[float] = None
+) -> Optional[List[Literal]]:
+    """Return None when the conjunction is theory-consistent, else a
+    conflicting subset of the literals (minimized as time allows).
+
+    ``deadline`` is an absolute ``time.perf_counter()`` value; past it,
+    minimization stops and the current core is returned (a larger
+    conflict clause is still sound, just a weaker pruner)."""
+    if _consistent(literals):
+        return None
+    # Chunked deletion (ddmin-style): drop whole blocks first, then
+    # shrink block size — far fewer consistency calls than one-by-one.
+    core = list(literals)
+    chunk = max(1, len(core) // 4)
+    while chunk >= 1:
+        index = 0
+        while index < len(core):
+            if deadline is not None and time.perf_counter() > deadline:
+                return core
+            candidate = core[:index] + core[index + chunk :]
+            if candidate and not _consistent(candidate):
+                core = candidate
+            else:
+                index += chunk
+        if chunk == 1:
+            break
+        chunk //= 2
+    return core
+
+
+def _consistent(literals: List[Literal]) -> bool:
+    try:
+        _check_raw(literals)
+        return True
+    except (_Conflict, EufConflict):
+        return False
+
+
+def _check_raw(literals: List[Literal]) -> None:
+    cc = CongruenceClosure()
+    cc.assert_neq(_TRUE, _FALSE)
+    constraints: List[Constraint] = []
+    diseq_pairs: List[Tuple[Term, Term]] = []
+    relevant = _arith_relevant_atoms(literals)
+
+    for atom, polarity in literals:
+        if isinstance(atom, Eq):
+            cc.add_term(atom.left)
+            cc.add_term(atom.right)
+            if polarity:
+                cc.assert_eq(atom.left, atom.right)
+                # Purification: equalities between terms the arithmetic
+                # never constrains stay in the EUF world only; feeding
+                # them all to Fourier–Motzkin drowns it.
+                if _touches(relevant, atom.left, atom.right):
+                    constraints.extend(make_eq(atom.left, atom.right))
+            else:
+                cc.assert_neq(atom.left, atom.right)
+                diseq_pairs.append((atom.left, atom.right))
+        elif isinstance(atom, Le):
+            cc.add_term(atom.left)
+            cc.add_term(atom.right)
+            if polarity:
+                constraints.append(make_le(atom.left, atom.right, strict=False))
+            else:
+                constraints.append(make_le(atom.right, atom.left, strict=True))
+        elif isinstance(atom, Lt):
+            cc.add_term(atom.left)
+            cc.add_term(atom.right)
+            if polarity:
+                constraints.append(make_le(atom.left, atom.right, strict=True))
+            else:
+                constraints.append(make_le(atom.right, atom.left, strict=False))
+        elif isinstance(atom, Pr):
+            app = fn(f"@p_{atom.name}", *atom.args)
+            cc.assert_eq(app, _TRUE if polarity else _FALSE)
+        else:  # pragma: no cover - the CNF layer only produces atoms
+            raise TypeError(f"not an atom: {atom!r}")
+
+    _propagate(cc, constraints, diseq_pairs)
+
+
+def _arith_relevant_atoms(literals: List[Literal]) -> Set[Term]:
+    """Opaque atoms the arithmetic theory genuinely constrains: those
+    under inequality literals or inside interpreted (+,-,*) contexts,
+    closed over asserted equalities."""
+    relevant: Set[Term] = set()
+
+    def mark(term: Term) -> None:
+        coeffs, const = linearize(term)
+        relevant.update(coeffs)
+
+    # Seeds: inequality literals and interpreted-arithmetic contexts.
+    # Note (dis)equalities with integer literals are NOT seeds: the EUF
+    # side decides those exactly (distinct integers are distinct), and
+    # seeding them would cascade relevance through the whole E-graph.
+    for atom, _polarity in literals:
+        if isinstance(atom, (Le, Lt)):
+            mark(atom.left)
+            mark(atom.right)
+        elif isinstance(atom, Eq):
+            for side in (atom.left, atom.right):
+                for t in subterms(side):
+                    if isinstance(t, TApp) and t.fname in ARITH_FNS:
+                        mark(t)
+
+    # Close over equalities: if one side is relevant, both are.
+    eqs = [a for a, pol in literals if pol and isinstance(a, Eq)]
+    changed = True
+    while changed:
+        changed = False
+        for eq in eqs:
+            left_in = _touches(relevant, eq.left)
+            right_in = _touches(relevant, eq.right)
+            if left_in != right_in:
+                mark(eq.left)
+                mark(eq.right)
+                changed = True
+    return relevant
+
+
+def _touches(relevant: Set[Term], *terms: Term) -> bool:
+    for t in terms:
+        coeffs, _const = linearize(t)
+        if any(v in relevant for v in coeffs):
+            return True
+        if not coeffs:  # a pure constant is always arithmetic
+            return True
+    return False
+
+
+def _propagate(
+    cc: CongruenceClosure,
+    constraints: List[Constraint],
+    diseq_pairs: List[Tuple[Term, Term]],
+) -> None:
+    known_eqs: Set[Tuple[Term, Term]] = set()
+    checked_at = -1  # constraint count at the last satisfiability check
+    for _ in range(24):  # fixpoint loop, bounded defensively
+        changed = False
+        shared = _shared_atoms(constraints)
+
+        # EUF -> LA: congruent shared atoms become arithmetic equalities.
+        for rep, members in cc.classes().items():
+            arith_members = [m for m in members if m in shared or isinstance(m, TInt)]
+            for i in range(1, len(arith_members)):
+                pair = _norm_pair(arith_members[0], arith_members[i])
+                if pair not in known_eqs:
+                    known_eqs.add(pair)
+                    constraints.extend(make_eq(*pair))
+                    changed = True
+
+        if len(constraints) != checked_at:
+            if not satisfiable(constraints):
+                raise _Conflict()
+            checked_at = len(constraints)
+
+        # LA -> EUF: arithmetic-forced equalities feed congruence.
+        if constraints:
+            for a, b in _candidate_pairs(shared, diseq_pairs, cc):
+                pair = _norm_pair(a, b)
+                if pair in known_eqs or cc.are_equal(a, b):
+                    continue
+                if entails_eq(constraints, a, b):
+                    cc.assert_eq(a, b)  # may raise EufConflict via diseqs
+                    known_eqs.add(pair)
+                    constraints.extend(make_eq(a, b))
+                    changed = True
+
+        if not changed:
+            return
+    # Fixpoint bound exhausted: treat as consistent (no proof claimed).
+
+
+def _shared_atoms(constraints: List[Constraint]) -> Set[Term]:
+    return {v for c in constraints for v in c.coeffs}
+
+
+def _norm_pair(a: Term, b: Term) -> Tuple[Term, Term]:
+    return (a, b) if repr(a) <= repr(b) else (b, a)
+
+
+def _candidate_pairs(
+    shared: Set[Term],
+    diseq_pairs: List[Tuple[Term, Term]],
+    cc: CongruenceClosure,
+) -> List[Tuple[Term, Term]]:
+    """Pairs worth testing for arithmetic-entailed equality.
+
+    Testing every pair of shared atoms is quadratically many expensive
+    Fourier–Motzkin entailment probes; only two kinds of derived
+    equalities can advance the proof, so only those are probed:
+
+    * pairs under an asserted disequality (forcing them equal is an
+      immediate conflict), and
+    * pairs of same-position arguments of same-symbol applications
+      (forcing them equal fires a congruence).
+
+    Both terms must actually occur in the arithmetic constraints; a
+    term the constraints never mention cannot be forced equal to
+    anything.
+    """
+    pairs: List[Tuple[Term, Term]] = []
+    seen: Set[Tuple[Term, Term]] = set()
+
+    def consider(a: Term, b: Term) -> None:
+        if a == b:
+            return
+        if a not in shared and not isinstance(a, TInt):
+            return
+        if b not in shared and not isinstance(b, TInt):
+            return
+        pair = _norm_pair(a, b)
+        if pair not in seen:
+            seen.add(pair)
+            pairs.append(pair)
+
+    for a, b in diseq_pairs:
+        consider(a, b)
+
+    by_fn: Dict[Tuple[str, int], List[TApp]] = {}
+    for t in cc.terms:
+        if isinstance(t, TApp) and t.args:
+            by_fn.setdefault((t.fname, len(t.args)), []).append(t)
+    for group in by_fn.values():
+        if len(group) > _PAIR_LIMIT:
+            group = group[:_PAIR_LIMIT]
+        for i, app_a in enumerate(group):
+            for app_b in group[i + 1 :]:
+                if cc.are_equal(app_a, app_b):
+                    continue
+                for arg_a, arg_b in zip(app_a.args, app_b.args):
+                    if not cc.are_equal(arg_a, arg_b):
+                        consider(arg_a, arg_b)
+    return pairs

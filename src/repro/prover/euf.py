@@ -1,0 +1,122 @@
+"""Congruence closure: equality with uninterpreted functions.
+
+Classic union-find + signature-table algorithm (Nelson & Oppen 1980 —
+the same lineage as Simplify's E-graph).  Terms are the frozen
+dataclasses from :mod:`repro.prover.terms`; constants are nullary
+applications; integer literals are distinct constants that are never
+equal to each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.prover.terms import TApp, TInt, Term
+
+
+class EufConflict(Exception):
+    """Raised when an asserted disequality is violated."""
+
+
+class CongruenceClosure:
+    def __init__(self) -> None:
+        self._parent: Dict[Term, Term] = {}
+        self._rank: Dict[Term, int] = {}
+        # For each representative, the applications that have an
+        # argument in its class (for congruence re-checking on merge).
+        self._uses: Dict[Term, List[TApp]] = {}
+        # Signature table: (fname, arg reps) -> a representative app.
+        self._sigs: Dict[Tuple, TApp] = {}
+        # Asserted disequalities, as pairs of terms.
+        self._diseqs: List[Tuple[Term, Term]] = []
+
+    # ------------------------------------------------------------ union-find
+
+    def add_term(self, t: Term) -> None:
+        if t in self._parent:
+            return
+        self._parent[t] = t
+        self._rank[t] = 0
+        self._uses[t] = []
+        if isinstance(t, TApp) and t.args:
+            for a in t.args:
+                self.add_term(a)
+                self._uses[self.find(a)].append(t)
+            self._lookup_or_install(t)
+
+    def find(self, t: Term) -> Term:
+        self.add_term(t)
+        root = t
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[t] != root:  # path compression
+            self._parent[t], t = root, self._parent[t]
+        return root
+
+    def _signature(self, t: TApp) -> Tuple:
+        return (t.fname, tuple(self.find(a) for a in t.args))
+
+    def _lookup_or_install(self, t: TApp) -> None:
+        sig = self._signature(t)
+        existing = self._sigs.get(sig)
+        if existing is None:
+            self._sigs[sig] = t
+        elif self.find(existing) != self.find(t):
+            self._merge(existing, t)
+
+    # ------------------------------------------------------------- assertion
+
+    def assert_eq(self, a: Term, b: Term) -> None:
+        self.add_term(a)
+        self.add_term(b)
+        self._merge(a, b)
+        self._check_diseqs()
+
+    def assert_neq(self, a: Term, b: Term) -> None:
+        self.add_term(a)
+        self.add_term(b)
+        self._diseqs.append((a, b))
+        self._check_diseqs()
+
+    def _merge(self, a: Term, b: Term) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if isinstance(ra, TInt) and isinstance(rb, TInt) and ra.value != rb.value:
+            raise EufConflict(f"distinct integers merged: {ra} = {rb}")
+        # Union by rank, but keep integer literals as representatives so
+        # numeric facts stay visible.
+        if isinstance(rb, TInt):
+            ra, rb = rb, ra
+        elif not isinstance(ra, TInt) and self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        # Re-check congruences of applications using the merged class.
+        pending = self._uses[rb]
+        self._uses.setdefault(ra, []).extend(pending)
+        self._uses[rb] = []
+        for app in list(pending):
+            self._lookup_or_install(app)
+
+    def _check_diseqs(self) -> None:
+        for a, b in self._diseqs:
+            if self.find(a) == self.find(b):
+                raise EufConflict(f"disequality violated: {a} != {b}")
+
+    # --------------------------------------------------------------- queries
+
+    def are_equal(self, a: Term, b: Term) -> bool:
+        return self.find(a) == self.find(b)
+
+    def classes(self) -> Dict[Term, Set[Term]]:
+        """Representative -> members, for equality propagation."""
+        out: Dict[Term, Set[Term]] = {}
+        for t in list(self._parent):
+            out.setdefault(self.find(t), set()).add(t)
+        return out
+
+    @property
+    def terms(self) -> List[Term]:
+        return list(self._parent)

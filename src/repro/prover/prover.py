@@ -1,0 +1,285 @@
+"""The prover driver: lazy SMT with quantifier instantiation rounds.
+
+``Prover.prove(goal)`` asserts the axioms and the negated goal, then
+alternates:
+
+* a DPLL search for a boolean model, with theory conflicts (from the
+  Nelson–Oppen core) learned as clauses — until UNSAT (goal proved) or
+  a theory-consistent model is found;
+* an E-matching round instantiating every quantifier atom against the
+  ground-term pool, plus fresh sign lemmas for any nonlinear product
+  terms that appeared.
+
+If a round adds nothing new and a model still exists, the result is
+"not proven" — exactly Simplify's behaviour on invalid or too-hard
+obligations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.prover import combine, sat
+from repro.prover.cnf import ClauseDb, QuantAtom, assert_formula, encode, nnf, skolemize
+from repro.prover.quant import ground_pool, instantiate
+from repro.prover.terms import (
+    And,
+    Eq,
+    Formula,
+    Implies,
+    Int,
+    Le,
+    Lt,
+    Not,
+    Or,
+    Pr,
+    TApp,
+    TInt,
+    Term,
+    fn,
+    subterms,
+)
+
+
+@dataclass
+class ProofResult:
+    proved: bool
+    rounds: int = 0
+    instances: int = 0
+    conflicts: int = 0
+    elapsed: float = 0.0
+    reason: str = ""
+    # For NOT PROVEN: the theory literals of the final candidate
+    # countermodel (a consistent scenario the rules fail to exclude).
+    countermodel: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.proved
+
+    def __str__(self) -> str:
+        status = "PROVED" if self.proved else "NOT PROVEN"
+        return (
+            f"{status} (rounds={self.rounds}, instances={self.instances}, "
+            f"theory conflicts={self.conflicts}, {self.elapsed * 1000:.1f} ms)"
+            + (f": {self.reason}" if self.reason else "")
+        )
+
+
+class Prover:
+    """A reusable prover instance holding a set of axioms."""
+
+    def __init__(
+        self,
+        max_rounds: int = 6,
+        max_conflicts: int = 4000,
+        time_limit: float = 60.0,
+    ):
+        self.axioms: List[Formula] = []
+        self.max_rounds = max_rounds
+        self.max_conflicts = max_conflicts
+        self.time_limit = time_limit
+
+    def add_axiom(self, axiom: Formula) -> None:
+        self.axioms.append(axiom)
+
+    def add_axioms(self, axioms) -> None:
+        self.axioms.extend(axioms)
+
+    # ----------------------------------------------------------------- prove
+
+    def prove(self, goal: Formula, extra_axioms: List[Formula] = ()) -> ProofResult:
+        start = time.perf_counter()
+        db = ClauseDb()
+        for ax in self.axioms:
+            assert_formula(db, ax)
+        for ax in extra_axioms:
+            assert_formula(db, ax)
+        assert_formula(db, Not(goal))
+
+        instantiated: Dict[int, Set[Tuple[Term, ...]]] = {}
+        lemma_products = {
+            "done": set(),
+            "products": [],
+            "moduli": set(),
+            "pairs": set(),
+        }
+        result = ProofResult(proved=False)
+
+        last_model = None
+        for round_no in range(self.max_rounds + 1):
+            result.rounds = round_no
+            self._add_product_lemmas(db, lemma_products)
+            model = self._smt_search(db, result, start)
+            if model is None:
+                result.proved = True
+                result.elapsed = time.perf_counter() - start
+                return result
+            if model == "budget":
+                result.reason = "search budget exhausted"
+                break
+            last_model = model
+            # Theory-consistent boolean model: instantiate and retry.
+            added = self._instantiation_round(db, instantiated, result)
+            if not added:
+                result.reason = "no further instances (candidate countermodel)"
+                break
+            if time.perf_counter() - start > self.time_limit:
+                result.reason = "time limit"
+                break
+        else:
+            result.reason = "instantiation round limit"
+        if last_model is not None:
+            result.countermodel = _describe_model(db, last_model)
+        result.elapsed = time.perf_counter() - start
+        return result
+
+    # -------------------------------------------------------------- internals
+
+    def _smt_search(self, db: ClauseDb, result: ProofResult, start: float):
+        while True:
+            model = sat.solve(db.clauses, db.num_vars)
+            if model is None:
+                return None
+            theory_lits = [
+                (atom, model[var])
+                for var, atom in db.theory_atoms()
+                if var in model
+            ]
+            conflict = combine.check(
+                theory_lits, deadline=start + self.time_limit
+            )
+            if conflict is None:
+                return model
+            result.conflicts += 1
+            db.add_clause(
+                [
+                    (-db.var_of_atom[atom] if polarity else db.var_of_atom[atom])
+                    for atom, polarity in conflict
+                ]
+            )
+            if result.conflicts > self.max_conflicts:
+                return "budget"
+            if time.perf_counter() - start > self.time_limit:
+                return "budget"
+
+    def _instantiation_round(
+        self,
+        db: ClauseDb,
+        instantiated: Dict[int, Set[Tuple[Term, ...]]],
+        result: ProofResult,
+    ) -> bool:
+        atoms = [a for _, a in db.theory_atoms()]
+        pool = ground_pool(atoms)
+        added = False
+        # Snapshot: instances added this round may create new quant atoms
+        # (nested foralls); they instantiate next round.
+        for var, qatom in list(db.quant_atoms()):
+            seen = instantiated.setdefault(var, set())
+            for _args, body in instantiate(qatom, pool, seen):
+                lit = encode(db, body)
+                db.add_clause([-var, lit])
+                result.instances += 1
+                added = True
+        return added
+
+    def _add_product_lemmas(self, db: ClauseDb, state: Dict) -> None:
+        """Arithmetic lemmas for terms the linear solver treats as
+        opaque: sign/zero lemmas for nonlinear products (Simplify had
+        comparable multiplication heuristics) and Euclidean division
+        lemmas for ``%``/``/`` with a positive constant divisor."""
+        done: Set[Term] = state["done"]
+        products: List[TApp] = []
+        mods: List[TApp] = []
+        for _, atom in db.theory_atoms():
+            for t in _atom_terms(atom):
+                for s in subterms(t):
+                    if not isinstance(s, TApp) or len(s.args) != 2 or s in done:
+                        continue
+                    if (
+                        s.fname == "*"
+                        and not isinstance(s.args[0], TInt)
+                        and not isinstance(s.args[1], TInt)
+                    ):
+                        done.add(s)
+                        products.append(s)
+                        state["products"].append(s)
+                    elif (
+                        s.fname == "%"
+                        and isinstance(s.args[1], TInt)
+                        and s.args[1].value > 0
+                    ):
+                        done.add(s)
+                        mods.append(s)
+                        state["moduli"].add(s.args[1])
+        zero = Int(0)
+        for m in mods:
+            x, k = m.args
+            quotient = fn("/", x, k)
+            # C's truncating division satisfies x == (x/k)*k + x%k for
+            # every x, with |x%k| < k and x%k carrying x's sign.
+            assert_formula(db, Eq(x, fn("+", fn("*", k, quotient), m)))
+            assert_formula(db, Lt(m, k))
+            assert_formula(db, Lt(fn("-", zero, k), m))
+            assert_formula(db, Implies(Le(zero, x), Le(zero, m)))
+            assert_formula(db, Implies(Le(x, zero), Le(m, zero)))
+        # Divisibility transfers through products: k | a implies
+        # k | a*b (exact divisibility, valid for C's truncated %).
+        # Stated for every (product, modulus) pair seen so far;
+        # congruence closure connects mod(p, k) with mod(e, k) when e is
+        # known equal to p.
+        for p in state["products"]:
+            for k in sorted(state["moduli"], key=repr):
+                if (p, k) in state["pairs"]:
+                    continue
+                state["pairs"].add((p, k))
+                for factor in p.args:
+                    assert_formula(
+                        db,
+                        Implies(
+                            Eq(fn("%", factor, k), zero),
+                            Eq(fn("%", p, k), zero),
+                        ),
+                    )
+        for p in products:
+            a, b = p.args
+            for lemma in (
+                Implies(And(Lt(zero, a), Lt(zero, b)), Lt(zero, p)),
+                Implies(And(Lt(a, zero), Lt(b, zero)), Lt(zero, p)),
+                Implies(And(Lt(zero, a), Lt(b, zero)), Lt(p, zero)),
+                Implies(And(Lt(a, zero), Lt(zero, b)), Lt(p, zero)),
+                Implies(Eq(a, zero), Eq(p, zero)),
+                Implies(Eq(b, zero), Eq(p, zero)),
+                Implies(Eq(p, zero), Or(Eq(a, zero), Eq(b, zero))),
+            ):
+                assert_formula(db, lemma)
+
+
+def _atom_terms(atom):
+    if isinstance(atom, (Eq, Le, Lt)):
+        return (atom.left, atom.right)
+    if isinstance(atom, Pr):
+        return atom.args
+    return ()
+
+
+def _describe_model(db: ClauseDb, model) -> List[str]:
+    """Human-readable theory literals of a candidate countermodel,
+    ordered with positive facts first and auxiliary noise dropped."""
+    lines: List[str] = []
+    for var, atom in sorted(db.theory_atoms(), key=lambda p: str(p[1])):
+        value = model.get(var)
+        if value is None:
+            continue
+        lines.append(str(atom) if value else f"¬({atom})")
+    return lines
+
+
+def prove_valid(
+    goal: Formula, axioms: List[Formula] = (), **kwargs
+) -> ProofResult:
+    """One-shot validity check: is ``goal`` entailed by ``axioms``?"""
+    prover = Prover(**kwargs)
+    prover.add_axioms(list(axioms))
+    return prover.prove(goal)

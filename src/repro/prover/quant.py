@@ -1,0 +1,198 @@
+"""Trigger-based quantifier instantiation (E-matching, syntactic).
+
+Each positive ``forall`` is reified as a :class:`QuantAtom`; this module
+matches its triggers against the current ground-term pool and produces
+instances, which the prover encodes as ``qatom -> instance`` clauses.
+Triggers not supplied by the axiom author are derived from the body.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.prover import terms as T
+from repro.prover.cnf import QuantAtom
+from repro.prover.terms import (
+    ARITH_FNS,
+    And,
+    Eq,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Le,
+    Lt,
+    Not,
+    Or,
+    Pr,
+    TApp,
+    Term,
+    TInt,
+    TVar,
+    formula_subst,
+    formula_terms,
+    subterms,
+    term_vars,
+)
+
+#: Instantiation is bounded to keep the prover terminating; these caps
+#: are generous for the paper's obligations.
+MAX_INSTANCES_PER_ATOM = 2000
+
+
+def derive_triggers(atom: QuantAtom) -> Tuple[Tuple[Term, ...], ...]:
+    """Heuristic trigger selection when the axiom gives none.
+
+    Candidate patterns are application subterms of the body that contain
+    at least one bound variable and are not purely arithmetic.  Prefer
+    single patterns that cover all bound variables; otherwise greedily
+    assemble a multi-pattern.
+    """
+    if atom.triggers:
+        return atom.triggers
+    bound = frozenset(atom.vars)
+    candidates: List[Term] = []
+    seen: Set[Term] = set()
+    for t in _pattern_terms(atom.body):
+        if (
+            isinstance(t, TApp)
+            and t.args
+            and t.fname not in ARITH_FNS
+            and (term_vars(t) & bound)
+            and t not in seen
+        ):
+            seen.add(t)
+            candidates.append(t)
+    # Drop candidates that are proper subterms of other candidates (the
+    # larger pattern matches less often — both are kept as alternatives
+    # only if needed for coverage).
+    full_cover = [c for c in candidates if term_vars(c) >= bound]
+    triggers: List[Tuple[Term, ...]] = [(c,) for c in full_cover]
+    if not triggers and candidates:
+        multi: List[Term] = []
+        covered: FrozenSet[str] = frozenset()
+        for c in sorted(candidates, key=lambda t: -len(term_vars(t) & bound)):
+            if (term_vars(c) & bound) - covered:
+                multi.append(c)
+                covered |= term_vars(c) & bound
+            if covered >= bound:
+                break
+        if covered >= bound:
+            triggers = [tuple(multi)]
+    return tuple(triggers)
+
+
+def match_term(pattern: Term, ground: Term, subst: Dict[str, Term]) -> Optional[Dict[str, Term]]:
+    """Syntactic one-way matching of ``pattern`` against ``ground``."""
+    if isinstance(pattern, TVar):
+        bound = subst.get(pattern.name)
+        if bound is None:
+            new = dict(subst)
+            new[pattern.name] = ground
+            return new
+        return subst if bound == ground else None
+    if isinstance(pattern, TInt):
+        return subst if pattern == ground else None
+    if isinstance(pattern, TApp):
+        if (
+            not isinstance(ground, TApp)
+            or ground.fname != pattern.fname
+            or len(ground.args) != len(pattern.args)
+        ):
+            return None
+        current = subst
+        for p_arg, g_arg in zip(pattern.args, ground.args):
+            current = match_term(p_arg, g_arg, current)
+            if current is None:
+                return None
+        return current
+    raise TypeError(f"unknown pattern term {pattern!r}")
+
+
+def _matches_for_pattern(
+    pattern: Term, pool: Iterable[Term], subst: Dict[str, Term]
+) -> List[Dict[str, Term]]:
+    out = []
+    for ground in pool:
+        m = match_term(pattern, ground, subst)
+        if m is not None:
+            out.append(m)
+    return out
+
+
+def instantiate(
+    atom: QuantAtom,
+    pool: List[Term],
+    already: Set[Tuple[Term, ...]],
+) -> List[Tuple[Tuple[Term, ...], Formula]]:
+    """All new instances of ``atom`` over the ground-term ``pool``.
+
+    Returns (argument tuple, instantiated body) pairs; ``already`` is
+    updated with the argument tuples produced.
+    """
+    triggers = derive_triggers(atom)
+    out: List[Tuple[Tuple[Term, ...], Formula]] = []
+    bound = list(atom.vars)
+    for trigger in triggers:
+        substs: List[Dict[str, Term]] = [{}]
+        for pattern in trigger:
+            next_substs: List[Dict[str, Term]] = []
+            for s in substs:
+                next_substs.extend(_matches_for_pattern(pattern, pool, s))
+            substs = next_substs
+            if not substs:
+                break
+        for s in substs:
+            if not all(v in s for v in bound):
+                continue
+            args = tuple(s[v] for v in bound)
+            if args in already:
+                continue
+            already.add(args)
+            out.append((args, formula_subst(atom.body, s)))
+            if len(already) > MAX_INSTANCES_PER_ATOM:
+                return out
+    return out
+
+
+def _pattern_terms(f: Formula):
+    """Terms usable as trigger patterns, including predicate
+    applications reified as ``@p_<name>`` pseudo-terms so axioms over
+    predicates can trigger too."""
+    if isinstance(f, Pr):
+        yield TApp(f"@p_{f.name}", f.args)
+        for a in f.args:
+            yield from subterms(a)
+    elif isinstance(f, (Eq, Le, Lt)):
+        yield from subterms(f.left)
+        yield from subterms(f.right)
+    elif isinstance(f, Not):
+        yield from _pattern_terms(f.operand)
+    elif isinstance(f, And):
+        for c in f.conjuncts:
+            yield from _pattern_terms(c)
+    elif isinstance(f, Or):
+        for d in f.disjuncts:
+            yield from _pattern_terms(d)
+    elif isinstance(f, (Implies, Iff)):
+        yield from _pattern_terms(f.left)
+        yield from _pattern_terms(f.right)
+    elif isinstance(f, (ForAll, Exists)):
+        yield from _pattern_terms(f.body)
+
+
+def ground_pool(formulas: Iterable[Formula]) -> List[Term]:
+    """Collect the distinct ground terms occurring in ``formulas``,
+    including reified predicate applications (variables under
+    quantifiers make a term non-ground; skip those)."""
+    seen: Set[Term] = set()
+    pool: List[Term] = []
+    for f in formulas:
+        for t in _pattern_terms(f):
+            if t in seen or term_vars(t):
+                continue
+            seen.add(t)
+            pool.append(t)
+    return pool

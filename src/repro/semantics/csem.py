@@ -1,0 +1,603 @@
+"""A concrete interpreter for the CIL-style IR.
+
+Memory is a flat, integer-addressed cell array (one cell per scalar /
+pointer / char; ``sizeof`` of any scalar is 1 and of a struct is its
+field count, so pointer arithmetic matches the logical memory model the
+checker assumes).  NULL is address 0; no object is ever allocated
+there.
+
+Run-time qualifier checks (paper section 2.1.3): every cast to a
+value-qualified type checks the qualifier's declared invariant on the
+cast value and raises :class:`QualifierViolation` on failure — the
+paper's "fatal error".  Casts involving reference qualifiers are not
+checked (section 2.2.3).
+
+``printf``/``sprintf`` are modelled faithfully enough to *exhibit* a
+format-string vulnerability: a conversion directive with no matching
+argument raises :class:`FormatStringError`, standing in for the stack
+over-read the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cfront.ctypes import (
+    ArrayType,
+    CType,
+    IntType,
+    PointerType,
+    StructType,
+    is_pointer_like,
+)
+from repro.cil import ir
+from repro.core.qualifiers import ast as Q
+from repro.core.qualifiers.ast import QualifierSet
+
+
+class CRuntimeError(Exception):
+    """Base class for run-time errors in the interpreter."""
+
+
+class QualifierViolation(CRuntimeError):
+    """A run-time qualifier check failed (fatal error, section 2.1.3)."""
+
+    def __init__(self, qualifier: str, value, detail: str = ""):
+        msg = f"runtime check failed: value {value!r} is not {qualifier}"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+        self.qualifier = qualifier
+        self.value = value
+
+
+class NullDereference(CRuntimeError):
+    pass
+
+
+class FormatStringError(CRuntimeError):
+    """printf read a conversion with no matching argument."""
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+@dataclass
+class _Frame:
+    env: Dict[str, int] = field(default_factory=dict)  # name -> address
+    # Arguments beyond the declared formals of a varargs function; a
+    # printf-family call inside the body that passes no varargs of its
+    # own picks these up (modelling va_list forwarding, which the C
+    # subset has no syntax for).
+    varargs: List[object] = field(default_factory=list)
+
+
+class CInterpreter:
+    """Executes a :class:`repro.cil.ir.Program`.
+
+    ``quals`` enables run-time checks for casts to value-qualified
+    types; without it, casts are silent (the unchecked configuration).
+    """
+
+    HEAP_BASE = 1_000_000
+
+    def __init__(
+        self,
+        program: ir.Program,
+        quals: Optional[QualifierSet] = None,
+        max_steps: int = 2_000_000,
+    ):
+        self.program = program
+        self.quals = quals
+        self.memory: Dict[int, object] = {}
+        self.next_stack = 1
+        self.next_heap = self.HEAP_BASE
+        self.globals = _Frame()
+        self.frames: List[_Frame] = []
+        self.output: List[str] = []
+        self.steps = 0
+        self.max_steps = max_steps
+        self._string_cache: Dict[str, int] = {}
+        self._allocate_globals()
+
+    # ------------------------------------------------------------- memory
+
+    def _alloc_stack(self, size: int = 1) -> int:
+        addr = self.next_stack
+        self.next_stack += size
+        for i in range(size):
+            self.memory[addr + i] = 0
+        return addr
+
+    def _alloc_heap(self, size: int) -> int:
+        addr = self.next_heap
+        self.next_heap += max(size, 1)
+        for i in range(max(size, 1)):
+            self.memory[addr + i] = 0
+        return addr
+
+    def is_heap_address(self, addr: int) -> bool:
+        return addr >= self.HEAP_BASE
+
+    def _allocate_globals(self) -> None:
+        for g in self.program.globals:
+            self.globals.env[g.name] = self._alloc_stack(self._sizeof(g.ctype))
+        try:
+            init = self.program.function(ir.Program.GLOBAL_INIT)
+        except KeyError:
+            return
+        self._call_function(init, [])
+
+    def _sizeof(self, ctype: Optional[CType]) -> int:
+        if ctype is None:
+            return 1
+        if isinstance(ctype, ArrayType):
+            return (ctype.size or 1) * self._sizeof(ctype.elem)
+        if isinstance(ctype, StructType):
+            fields = self.program.structs.get(ctype.name, [])
+            sizes = [self._sizeof(t) for _, t in fields]
+            if ctype.name in self.program.unions:
+                return max([1] + sizes)  # union: fields overlay
+            return max(1, sum(sizes))
+        return 1
+
+    def _field_offset(self, struct_name: str, fieldname: str) -> int:
+        fields = self.program.structs.get(struct_name, [])
+        if struct_name in self.program.unions:
+            if any(f == fieldname for f, _ in fields):
+                return 0  # every union member lives at offset 0
+            raise CRuntimeError(f"no field {fieldname} in union {struct_name}")
+        offset = 0
+        for fname, ftype in fields:
+            if fname == fieldname:
+                return offset
+            offset += self._sizeof(ftype)
+        raise CRuntimeError(f"no field {fieldname} in struct {struct_name}")
+
+    def _intern_string(self, text: str) -> int:
+        if text not in self._string_cache:
+            addr = self._alloc_heap(len(text) + 1)
+            for i, ch in enumerate(text):
+                self.memory[addr + i] = ord(ch)
+            self.memory[addr + len(text)] = 0
+            self._string_cache[text] = addr
+        return self._string_cache[text]
+
+    def read_c_string(self, addr: int) -> str:
+        out = []
+        for offset in range(100000):
+            cell = self.memory.get(addr + offset, 0)
+            if cell == 0:
+                break
+            out.append(chr(cell) if isinstance(cell, int) else "?")
+        return "".join(out)
+
+    # ----------------------------------------------------------- execution
+
+    def run(self, entry: str = "main", args: List[int] = ()) -> object:
+        func = self.program.function(entry)
+        return self._call_function(func, list(args))
+
+    def _call_function(self, func: ir.Function, args: List[object]) -> object:
+        frame = _Frame()
+        if func.varargs and len(args) > len(func.formals):
+            frame.varargs = list(args[len(func.formals):])
+        self.frames.append(frame)
+        try:
+            for (name, ctype), value in zip(func.formals, args):
+                addr = self._alloc_stack(self._sizeof(ctype))
+                frame.env[name] = addr
+                self.memory[addr] = value
+            for name, ctype in func.formals[len(args):]:
+                frame.env[name] = self._alloc_stack(self._sizeof(ctype))
+            for name, ctype in func.locals:
+                frame.env[name] = self._alloc_stack(self._sizeof(ctype))
+            try:
+                self._exec_stmts(func.body, func)
+            except _ReturnSignal as ret:
+                return ret.value
+            return 0
+        finally:
+            self.frames.pop()
+
+    def _exec_stmts(self, stmts: List[ir.Stmt], func: ir.Function) -> None:
+        for stmt in stmts:
+            self._tick()
+            if isinstance(stmt, ir.Instr):
+                for instr in stmt.instrs:
+                    self._exec_instruction(instr, func)
+            elif isinstance(stmt, ir.If):
+                if self._truthy(self._eval(stmt.cond, func)):
+                    self._exec_stmts(stmt.then, func)
+                else:
+                    self._exec_stmts(stmt.otherwise, func)
+            elif isinstance(stmt, ir.While):
+                while True:
+                    for instr in stmt.cond_instrs:
+                        self._exec_instruction(instr, func)
+                    if not self._truthy(self._eval(stmt.cond, func)):
+                        break
+                    try:
+                        self._exec_stmts(stmt.body, func)
+                    except _BreakSignal:
+                        break
+                    except _ContinueSignal:
+                        continue
+            elif isinstance(stmt, ir.Return):
+                value = self._eval(stmt.expr, func) if stmt.expr else 0
+                raise _ReturnSignal(value)
+            elif isinstance(stmt, ir.Break):
+                raise _BreakSignal()
+            elif isinstance(stmt, ir.Continue):
+                raise _ContinueSignal()
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise CRuntimeError("step budget exhausted (infinite loop?)")
+
+    def _exec_instruction(self, instr: ir.Instruction, func: ir.Function) -> None:
+        self._tick()
+        if isinstance(instr, ir.Set):
+            addr = self._lvalue_address(instr.lvalue, func)
+            self.memory[addr] = self._eval(instr.expr, func)
+        elif isinstance(instr, ir.Call):
+            value = self._eval_call(instr, func)
+            if instr.result is not None:
+                if instr.result_cast is not None:
+                    value = self._apply_cast(instr.result_cast, value)
+                addr = self._lvalue_address(instr.result, func)
+                self.memory[addr] = value
+
+    # ---------------------------------------------------------- evaluation
+
+    def _env_lookup(self, name: str) -> int:
+        if self.frames and name in self.frames[-1].env:
+            return self.frames[-1].env[name]
+        if name in self.globals.env:
+            return self.globals.env[name]
+        raise CRuntimeError(f"unbound variable {name!r}")
+
+    def _lvalue_address(self, lv: ir.Lvalue, func: ir.Function) -> int:
+        if isinstance(lv.host, ir.VarHost):
+            addr = self._env_lookup(lv.host.name)
+            base_type = self._var_type(lv.host.name, func)
+        else:
+            addr = self._eval(lv.host.addr, func)
+            if not isinstance(addr, int) or addr == 0:
+                raise NullDereference(f"dereference of {addr!r}")
+            base_type = None
+        offset = lv.offset
+        current_type = base_type
+        while not isinstance(offset, ir.NoOffset):
+            if isinstance(offset, ir.FieldOff):
+                struct_name = self._struct_of(current_type, lv, func)
+                addr += self._field_offset(struct_name, offset.fieldname)
+                if struct_name is not None:
+                    for fname, ftype in self.program.structs.get(struct_name, []):
+                        if fname == offset.fieldname:
+                            current_type = ftype
+            elif isinstance(offset, ir.IndexOff):
+                index = self._eval(offset.index, func)
+                stride = 1
+                if isinstance(current_type, ArrayType):
+                    stride = self._sizeof(current_type.elem)
+                    current_type = current_type.elem
+                addr += index * stride
+            offset = offset.rest
+        return addr
+
+    def _struct_of(self, current_type, lv: ir.Lvalue, func: ir.Function) -> str:
+        if isinstance(current_type, StructType):
+            return current_type.name
+        # Through a MemHost we lost the type; recover it from the
+        # pointer expression's static type.
+        from repro.cil.typesof import TypeError_, TypingContext, type_of_expr
+
+        ctx = TypingContext.for_function(self.program, func)
+        if isinstance(lv.host, ir.MemHost):
+            try:
+                ptr_type = type_of_expr(ctx, lv.host.addr)
+                pointee = getattr(ptr_type, "pointee", None)
+                if isinstance(pointee, StructType):
+                    return pointee.name
+            except TypeError_:
+                pass
+        raise CRuntimeError(f"cannot resolve struct for {lv}")
+
+    def _is_array_lvalue(self, lv: ir.Lvalue, func: ir.Function) -> bool:
+        from repro.cil.typesof import TypeError_, TypingContext, type_of_lvalue
+
+        ctx = TypingContext.for_function(self.program, func)
+        try:
+            return isinstance(type_of_lvalue(ctx, lv), ArrayType)
+        except TypeError_:
+            return False
+
+    def _var_type(self, name: str, func: ir.Function) -> Optional[CType]:
+        for n, t in func.formals + func.locals:
+            if n == name:
+                return t
+        for g in self.program.globals:
+            if g.name == name:
+                return g.ctype
+        return None
+
+    def _truthy(self, value) -> bool:
+        return bool(value)
+
+    def _eval(self, expr: ir.Expr, func: ir.Function):
+        self._tick()
+        if isinstance(expr, ir.IntConst):
+            return expr.value
+        if isinstance(expr, ir.NullConst):
+            return 0
+        if isinstance(expr, ir.StrConst):
+            return self._intern_string(expr.value)
+        if isinstance(expr, ir.Lval):
+            addr = self._lvalue_address(expr.lvalue, func)
+            if addr == 0:
+                raise NullDereference(str(expr))
+            if self._is_array_lvalue(expr.lvalue, func):
+                return addr  # array-to-pointer decay
+            return self.memory.get(addr, 0)
+        if isinstance(expr, ir.AddrOf):
+            return self._lvalue_address(expr.lvalue, func)
+        if isinstance(expr, ir.UnOp):
+            operand = self._eval(expr.operand, func)
+            if expr.op == "-":
+                return -operand
+            if expr.op == "!":
+                return 0 if operand else 1
+            if expr.op == "~":
+                return ~operand
+            raise CRuntimeError(f"unknown unary op {expr.op}")
+        if isinstance(expr, ir.BinOp):
+            return self._eval_binop(expr, func)
+        if isinstance(expr, ir.CastE):
+            return self._apply_cast(expr.to_type, self._eval(expr.operand, func))
+        if isinstance(expr, ir.CondE):
+            if self._truthy(self._eval(expr.cond, func)):
+                return self._eval(expr.then, func)
+            return self._eval(expr.otherwise, func)
+        if isinstance(expr, ir.SizeOfE):
+            return self._sizeof(expr.of_type)
+        raise CRuntimeError(f"cannot evaluate {expr!r}")
+
+    def _eval_binop(self, expr: ir.BinOp, func: ir.Function):
+        op = expr.op
+        if op == "&&":
+            left = self._eval(expr.left, func)
+            if not self._truthy(left):
+                return 0
+            return 1 if self._truthy(self._eval(expr.right, func)) else 0
+        if op == "||":
+            left = self._eval(expr.left, func)
+            if self._truthy(left):
+                return 1
+            return 1 if self._truthy(self._eval(expr.right, func)) else 0
+        left = self._eval(expr.left, func)
+        right = self._eval(expr.right, func)
+        if op in ("+", "ptradd"):
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise CRuntimeError("division by zero")
+            quotient = abs(left) // abs(right)
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        if op == "%":
+            if right == 0:
+                raise CRuntimeError("modulo by zero")
+            return left - right * (
+                abs(left) // abs(right) * (1 if (left >= 0) == (right >= 0) else -1)
+            )
+        comparisons = {
+            "==": left == right,
+            "!=": left != right,
+            "<": left < right,
+            ">": left > right,
+            "<=": left <= right,
+            ">=": left >= right,
+        }
+        if op in comparisons:
+            return 1 if comparisons[op] else 0
+        bitwise = {"&": left & right, "|": left | right, "^": left ^ right,
+                   "<<": left << right, ">>": left >> right}
+        if op in bitwise:
+            return bitwise[op]
+        raise CRuntimeError(f"unknown binary op {op}")
+
+    # ------------------------------------------------------ runtime checks
+
+    def _apply_cast(self, to_type: CType, value):
+        if self.quals is None:
+            return value
+        for qname in sorted(to_type.quals):
+            qdef = self.quals.get(qname)
+            if qdef is None or not qdef.is_value or qdef.invariant is None:
+                continue  # ref-qualifier casts are unchecked (2.2.3)
+            if not self._invariant_holds(qdef.invariant, value):
+                raise QualifierViolation(qname, value)
+        return value
+
+    def _invariant_holds(self, inv: Q.IFormula, value) -> bool:
+        def term(t: Q.ITerm):
+            if isinstance(t, Q.IValue):
+                return value
+            if isinstance(t, Q.INum):
+                return t.value
+            if isinstance(t, Q.INull):
+                return 0
+            if isinstance(t, Q.IDeref):
+                return self.memory.get(term(t.operand), 0)
+            if isinstance(t, Q.IBin):
+                return _c_arith(t.op, term(t.left), term(t.right))
+            raise CRuntimeError(
+                f"invariant term {t} not checkable at run time"
+            )
+
+        def formula(g: Q.IFormula) -> bool:
+            if isinstance(g, Q.ICmp):
+                left, right = term(g.left), term(g.right)
+                return {
+                    "==": left == right,
+                    "!=": left != right,
+                    "<": left < right,
+                    ">": left > right,
+                    "<=": left <= right,
+                    ">=": left >= right,
+                }[g.op]
+            if isinstance(g, Q.IIsHeapLoc):
+                return isinstance(term(g.operand), int) and self.is_heap_address(
+                    term(g.operand)
+                )
+            if isinstance(g, Q.IAnd):
+                return formula(g.left) and formula(g.right)
+            if isinstance(g, Q.IOr):
+                return formula(g.left) or formula(g.right)
+            if isinstance(g, Q.INot):
+                return not formula(g.operand)
+            if isinstance(g, Q.IImplies):
+                return (not formula(g.left)) or formula(g.right)
+            raise CRuntimeError(f"invariant {g} not checkable at run time")
+
+        return formula(inv)
+
+    # --------------------------------------------------------- built-ins
+
+    def _eval_call(self, instr: ir.Call, func: ir.Function):
+        args = [self._eval(a, func) for a in instr.args]
+        name = instr.func
+        if name in ir.ALLOCATORS:
+            if name in ("calloc", "xcalloc") and len(args) >= 2:
+                return self._alloc_heap(args[0] * args[1])
+            return self._alloc_heap(args[0] if args else 1)
+        if name == "free":
+            return 0
+        if name.startswith("__check_"):
+            qual = name[len("__check_"):]
+            qdef = self.quals.get(qual) if self.quals else None
+            if qdef is not None and qdef.invariant is not None:
+                if not self._invariant_holds(qdef.invariant, args[0]):
+                    raise QualifierViolation(qual, args[0])
+            return 0
+        if name in ("printf", "fprintf", "sprintf", "snprintf", "syslog"):
+            return self._builtin_printf(name, instr, args)
+        if name == "strlen":
+            return len(self.read_c_string(args[0]))
+        if name == "strcpy":
+            text = self.read_c_string(args[1])
+            for i, ch in enumerate(text):
+                self.memory[args[0] + i] = ord(ch)
+            self.memory[args[0] + len(text)] = 0
+            return args[0]
+        if name == "exit":
+            raise _ReturnSignal(args[0] if args else 0)
+        try:
+            target = self.program.function(name)
+        except KeyError:
+            return 0  # unknown external: harmless stub
+        return self._call_function(target, args)
+
+    def _builtin_printf(self, name: str, instr: ir.Call, args: List[object]):
+        # fprintf(stream, fmt, ...) / sprintf(buf, fmt, ...) skip arg 0.
+        skip = 1 if name in ("fprintf", "sprintf") else 0
+        if name == "snprintf":
+            skip = 2
+        fmt_addr = args[skip]
+        varargs = list(args[skip + 1 :])
+        if not varargs and self.frames and self.frames[-1].varargs:
+            varargs = list(self.frames[-1].varargs)  # va_list forwarding
+        fmt = self.read_c_string(fmt_addr)
+        rendered = self._render_format(fmt, varargs)
+        if name == "sprintf" or name == "snprintf":
+            for i, ch in enumerate(rendered):
+                self.memory[args[0] + i] = ord(ch)
+            self.memory[args[0] + len(rendered)] = 0
+        else:
+            self.output.append(rendered)
+        return len(rendered)
+
+    def _render_format(self, fmt: str, varargs: List[object]) -> str:
+        """Render a printf format; a conversion with no argument models
+        the stack over-read of a format-string attack."""
+        out = []
+        i = 0
+        arg_index = 0
+        while i < len(fmt):
+            ch = fmt[i]
+            if ch != "%":
+                out.append(ch)
+                i += 1
+                continue
+            if i + 1 < len(fmt) and fmt[i + 1] == "%":
+                out.append("%")
+                i += 2
+                continue
+            # Scan the conversion specifier.
+            j = i + 1
+            while j < len(fmt) and fmt[j] in "0123456789.-+# lh":
+                j += 1
+            conv = fmt[j] if j < len(fmt) else ""
+            if arg_index >= len(varargs):
+                raise FormatStringError(
+                    f"format directive %{conv} reads a nonexistent argument "
+                    f"(format string: {fmt!r})"
+                )
+            value = varargs[arg_index]
+            arg_index += 1
+            if conv == "s":
+                out.append(self.read_c_string(value))
+            elif conv in ("d", "i", "u", "x", "c", "p", "ld", "lu"):
+                out.append(str(value))
+            else:
+                out.append(str(value))
+            i = j + 1
+        return "".join(out)
+
+
+def _c_arith(op: str, left: int, right: int) -> int:
+    """C semantics: division truncates toward zero."""
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if right == 0:
+        raise CRuntimeError(f"{op} by zero in invariant evaluation")
+    quotient = abs(left) // abs(right)
+    if (left >= 0) != (right >= 0):
+        quotient = -quotient
+    if op == "/":
+        return quotient
+    if op == "%":
+        return left - right * quotient
+    raise CRuntimeError(f"unknown invariant operator {op}")
+
+
+def run_program(
+    program: ir.Program,
+    quals: Optional[QualifierSet] = None,
+    entry: str = "main",
+    args: List[int] = (),
+) -> Tuple[object, List[str]]:
+    """Run ``program`` and return (exit value, captured printf output)."""
+    interp = CInterpreter(program, quals=quals)
+    result = interp.run(entry, list(args))
+    return result, interp.output

@@ -1,0 +1,653 @@
+"""The paper's formalization (section 5): a simply-typed lambda
+calculus with ML-style references and user-defined value qualifiers.
+
+Syntax (figure 8, plus integer operators so the paper's example
+qualifier rules — constants, products, negation — are exercisable, and
+application, which figure 8 elides):
+
+    Stmts  s ::= e | s1; s2 | let x = s1 in s2 | ref s | s1 := s2 | s1 s2
+    Exprs  e ::= c | () | x | λx:τ. s | !e | -e | e1 ⊗ e2
+
+The typechecker implements the standard rules plus:
+
+* the subtyping relation of figure 9 (τ q ≤ τ; qualifier order
+  irrelevant; no subtyping under ``ref``; contravariant functions);
+* the T-QUALCASE rule template of figure 10, instantiated from the
+  same qualifier definitions the C checker uses.
+
+The big-step evaluator and the semantic-conformance relation of
+figure 11 let property-based tests check Theorem 5.1 (preservation)
+empirically: a well-typed program evaluates to a value satisfying its
+qualifiers' invariants, provided every rule passed the soundness
+checker.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.qualifiers import ast as Q
+from repro.core.qualifiers.ast import QualifierSet
+
+
+class LambdaTypeError(Exception):
+    pass
+
+
+class LambdaRuntimeError(Exception):
+    pass
+
+
+# -------------------------------------------------------------------- types
+
+
+@dataclass(frozen=True)
+class LType:
+    quals: frozenset = field(default_factory=frozenset)
+
+    def with_quals(self, names) -> "LType":
+        return replace(self, quals=self.quals | frozenset(names))
+
+    def strip_quals(self) -> "LType":
+        return replace(self, quals=frozenset())
+
+
+@dataclass(frozen=True)
+class TUnit(LType):
+    def __str__(self) -> str:
+        return _q("unit", self.quals)
+
+
+@dataclass(frozen=True)
+class TIntL(LType):
+    def __str__(self) -> str:
+        return _q("int", self.quals)
+
+
+@dataclass(frozen=True)
+class TFun(LType):
+    param: LType = field(default_factory=TUnit)
+    result: LType = field(default_factory=TUnit)
+
+    def __str__(self) -> str:
+        return _q(f"({self.param} -> {self.result})", self.quals)
+
+
+@dataclass(frozen=True)
+class TRef(LType):
+    inner: LType = field(default_factory=TIntL)
+
+    def __str__(self) -> str:
+        return _q(f"ref {self.inner}", self.quals)
+
+
+def _q(base: str, quals) -> str:
+    return base + "".join(f" {q}" for q in sorted(quals))
+
+
+def subtype(a: LType, b: LType) -> bool:
+    """Figure 9: SubValQual, SubQualReorder, SubRefl, SubTrans, SubFun.
+
+    Algorithmically: same structure; the subtype may carry extra
+    qualifiers at the top level; ``ref`` types are invariant (no rule
+    for subtyping underneath ref)."""
+    if isinstance(a, TRef) and isinstance(b, TRef):
+        return a.inner == b.inner and a.quals >= b.quals
+    if isinstance(a, TFun) and isinstance(b, TFun):
+        return (
+            subtype(b.param, a.param)
+            and subtype(a.result, b.result)
+            and a.quals >= b.quals
+        )
+    if type(a) is type(b):
+        return a.quals >= b.quals
+    return False
+
+
+# ------------------------------------------------------------------- syntax
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class EConst(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class EUnit(Expr):
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class EVar(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ELam(Expr):
+    param: str
+    param_type: LType
+    body: "Stmt"
+
+    def __str__(self) -> str:
+        return f"(λ{self.param}:{self.param_type}. {self.body})"
+
+
+@dataclass(frozen=True)
+class EDeref(Expr):
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"!{self.operand}"
+
+
+@dataclass(frozen=True)
+class ENeg(Expr):
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+@dataclass(frozen=True)
+class EBin(Expr):
+    op: str  # '+', '-', '*'
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Stmt:
+    pass
+
+
+@dataclass(frozen=True)
+class SExpr(Stmt):
+    expr: Expr
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class SSeq(Stmt):
+    first: Stmt
+    second: Stmt
+
+    def __str__(self) -> str:
+        return f"({self.first}; {self.second})"
+
+
+@dataclass(frozen=True)
+class SLet(Stmt):
+    name: str
+    bound: Stmt
+    body: Stmt
+    # Optional ascription: the declared (possibly qualified) type of the
+    # binding — this is where user qualifiers enter programs.
+    ascription: Optional[LType] = None
+
+    def __str__(self) -> str:
+        ann = f" : {self.ascription}" if self.ascription else ""
+        return f"(let {self.name}{ann} = {self.bound} in {self.body})"
+
+
+@dataclass(frozen=True)
+class SRef(Stmt):
+    operand: Stmt
+
+    def __str__(self) -> str:
+        return f"(ref {self.operand})"
+
+
+@dataclass(frozen=True)
+class SAssign(Stmt):
+    target: Stmt
+    value: Stmt
+
+    def __str__(self) -> str:
+        return f"({self.target} := {self.value})"
+
+
+@dataclass(frozen=True)
+class SApp(Stmt):
+    func: Stmt
+    arg: Stmt
+
+    def __str__(self) -> str:
+        return f"({self.func} {self.arg})"
+
+
+# ------------------------------------------------------------- typechecking
+
+
+class LambdaChecker:
+    """Γ ⊢ s : τ with the T-QUALCASE template (figure 10)."""
+
+    def __init__(self, quals: QualifierSet):
+        self.quals = quals
+
+    def type_stmt(self, stmt: Stmt, env: Dict[str, LType]) -> LType:
+        if isinstance(stmt, SExpr):
+            return self.type_expr(stmt.expr, env)
+        if isinstance(stmt, SSeq):
+            self.type_stmt(stmt.first, env)
+            return self.type_stmt(stmt.second, env)
+        if isinstance(stmt, SLet):
+            bound = self.type_stmt(stmt.bound, env)
+            if stmt.ascription is not None:
+                if not subtype(bound, stmt.ascription):
+                    raise LambdaTypeError(
+                        f"let {stmt.name}: {bound} is not a subtype of "
+                        f"declared {stmt.ascription}"
+                    )
+                bound = stmt.ascription
+            inner = dict(env)
+            inner[stmt.name] = bound
+            return self.type_stmt(stmt.body, inner)
+        if isinstance(stmt, SRef):
+            inner = self.type_stmt(stmt.operand, env)
+            return TRef(inner=inner)
+        if isinstance(stmt, SAssign):
+            target = self.type_stmt(stmt.target, env)
+            if not isinstance(target, TRef):
+                raise LambdaTypeError(f"assignment to non-ref type {target}")
+            value = self.type_stmt(stmt.value, env)
+            if not subtype(value, target.inner):
+                raise LambdaTypeError(
+                    f"cannot store {value} into ref {target.inner}"
+                )
+            return TUnit()
+        if isinstance(stmt, SApp):
+            fun = self.type_stmt(stmt.func, env)
+            if not isinstance(fun, TFun):
+                raise LambdaTypeError(f"application of non-function {fun}")
+            arg = self.type_stmt(stmt.arg, env)
+            if not subtype(arg, fun.param):
+                raise LambdaTypeError(
+                    f"argument {arg} is not a subtype of {fun.param}"
+                )
+            return fun.result
+        raise LambdaTypeError(f"unknown statement {stmt!r}")
+
+    def type_expr(self, expr: Expr, env: Dict[str, LType]) -> LType:
+        base = self._base_type(expr, env)
+        # T-QUALCASE: add every user-defined qualifier derivable for
+        # this expression (iterate to a fixpoint for mutual recursion).
+        derived = set(base.quals)
+        changed = True
+        while changed:
+            changed = False
+            for qdef in self.quals.value_qualifiers():
+                if qdef.name in derived:
+                    continue
+                if self._qual_applies(qdef, expr, env, derived):
+                    derived.add(qdef.name)
+                    changed = True
+        return base.with_quals(derived)
+
+    def _base_type(self, expr: Expr, env: Dict[str, LType]) -> LType:
+        if isinstance(expr, EConst):
+            return TIntL()
+        if isinstance(expr, EUnit):
+            return TUnit()
+        if isinstance(expr, EVar):
+            if expr.name not in env:
+                raise LambdaTypeError(f"unbound variable {expr.name}")
+            return env[expr.name]
+        if isinstance(expr, ELam):
+            inner = dict(env)
+            inner[expr.param] = expr.param_type
+            result = self.type_stmt(expr.body, inner)
+            return TFun(param=expr.param_type, result=result)
+        if isinstance(expr, EDeref):
+            operand = self.type_expr(expr.operand, env)
+            if not isinstance(operand, TRef):
+                raise LambdaTypeError(f"dereference of non-ref {operand}")
+            return operand.inner
+        if isinstance(expr, ENeg):
+            operand = self.type_expr(expr.operand, env)
+            if not isinstance(operand, TIntL):
+                raise LambdaTypeError(f"negation of non-int {operand}")
+            return TIntL()
+        if isinstance(expr, EBin):
+            left = self.type_expr(expr.left, env)
+            right = self.type_expr(expr.right, env)
+            if not isinstance(left, TIntL) or not isinstance(right, TIntL):
+                raise LambdaTypeError(f"arithmetic on non-ints {left}, {right}")
+            return TIntL()
+        raise LambdaTypeError(f"unknown expression {expr!r}")
+
+    def has_qual(self, expr: Expr, qual: str, env: Dict[str, LType]) -> bool:
+        return qual in self.type_expr(expr, env).quals
+
+    # -- the T-QUALCASE template --------------------------------------
+
+    def _qual_applies(
+        self, qdef: Q.QualifierDef, expr: Expr, env: Dict[str, LType], assumed: set
+    ) -> bool:
+        for clause in qdef.cases:
+            bindings = self._match(qdef, clause, expr)
+            if bindings is None:
+                continue
+            if self._pred_holds(clause.predicate, bindings, env, expr, assumed):
+                return True
+        return False
+
+    def _match(self, qdef, clause, expr: Expr) -> Optional[Dict[str, Expr]]:
+        pattern = clause.pattern
+        decls = {d.name: d for d in clause.decls}
+        decls.setdefault(qdef.var, Q.VarDecl(qdef.var, qdef.dtype, qdef.classifier))
+
+        def classify_ok(name: str, fragment: Expr) -> bool:
+            decl = decls.get(name)
+            if decl is None:
+                return False
+            if decl.classifier is Q.Classifier.CONST:
+                return isinstance(fragment, EConst)
+            return True  # Expr: any expression (the calculus is pure)
+
+        if isinstance(pattern, Q.PVar):
+            if classify_ok(pattern.name, expr):
+                return {pattern.name: expr}
+            return None
+        if isinstance(pattern, Q.PUnop) and pattern.op == "-":
+            if isinstance(expr, ENeg) and classify_ok(pattern.name, expr.operand):
+                return {pattern.name: expr.operand}
+            return None
+        if isinstance(pattern, Q.PBinop):
+            if (
+                isinstance(expr, EBin)
+                and expr.op == pattern.op
+                and classify_ok(pattern.left, expr.left)
+                and classify_ok(pattern.right, expr.right)
+            ):
+                return {pattern.left: expr.left, pattern.right: expr.right}
+            return None
+        # Deref/addr/new patterns have no analogue for pure calculus
+        # expressions.
+        return None
+
+    def _pred_holds(
+        self,
+        pred: Q.Pred,
+        bindings: Dict[str, Expr],
+        env: Dict[str, LType],
+        subject: Expr,
+        assumed: set,
+    ) -> bool:
+        if isinstance(pred, Q.PredTrue):
+            return True
+        if isinstance(pred, Q.PredAnd):
+            return self._pred_holds(pred.left, bindings, env, subject, assumed) and (
+                self._pred_holds(pred.right, bindings, env, subject, assumed)
+            )
+        if isinstance(pred, Q.PredOr):
+            return self._pred_holds(pred.left, bindings, env, subject, assumed) or (
+                self._pred_holds(pred.right, bindings, env, subject, assumed)
+            )
+        if isinstance(pred, Q.PredNot):
+            return not self._pred_holds(pred.operand, bindings, env, subject, assumed)
+        if isinstance(pred, Q.PredQual):
+            fragment = bindings.get(pred.var)
+            if fragment is None:
+                return False
+            if fragment == subject:
+                # A clause like `E1, where pos(E1)` tests a qualifier of
+                # the subject itself; consult the monotone fixpoint set
+                # rather than recursing into the same judgment.
+                return pred.qualifier in assumed
+            return self.has_qual(fragment, pred.qualifier, env)
+        if isinstance(pred, Q.PredCmp):
+            left = self._aexpr(pred.left, bindings)
+            right = self._aexpr(pred.right, bindings)
+            if left is None or right is None:
+                return False
+            return {
+                "==": left == right,
+                "!=": left != right,
+                "<": left < right,
+                ">": left > right,
+                "<=": left <= right,
+                ">=": left >= right,
+            }[pred.op]
+        raise LambdaTypeError(f"unknown predicate {pred!r}")
+
+    def _aexpr(self, aexpr: Q.AExpr, bindings) -> Optional[int]:
+        if isinstance(aexpr, Q.ANum):
+            return aexpr.value
+        if isinstance(aexpr, Q.ANull):
+            return 0
+        if isinstance(aexpr, Q.AVar):
+            fragment = bindings.get(aexpr.name)
+            return fragment.value if isinstance(fragment, EConst) else None
+        if isinstance(aexpr, Q.ABin):
+            left = self._aexpr(aexpr.left, bindings)
+            right = self._aexpr(aexpr.right, bindings)
+            if left is None or right is None:
+                return None
+            if aexpr.op == "/" and right == 0:
+                return None
+            ops = {
+                "+": left + right if right is not None else None,
+                "-": left - right,
+                "*": left * right,
+                "/": left // right if right else None,
+                "%": left % right if right else None,
+            }
+            return ops[aexpr.op]
+        return None
+
+
+def typecheck(
+    stmt: Stmt, quals: QualifierSet, env: Optional[Dict[str, LType]] = None
+) -> LType:
+    return LambdaChecker(quals).type_stmt(stmt, env or {})
+
+
+# --------------------------------------------------------------- evaluation
+
+
+@dataclass
+class VClos:
+    param: str
+    body: Stmt
+    env: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class VLoc:
+    addr: int
+
+
+VUNIT = ("unit",)
+
+
+def evaluate(
+    stmt: Stmt,
+    env: Optional[Dict[str, object]] = None,
+    store: Optional[Dict[int, object]] = None,
+    fuel: int = 100_000,
+) -> Tuple[object, Dict[int, object]]:
+    """Big-step evaluation: <σ, s> → <σ', v>."""
+    store = {} if store is None else store
+    counter = itertools.count(len(store) + 1)
+    budget = [fuel]
+
+    def step_stmt(s: Stmt, e: Dict[str, object]) -> object:
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise LambdaRuntimeError("evaluation fuel exhausted")
+        if isinstance(s, SExpr):
+            return step_expr(s.expr, e)
+        if isinstance(s, SSeq):
+            step_stmt(s.first, e)
+            return step_stmt(s.second, e)
+        if isinstance(s, SLet):
+            bound = step_stmt(s.bound, e)
+            inner = dict(e)
+            inner[s.name] = bound
+            return step_stmt(s.body, inner)
+        if isinstance(s, SRef):
+            value = step_stmt(s.operand, e)
+            addr = next(counter)
+            store[addr] = value
+            return VLoc(addr)
+        if isinstance(s, SAssign):
+            target = step_stmt(s.target, e)
+            value = step_stmt(s.value, e)
+            if not isinstance(target, VLoc):
+                raise LambdaRuntimeError(f"assignment to non-location {target}")
+            store[target.addr] = value
+            return VUNIT
+        if isinstance(s, SApp):
+            fun = step_stmt(s.func, e)
+            arg = step_stmt(s.arg, e)
+            if not isinstance(fun, VClos):
+                raise LambdaRuntimeError(f"application of non-closure {fun}")
+            inner = dict(fun.env)
+            inner[fun.param] = arg
+            return step_stmt(fun.body, inner)
+        raise LambdaRuntimeError(f"unknown statement {s!r}")
+
+    def step_expr(x: Expr, e: Dict[str, object]) -> object:
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise LambdaRuntimeError("evaluation fuel exhausted")
+        if isinstance(x, EConst):
+            return x.value
+        if isinstance(x, EUnit):
+            return VUNIT
+        if isinstance(x, EVar):
+            if x.name not in e:
+                raise LambdaRuntimeError(f"unbound variable {x.name}")
+            return e[x.name]
+        if isinstance(x, ELam):
+            return VClos(x.param, x.body, dict(e))
+        if isinstance(x, EDeref):
+            loc = step_expr(x.operand, e)
+            if not isinstance(loc, VLoc):
+                raise LambdaRuntimeError(f"dereference of non-location {loc}")
+            return store[loc.addr]
+        if isinstance(x, ENeg):
+            return -step_expr(x.operand, e)
+        if isinstance(x, EBin):
+            left = step_expr(x.left, e)
+            right = step_expr(x.right, e)
+            return {"+": left + right, "-": left - right, "*": left * right}[x.op]
+        raise LambdaRuntimeError(f"unknown expression {x!r}")
+
+    value = step_stmt(stmt, env or {})
+    return value, store
+
+
+# -------------------------------------------------------------- conformance
+
+
+def qualifier_invariant_holds(qdef: Q.QualifierDef, value: object) -> bool:
+    """[[q]](v): evaluate a value qualifier's invariant on a value."""
+    if qdef.invariant is None:
+        return True
+
+    def term(t: Q.ITerm):
+        if isinstance(t, Q.IValue):
+            return value
+        if isinstance(t, Q.INum):
+            return t.value
+        if isinstance(t, Q.INull):
+            return 0
+        if isinstance(t, Q.IBin):
+            from repro.semantics.csem import _c_arith
+
+            return _c_arith(t.op, term(t.left), term(t.right))
+        raise LambdaRuntimeError(f"invariant term {t} not evaluable")
+
+    def formula(g: Q.IFormula) -> bool:
+        if isinstance(g, Q.ICmp):
+            left, right = term(g.left), term(g.right)
+            if not isinstance(left, int) or not isinstance(right, int):
+                return False
+            return {
+                "==": left == right,
+                "!=": left != right,
+                "<": left < right,
+                ">": left > right,
+                "<=": left <= right,
+                ">=": left >= right,
+            }[g.op]
+        if isinstance(g, Q.IAnd):
+            return formula(g.left) and formula(g.right)
+        if isinstance(g, Q.IOr):
+            return formula(g.left) or formula(g.right)
+        if isinstance(g, Q.INot):
+            return not formula(g.operand)
+        if isinstance(g, Q.IImplies):
+            return (not formula(g.left)) or formula(g.right)
+        raise LambdaRuntimeError(f"invariant {g} not evaluable")
+
+    return formula(qdef.invariant)
+
+
+def check_conformance(
+    value: object,
+    ltype: LType,
+    store: Dict[int, object],
+    quals: QualifierSet,
+    store_types: Optional[Dict[int, LType]] = None,
+) -> List[str]:
+    """Figure 11: semantic conformance Γ;τ ⊢ <σ, v>.
+
+    Returns a list of violations (empty = conforms).  Q-QUAL checks
+    every qualifier's invariant; Q-REF follows the store."""
+    problems: List[str] = []
+
+    def go(v: object, t: LType, seen: frozenset) -> None:
+        for qname in t.quals:
+            qdef = quals.get(qname)
+            if qdef is not None and qdef.is_value:
+                if not qualifier_invariant_holds(qdef, v):
+                    problems.append(
+                        f"value {v!r} violates invariant of {qname} (type {t})"
+                    )
+        base = t.strip_quals()
+        if isinstance(base, TIntL):
+            if not isinstance(v, int):
+                problems.append(f"expected int, got {v!r}")
+        elif isinstance(base, TUnit):
+            if v != VUNIT:
+                problems.append(f"expected unit, got {v!r}")
+        elif isinstance(base, TFun):
+            if not isinstance(v, VClos):
+                problems.append(f"expected closure, got {v!r}")
+        elif isinstance(base, TRef):
+            if not isinstance(v, VLoc):
+                problems.append(f"expected location, got {v!r}")
+            elif v.addr in seen:
+                return  # cyclic store: already being checked
+            elif v.addr not in store:
+                problems.append(f"dangling location {v.addr}")
+            else:
+                go(store[v.addr], base.inner, seen | {v.addr})
+
+    go(value, ltype, frozenset())
+    if store_types:
+        for addr, cell_type in store_types.items():
+            if addr in store:
+                go(store[addr], cell_type, frozenset({addr}))
+    return problems

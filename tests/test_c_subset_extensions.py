@@ -1,0 +1,285 @@
+"""Tests for the C-subset extensions: typedef, union, switch — and the
+paper's documented union unsoundness (section 3.3)."""
+
+import pytest
+
+from repro.cfront.ctypes import IntType, PointerType, StructType
+from repro.cfront.parser import parse_c
+from repro.cil import ir
+from repro.cil.lower import lower_unit
+from repro.core.checker.typecheck import check_program
+from repro.core.qualifiers.ast import QualifierSet
+from repro.core.qualifiers.library import POS, standard_qualifiers
+from repro.semantics.csem import run_program
+
+NAMES = {"pos", "nonnull"}
+
+
+def compile_c(src):
+    return lower_unit(parse_c(src, qualifier_names=NAMES))
+
+
+def run(src, entry="main", quals=None):
+    return run_program(compile_c(src), quals=quals, entry=entry)
+
+
+# ------------------------------------------------------------------- typedef
+
+
+def test_typedef_basic():
+    unit = parse_c("typedef int word; word w;")
+    assert isinstance(unit.globals[0].ctype, IntType)
+
+
+def test_typedef_pointer():
+    unit = parse_c("typedef int* intp; intp p;")
+    assert isinstance(unit.globals[0].ctype, PointerType)
+
+
+def test_typedef_struct():
+    unit = parse_c(
+        """
+        struct node { int v; };
+        typedef struct node node_t;
+        node_t n;
+        """
+    )
+    assert isinstance(unit.globals[0].ctype, StructType)
+
+
+def test_typedef_with_qualifier():
+    unit = parse_c(
+        "typedef int pos count_t; count_t c;", qualifier_names={"pos"}
+    )
+    assert unit.globals[0].ctype.quals == {"pos"}
+
+
+def test_typedef_in_function_signature_and_body():
+    value, _ = run(
+        """
+        typedef int money;
+        money add(money a, money b) { return a + b; }
+        int main() { money x = 40; return add(x, 2); }
+        """
+    )
+    assert value == 42
+
+
+def test_typedef_checked_like_underlying_type():
+    report = check_program(
+        compile_c(
+            """
+            typedef int pos positive;
+            void f() { positive p = -3; }
+            """
+        ),
+        standard_qualifiers(),
+    )
+    assert not report.ok
+
+
+# --------------------------------------------------------------------- union
+
+
+def test_union_parses_and_runs():
+    value, _ = run(
+        """
+        union cell { int as_int; int* as_ptr; };
+        int main() {
+          union cell c;
+          c.as_int = 42;
+          return c.as_int;
+        }
+        """
+    )
+    assert value == 42
+
+
+def test_union_members_overlay():
+    value, _ = run(
+        """
+        union cell { int a; int b; };
+        int main() {
+          union cell c;
+          c.a = 10;
+          c.b = 32;
+          return c.a + c.b;   /* both read 32: same storage */
+        }
+        """
+    )
+    assert value == 64
+
+
+def test_union_sizeof_is_max():
+    value, _ = run(
+        """
+        struct big { int x; int y; int z; };
+        union u { int small; struct big large; };
+        int main() { return sizeof(union u); }
+        """
+    )
+    assert value == 3
+
+
+def test_union_qualifier_checking_is_unsound_as_documented():
+    """Section 3.3: 'Fields of unions may also be given qualified types,
+    but the usual unsoundness for C unions makes our qualifier checking
+    in this case unsound as well.'  The checker accepts this program,
+    and at run time the pos invariant is silently violated."""
+    src = """
+    union pun { int plain; int pos positive; };
+    int main() {
+      union pun u;
+      u.plain = -5;        /* fine: plain int */
+      return u.positive;   /* reads -5 through the pos-qualified member */
+    }
+    """
+    report = check_program(compile_c(src), standard_qualifiers())
+    assert report.ok  # the documented unsoundness: no warning
+    value, _ = run(src)
+    assert value == -5  # and the invariant is indeed violated silently
+
+
+# -------------------------------------------------------------------- switch
+
+
+def test_switch_basic():
+    src = """
+    int classify(int n) {
+      switch (n) {
+        case 0: return 100;
+        case 1: return 200;
+        default: return 300;
+      }
+    }
+    int main() { return classify(%d); }
+    """
+    assert run(src % 0)[0] == 100
+    assert run(src % 1)[0] == 200
+    assert run(src % 9)[0] == 300
+
+
+def test_switch_with_breaks():
+    value, _ = run(
+        """
+        int main() {
+          int r = 0;
+          switch (2) {
+            case 1: r = 10; break;
+            case 2: r = 20; break;
+            case 3: r = 30; break;
+          }
+          return r;
+        }
+        """
+    )
+    assert value == 20
+
+
+def test_switch_fallthrough():
+    value, _ = run(
+        """
+        int main() {
+          int r = 0;
+          switch (1) {
+            case 1: r = r + 1;   /* falls through */
+            case 2: r = r + 2; break;
+            case 3: r = r + 100; break;
+          }
+          return r;
+        }
+        """
+    )
+    assert value == 3
+
+
+def test_switch_no_match_no_default():
+    value, _ = run(
+        """
+        int main() {
+          int r = 7;
+          switch (99) { case 1: r = 0; break; }
+          return r;
+        }
+        """
+    )
+    assert value == 7
+
+
+def test_switch_default_position_independent():
+    value, _ = run(
+        """
+        int main() {
+          int r = 0;
+          switch (42) {
+            default: r = 5; break;
+            case 1: r = 1; break;
+          }
+          return r;
+        }
+        """
+    )
+    assert value == 5
+
+
+def test_switch_char_labels():
+    value, _ = run(
+        """
+        int main() {
+          int c = 'b';
+          switch (c) {
+            case 'a': return 1;
+            case 'b': return 2;
+          }
+          return 0;
+        }
+        """
+    )
+    assert value == 2
+
+
+def test_switch_negative_labels():
+    value, _ = run(
+        """
+        int main() {
+          switch (-2) {
+            case -2: return 22;
+            default: return 0;
+          }
+        }
+        """
+    )
+    assert value == 22
+
+
+def test_switch_scrutinee_side_effects_once():
+    value, _ = run(
+        """
+        int counter = 0;
+        int tick(void) { counter = counter + 1; return counter; }
+        int main() {
+          switch (tick()) {
+            case 1: break;
+            case 2: break;
+          }
+          return counter;
+        }
+        """
+    )
+    assert value == 1
+
+
+def test_switch_qualifier_checking_inside_cases():
+    report = check_program(
+        compile_c(
+            """
+            void f(int n) {
+              switch (n) {
+                case 1: { int pos p = -1; break; }
+              }
+            }
+            """
+        ),
+        QualifierSet([POS]),
+    )
+    assert not report.ok

@@ -1,0 +1,67 @@
+"""Unit tests for the C lexer."""
+
+import pytest
+
+from repro.cfront.lexer import LexError, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src) if t.kind != "eof"]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src) if t.kind != "eof"]
+
+
+def test_identifiers_and_ints():
+    toks = tokenize("foo bar_2 42 0x1F 010")
+    assert [t.kind for t in toks[:-1]] == ["id", "id", "int", "int", "int"]
+    assert toks[2].int_value == 42
+    assert toks[3].int_value == 31
+    assert toks[4].int_value == 8
+
+
+def test_integer_suffixes_are_swallowed():
+    toks = tokenize("42UL 7l")
+    assert toks[0].int_value == 42
+    assert toks[1].int_value == 7
+
+
+def test_string_and_char_literals():
+    toks = tokenize('"hello\\n" \'a\' \'\\n\'')
+    assert toks[0].string_value == "hello\n"
+    assert toks[1].char_value == ord("a")
+    assert toks[2].char_value == ord("\n")
+
+
+def test_multichar_punct_longest_match():
+    assert texts("a <<= b >> c != d -> e") == ["a", "<<=", "b", ">>", "c", "!=", "d", "->", "e"]
+
+
+def test_comments_are_skipped():
+    assert texts("a /* hi\nthere */ b // tail\nc") == ["a", "b", "c"]
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_unterminated_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_ellipsis_token():
+    assert texts("f(int, ...)") == ["f", "(", "int", ",", "...", ")"]

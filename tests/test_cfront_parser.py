@@ -1,0 +1,260 @@
+"""Unit tests for the C parser."""
+
+import pytest
+
+from repro.cfront import ast as A
+from repro.cfront.ctypes import (
+    ArrayType,
+    IntType,
+    PointerType,
+    StructType,
+    VoidType,
+)
+from repro.cfront.parser import ParseError, parse_c
+
+
+def test_global_decl():
+    unit = parse_c("int x = 3;")
+    assert len(unit.globals) == 1
+    g = unit.globals[0]
+    assert g.name == "x"
+    assert isinstance(g.ctype, IntType)
+    assert isinstance(g.init, A.IntLit) and g.init.value == 3
+
+
+def test_function_definition_and_prototype():
+    unit = parse_c(
+        """
+        int gcd(int n, int m);
+        int lcm(int a, int b) { return a * b; }
+        """
+    )
+    assert unit.function("gcd").is_prototype
+    lcm = unit.function("lcm")
+    assert not lcm.is_prototype
+    assert [p.name for p in lcm.params] == ["a", "b"]
+
+
+def test_varargs_prototype():
+    unit = parse_c("int printf(char* fmt, ...);")
+    f = unit.function("printf")
+    assert f.varargs
+    assert isinstance(f.params[0].ctype, PointerType)
+
+
+def test_qualifier_attribute_syntax():
+    unit = parse_c("int __attribute__((pos)) x;")
+    assert unit.globals[0].ctype.quals == {"pos"}
+
+
+def test_qualifier_macro_via_preprocessor():
+    unit = parse_c(
+        """
+        #define pos __attribute__((pos))
+        int pos x;
+        """
+    )
+    assert unit.globals[0].ctype.quals == {"pos"}
+
+
+def test_registered_qualifier_names():
+    unit = parse_c("int pos x;", qualifier_names={"pos"})
+    assert unit.globals[0].ctype.quals == {"pos"}
+
+
+def test_postfix_qualifier_under_pointer():
+    # int pos * : pointer to positive int.
+    unit = parse_c("int pos * p;", qualifier_names={"pos"})
+    t = unit.globals[0].ctype
+    assert isinstance(t, PointerType)
+    assert t.pointee.quals == {"pos"}
+    assert t.quals == frozenset()
+
+
+def test_postfix_qualifier_on_pointer():
+    # int* unique : unique pointer to int.
+    unit = parse_c("int* unique p;", qualifier_names={"unique"})
+    t = unit.globals[0].ctype
+    assert isinstance(t, PointerType)
+    assert t.quals == {"unique"}
+
+
+def test_multiple_qualifiers_order_irrelevant():
+    a = parse_c("int pos nonzero x;", qualifier_names={"pos", "nonzero"})
+    b = parse_c("int nonzero pos x;", qualifier_names={"pos", "nonzero"})
+    assert a.globals[0].ctype == b.globals[0].ctype
+    assert a.globals[0].ctype.quals == {"pos", "nonzero"}
+
+
+def test_struct_definition_with_qualified_field():
+    unit = parse_c(
+        """
+        struct dfa_state {
+          int index;
+          char* nonnull name;
+          struct dfa_state* next;
+        };
+        """,
+        qualifier_names={"nonnull"},
+    )
+    s = unit.struct("dfa_state")
+    assert [f[0] for f in s.fields] == ["index", "name", "next"]
+    assert s.fields[1][1].quals == {"nonnull"}
+    assert isinstance(s.fields[2][1], PointerType)
+    assert isinstance(s.fields[2][1].pointee, StructType)
+
+
+def test_array_declarations():
+    unit = parse_c("int buf[16]; int open_ended[];")
+    assert isinstance(unit.globals[0].ctype, ArrayType)
+    assert unit.globals[0].ctype.size == 16
+    assert unit.globals[1].ctype.size is None
+
+
+def test_control_flow_statements():
+    unit = parse_c(
+        """
+        void f(int n) {
+          int i;
+          for (i = 0; i < n; i++) {
+            if (i == 3) continue;
+            if (i == 5) break;
+          }
+          while (n > 0) { n--; }
+          do { n++; } while (n < 10);
+          return;
+        }
+        """
+    )
+    body = unit.function("f").body
+    assert any(isinstance(s, A.For) for s in body.stmts)
+    assert any(isinstance(s, A.While) for s in body.stmts)
+    assert any(isinstance(s, A.DoWhile) for s in body.stmts)
+
+
+def test_assignment_in_condition():
+    # The grep idiom quoted in the paper.
+    unit = parse_c(
+        """
+        void f(int* t, int* d) {
+          if ((t = d) != 0) { t = 0; }
+        }
+        """
+    )
+    stmt = unit.function("f").body.stmts[0]
+    assert isinstance(stmt, A.If)
+    assert isinstance(stmt.cond, A.Binary)
+    assert isinstance(stmt.cond.left, A.Assign)
+
+
+def test_cast_expression():
+    unit = parse_c("void f() { int x; x = (int)3; }")
+    assign = unit.function("f").body.stmts[1].expr
+    assert isinstance(assign.value, A.Cast)
+    assert isinstance(assign.value.to_type, IntType)
+
+
+def test_cast_to_qualified_type():
+    unit = parse_c(
+        "void f() { int x; x = (int pos)(3); }", qualifier_names={"pos"}
+    )
+    assign = unit.function("f").body.stmts[1].expr
+    assert assign.value.to_type.quals == {"pos"}
+
+
+def test_member_access_and_arrow():
+    unit = parse_c(
+        """
+        struct point { int x; int y; };
+        int get(struct point* p) { return p->x + (*p).y; }
+        """
+    )
+    ret = unit.function("get").body.stmts[0]
+    assert isinstance(ret.value, A.Binary)
+    assert isinstance(ret.value.left, A.Member) and ret.value.left.arrow
+    assert isinstance(ret.value.right, A.Member) and not ret.value.right.arrow
+
+
+def test_call_with_args():
+    unit = parse_c("void f() { g(1, 2 + 3); }", qualifier_names=set())
+    call = unit.function("f").body.stmts[0].expr
+    assert isinstance(call, A.Call)
+    assert call.func == "g" and len(call.args) == 2
+
+
+def test_sizeof_type_and_expr():
+    unit = parse_c("void f(int n) { n = sizeof(int) + sizeof(n); }")
+    assign = unit.function("f").body.stmts[0].expr
+    assert isinstance(assign.value.left, A.SizeofType)
+    assert isinstance(assign.value.right, A.SizeofType)
+
+
+def test_conditional_expression():
+    unit = parse_c("void f(int a) { a = a > 0 ? a : -a; }")
+    assign = unit.function("f").body.stmts[0].expr
+    assert isinstance(assign.value, A.Conditional)
+
+
+def test_malloc_call_parses():
+    unit = parse_c(
+        "void f(int n) { int* p; p = (int*)malloc(sizeof(int) * n); }"
+    )
+    assign = unit.function("f").body.stmts[1].expr
+    assert isinstance(assign.value, A.Cast)
+    assert isinstance(assign.value.operand, A.Call)
+    assert assign.value.operand.func == "malloc"
+
+
+def test_string_literal_concatenation():
+    unit = parse_c('char* s = "a" "b";')
+    assert unit.globals[0].init.value == "ab"
+
+
+def test_parse_error_reports_location():
+    with pytest.raises(ParseError) as info:
+        parse_c("int x = ;")
+    assert "line 1" in str(info.value)
+
+
+def test_compound_assignment_and_incdec():
+    unit = parse_c("void f(int x) { x += 2; x--; ++x; }")
+    stmts = unit.function("f").body.stmts
+    assert isinstance(stmts[0].expr, A.Assign) and stmts[0].expr.op == "+="
+    assert isinstance(stmts[1].expr, A.IncDec) and not stmts[1].expr.prefix
+    assert isinstance(stmts[2].expr, A.IncDec) and stmts[2].expr.prefix
+
+
+def test_ifdef_handling():
+    unit = parse_c(
+        """
+        #define FEATURE
+        #ifdef FEATURE
+        int x;
+        #else
+        int y;
+        #endif
+        #ifndef FEATURE
+        int z;
+        #endif
+        """
+    )
+    assert [g.name for g in unit.globals] == ["x"]
+
+
+def test_multi_declarator_statement():
+    unit = parse_c("void f() { int a = 1, b = 2; a = b; }")
+    body = unit.function("f").body
+    block = body.stmts[0]
+    assert isinstance(block, A.Block)
+    assert [d.name for d in block.stmts] == ["a", "b"]
+
+
+def test_void_param_list():
+    unit = parse_c("int f(void) { return 0; }")
+    assert unit.function("f").params == []
+
+
+def test_unsigned_and_long_kinds():
+    unit = parse_c("unsigned int a; long b; unsigned long c; short d;")
+    kinds = [g.ctype.kind for g in unit.globals]
+    assert kinds == ["unsigned int", "long", "unsigned long", "short"]

@@ -1,0 +1,298 @@
+"""Extensible-typechecker tests for value qualifiers.
+
+Uses the paper's running examples: figure 2 (lcm with pos), section
+2.1.1/2.1.2 snippets, figure 3 (nonzero / division), and figure 12
+(nonnull).
+"""
+
+import pytest
+
+from repro.cfront.parser import parse_c
+from repro.cil.lower import lower_unit
+from repro.core.checker.typecheck import check_program
+from repro.core.qualifiers.library import standard_qualifiers
+
+QUALS = standard_qualifiers()
+QUAL_NAMES = {"pos", "neg", "nonzero", "nonnull", "tainted", "untainted",
+              "unique", "unaliased"}
+
+
+def check(src):
+    unit = parse_c(src, qualifier_names=QUAL_NAMES)
+    program = lower_unit(unit)
+    return check_program(program, QUALS)
+
+
+# ----------------------------------------------------------------- figure 2
+
+
+FIGURE2 = """
+int pos gcd(int pos n, int pos m);
+
+int pos lcm(int pos a, int pos b) {
+  int pos d = gcd(a, b);
+  int pos prod = a * b;
+  return (int pos) (prod / d);
+}
+"""
+
+
+def test_figure2_lcm_typechecks_with_cast():
+    report = check(FIGURE2)
+    assert report.ok, report.summary()
+    # The cast inserts exactly one runtime check for pos.
+    assert [c.qualifier for c in report.runtime_checks] == ["pos"]
+
+
+def test_figure2_without_cast_fails():
+    src = FIGURE2.replace("(int pos) (prod / d)", "prod / d")
+    report = check(src)
+    assert not report.ok
+    assert report.errors_for("pos")
+    assert any(d.kind == "return" for d in report.diagnostics)
+
+
+def test_product_of_pos_is_pos():
+    report = check(
+        """
+        void f(int pos a, int pos b) {
+          int pos p = a * b;
+        }
+        """
+    )
+    assert report.ok, report.summary()
+
+
+def test_sum_of_pos_is_not_pos():
+    # pos has no rule for +; the checker must reject.
+    report = check(
+        """
+        void f(int pos a, int pos b) {
+          int pos p = a + b;
+        }
+        """
+    )
+    assert not report.ok
+
+
+def test_positive_constant_is_pos():
+    report = check("void f() { int pos x = 3; }")
+    assert report.ok, report.summary()
+
+
+def test_nonpositive_constant_rejected():
+    report = check("void f() { int pos x = 0; }")
+    assert not report.ok
+
+
+def test_negation_of_neg_is_pos():
+    report = check(
+        """
+        void f(int neg n) {
+          int pos p = -n;
+        }
+        """
+    )
+    assert report.ok, report.summary()
+
+
+def test_mutual_recursion_pos_neg():
+    # -(-5) requires neg(-5), which requires pos(5).
+    report = check("void f() { int pos x = - - 5; }")
+    # - -5 lowers to UnOp('-', UnOp('-', 5)); neg(-5) via neg's -E1 rule
+    # needs pos(5), true by constant rule.
+    assert report.ok, report.summary()
+
+
+def test_call_result_uses_declared_signature():
+    report = check(
+        """
+        int pos gcd(int pos n, int pos m);
+        void f(int pos a) {
+          int pos d = gcd(a, a);
+          int plain = gcd(a, a);
+        }
+        """
+    )
+    assert report.ok, report.summary()
+
+
+def test_call_argument_requires_qualifier():
+    report = check(
+        """
+        int pos gcd(int pos n, int pos m);
+        void f(int x) { int d = gcd(x, 3); }
+        """
+    )
+    assert not report.ok
+    assert any(d.kind == "call" for d in report.diagnostics)
+
+
+# -------------------------------------------------------------- subtyping
+
+
+def test_value_qualified_is_subtype_of_unqualified():
+    report = check(
+        """
+        void f() {
+          int pos x = 3;
+          int y = x;
+        }
+        """
+    )
+    assert report.ok, report.summary()
+
+
+def test_no_subtyping_under_pointers():
+    # The unsound example from section 2.1.2 must be rejected.
+    report = check(
+        """
+        void f() {
+          int pos x = 3;
+          int* p = &x;
+        }
+        """
+    )
+    assert not report.ok
+    assert any("nested qualifiers" in d.message for d in report.diagnostics)
+
+
+def test_pointer_with_matching_nested_quals_ok():
+    report = check(
+        """
+        void f() {
+          int pos x = 3;
+          int pos * p = &x;
+        }
+        """
+    )
+    assert report.ok, report.summary()
+
+
+def test_multiple_qualifiers_order_irrelevant():
+    report = check(
+        """
+        void f(int pos nonzero a, int nonzero pos b) {
+          int pos nonzero c = a;
+          int nonzero pos d = b;
+          c = d;
+        }
+        """
+    )
+    assert report.ok, report.summary()
+
+
+# ---------------------------------------------------------------- nonzero
+
+
+def test_division_requires_nonzero_denominator():
+    report = check("void f(int a, int b) { int c = a / b; }")
+    assert not report.ok
+    assert any(d.kind == "restrict" for d in report.diagnostics)
+
+
+def test_division_by_pos_ok_via_subsumption():
+    # pos => nonzero via nonzero's second case clause (figure 3).
+    report = check("void f(int a, int pos b) { int c = a / b; }")
+    assert report.ok, report.summary()
+
+
+def test_division_by_nonzero_constant_ok():
+    report = check("void f(int a) { int c = a / 2; }")
+    assert report.ok, report.summary()
+
+
+def test_division_by_zero_constant_rejected():
+    report = check("void f(int a) { int c = a / 0; }")
+    assert not report.ok
+
+
+def test_product_of_nonzero_is_nonzero():
+    report = check(
+        "void f(int nonzero a, int nonzero b) { int c = 1 / (a * b); }"
+    )
+    assert report.ok, report.summary()
+
+
+def test_nonzero_cast_adds_runtime_check():
+    report = check("void f(int a) { int c = a / (int nonzero)a; }")
+    assert report.ok, report.summary()
+    assert any(c.qualifier == "nonzero" for c in report.runtime_checks)
+
+
+# ---------------------------------------------------------------- nonnull
+
+
+def test_deref_requires_nonnull():
+    report = check("void f(int* p) { int x = *p; }")
+    assert not report.ok
+    assert report.errors_for("nonnull")
+
+
+def test_deref_of_nonnull_ok():
+    report = check("void f(int* nonnull p) { int x = *p; }")
+    assert report.ok, report.summary()
+
+
+def test_address_of_is_nonnull():
+    report = check(
+        """
+        void f() {
+          int x;
+          int* nonnull p = &x;
+          int y = *p;
+        }
+        """
+    )
+    assert report.ok, report.summary()
+
+
+def test_write_through_pointer_also_checked():
+    report = check("void f(int* p) { *p = 3; }")
+    assert not report.ok
+    assert report.errors_for("nonnull")
+
+
+def test_field_deref_checked():
+    report = check(
+        """
+        struct node { int v; };
+        int get(struct node* p) { return p->v; }
+        """
+    )
+    assert not report.ok
+
+
+def test_null_assignment_to_nonnull_rejected():
+    report = check("void f(int* nonnull p) { p = NULL; }")
+    assert not report.ok
+
+
+def test_nonnull_cast_accepted_with_runtime_check():
+    report = check(
+        """
+        void f(int* p) {
+          int* nonnull q = (int* nonnull)p;
+          int x = *q;
+        }
+        """
+    )
+    assert report.ok, report.summary()
+    assert any(c.qualifier == "nonnull" for c in report.runtime_checks)
+
+
+def test_array_index_through_pointer_checked_once_for_base():
+    # p[i] is *(p+i); the logical memory model gives p+i the type of p,
+    # so a nonnull p suffices.
+    report = check("void f(int* nonnull p, int i) { int x = p[i]; }")
+    assert report.ok, report.summary()
+
+
+# ------------------------------------------------------------- conditionals
+
+
+def test_conditional_requires_both_branches():
+    ok = check("void f(int pos a, int pos b, int c) { int pos m = c ? a : b; }")
+    assert ok.ok, ok.summary()
+    bad = check("void f(int pos a, int c) { int pos m = c ? a : 0; }")
+    assert not bad.ok

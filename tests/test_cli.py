@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def lcm_file(tmp_path):
+    path = tmp_path / "lcm.c"
+    path.write_text(
+        """
+        int pos gcd(int pos n, int pos m);
+        int pos lcm(int pos a, int pos b) {
+          int pos d = gcd(a, b);
+          int pos prod = a * b;
+          return (int pos) (prod / d);
+        }
+        """
+    )
+    return str(path)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.c"
+    path.write_text("void f() { int pos x = -1; }")
+    return str(path)
+
+
+def test_check_clean(lcm_file, capsys):
+    assert main(["check", lcm_file]) == 0
+    out = capsys.readouterr().out
+    assert "0 qualifier warning(s)" in out
+    assert "runtime check(s)" in out
+
+
+def test_check_reports_errors(bad_file, capsys):
+    assert main(["check", bad_file]) == 1
+    out = capsys.readouterr().out
+    assert "pos" in out
+
+
+def test_check_flow_sensitive_flag(tmp_path, capsys):
+    path = tmp_path / "guarded.c"
+    path.write_text(
+        "int f(int* p) { int x = 0; if (p != NULL) { x = *p; } return x; }"
+    )
+    assert main(["check", str(path)]) == 1
+    assert main(["check", str(path), "--flow-sensitive"]) == 0
+
+
+def test_prove_good_qualifier(tmp_path, capsys):
+    path = tmp_path / "even.qual"
+    path.write_text(
+        """
+        value qualifier even2(int Expr E)
+          case E of
+            decl int Const C:
+              C, where C % 2 == 0
+          invariant value(E) % 2 == 0
+        """
+    )
+    assert main(["prove", str(path)]) == 0
+    assert "SOUND" in capsys.readouterr().out
+
+
+def test_prove_bad_qualifier(tmp_path, capsys):
+    path = tmp_path / "bad.qual"
+    path.write_text(
+        """
+        value qualifier sketchy(int Expr E)
+          case E of
+            decl int Const C:
+              C, where C >= 0
+          invariant value(E) > 0
+        """
+    )
+    assert main(["prove", str(path)]) == 1
+    assert "POTENTIALLY UNSOUND" in capsys.readouterr().out
+
+
+def test_run_program(tmp_path, capsys):
+    path = tmp_path / "hello.c"
+    path.write_text(
+        """
+        int printf(char* fmt, ...);
+        int main() { printf("hi %d\\n", 42); return 7; }
+        """
+    )
+    assert main(["run", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "hi 42" in out and "[exit value: 7]" in out
+
+
+def test_run_traps_violation(tmp_path, capsys):
+    path = tmp_path / "boom.c"
+    path.write_text("int main() { int x = -3; int pos y = (int pos)x; return y; }")
+    assert main(["run", str(path)]) == 2
+    assert "runtime check failed" in capsys.readouterr().err
+
+
+def test_show_ir(lcm_file, capsys):
+    assert main(["show-ir", lcm_file]) == 0
+    out = capsys.readouterr().out
+    assert "lcm" in out and "int pos" in out
+
+
+def test_infer(tmp_path, capsys):
+    path = tmp_path / "m.c"
+    path.write_text("int f(void) { int a = 2; int b = a * a; return b; }")
+    assert main(["infer", str(path), "--qualifier", "pos"]) == 0
+    out = capsys.readouterr().out
+    assert "inferred" in out
+
+
+def test_custom_qualifier_file_used_by_check(tmp_path, capsys):
+    qual = tmp_path / "defs.qual"
+    qual.write_text(
+        """
+        value qualifier even2(int Expr E)
+          case E of
+            decl int Const C:
+              C, where C % 2 == 0
+          invariant value(E) % 2 == 0
+        """
+    )
+    good = tmp_path / "good.c"
+    good.write_text("void f() { int even2 x = 4; }")
+    bad = tmp_path / "bad.c"
+    bad.write_text("void f() { int even2 x = 3; }")
+    assert main(["check", str(good), "--quals", str(qual)]) == 0
+    assert main(["check", str(bad), "--quals", str(qual)]) == 1
+
+
+def test_missing_file_is_an_error(capsys):
+    assert main(["check", "/nonexistent/nowhere.c"]) == 2
+
+
+def test_parse_error_is_reported(tmp_path, capsys):
+    path = tmp_path / "syntax.c"
+    path.write_text("int f( { }")
+    assert main(["check", str(path)]) == 2
+    assert "error" in capsys.readouterr().err

@@ -1,0 +1,238 @@
+"""Unit and property tests for NNF/skolemization/Tseitin and the DPLL
+SAT core."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prover import sat
+from repro.prover.cnf import (
+    ClauseDb,
+    QuantAtom,
+    assert_formula,
+    encode,
+    nnf,
+    skolemize,
+)
+from repro.prover.terms import (
+    And,
+    Eq,
+    Exists,
+    FALSE,
+    ForAll,
+    Iff,
+    Implies,
+    Int,
+    Not,
+    Or,
+    Pr,
+    TRUE,
+    TApp,
+    TVar,
+    fn,
+    free_vars,
+)
+
+p, q, r = Pr("p", ()), Pr("q", ()), Pr("r", ())
+a = fn("a")
+x = TVar("x")
+
+
+# ----------------------------------------------------------------------- NNF
+
+
+def test_nnf_double_negation():
+    assert nnf(Not(Not(p))) == p
+
+
+def test_nnf_de_morgan():
+    f = nnf(Not(And(p, q)))
+    assert isinstance(f, Or)
+    assert set(f.disjuncts) == {Not(p), Not(q)}
+
+
+def test_nnf_implication():
+    f = nnf(Implies(p, q))
+    assert isinstance(f, Or)
+    assert set(f.disjuncts) == {Not(p), q}
+
+
+def test_nnf_iff_expands():
+    f = nnf(Iff(p, q))
+    assert isinstance(f, And)
+
+
+def test_nnf_negated_forall_is_exists():
+    f = nnf(Not(ForAll(("x",), Pr("P", (x,)))))
+    assert isinstance(f, Exists)
+    assert f.body == Not(Pr("P", (x,)))
+
+
+def test_nnf_negated_exists_is_forall():
+    f = nnf(Not(Exists(("x",), Pr("P", (x,)))))
+    assert isinstance(f, ForAll)
+
+
+# -------------------------------------------------------------- skolemization
+
+
+def test_skolemize_top_level_exists_becomes_constant():
+    f = skolemize(nnf(Exists(("x",), Pr("P", (x,)))))
+    assert isinstance(f, Pr)
+    (arg,) = f.args
+    assert isinstance(arg, TApp) and not arg.args  # a fresh constant
+
+
+def test_skolemize_under_forall_becomes_function():
+    f = skolemize(
+        nnf(ForAll(("x",), Exists(("y",), Pr("R", (x, TVar("y"))))))
+    )
+    assert isinstance(f, ForAll)
+    body = f.body
+    assert isinstance(body, Pr)
+    witness = body.args[1]
+    assert isinstance(witness, TApp)
+    assert witness.args == (TVar("x"),)  # depends on the universal
+
+
+def test_skolemized_formula_has_no_free_new_vars():
+    f = skolemize(nnf(Exists(("x", "y"), Eq(TVar("x"), TVar("y")))))
+    assert free_vars(f) == frozenset()
+
+
+# --------------------------------------------------------------------- encode
+
+
+def _models(db):
+    """All boolean assignments over the db's variables that satisfy its
+    clauses (brute force; for small encodings only)."""
+    variables = sorted({abs(l) for c in db.clauses for l in c})
+    out = []
+    for bits in product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause)
+            for clause in db.clauses
+        ):
+            out.append(assignment)
+    return out
+
+
+def test_encode_atom_shares_variables():
+    db = ClauseDb()
+    l1 = encode(db, Eq(a, Int(0)))
+    l2 = encode(db, Eq(Int(0), a))  # symmetric form shares the variable
+    assert l1 == l2
+
+
+def test_tseitin_and_is_equisatisfiable():
+    db = ClauseDb()
+    root = encode(db, And(p, q))
+    db.add_clause([root])
+    vp, vq = db.var_of_atom[p], db.var_of_atom[q]
+    models = _models(db)
+    assert models
+    assert all(m[vp] and m[vq] for m in models)
+
+
+def test_tseitin_or_requires_one():
+    db = ClauseDb()
+    root = encode(db, Or(p, q))
+    db.add_clause([root])
+    vp, vq = db.var_of_atom[p], db.var_of_atom[q]
+    assert all(m[vp] or m[vq] for m in _models(db))
+
+
+def test_true_false_constants():
+    db = ClauseDb()
+    assert_formula(db, TRUE)
+    assert sat.solve(db.clauses, db.num_vars) is not None
+    db2 = ClauseDb()
+    assert_formula(db2, FALSE)
+    assert sat.solve(db2.clauses, db2.num_vars) is None
+
+
+def test_forall_becomes_quant_atom():
+    db = ClauseDb()
+    assert_formula(db, ForAll(("x",), Pr("P", (x,))))
+    quants = list(db.quant_atoms())
+    assert len(quants) == 1
+    _, atom = quants[0]
+    assert isinstance(atom, QuantAtom)
+    assert atom.vars == ("x",)
+
+
+def test_tautology_clauses_dropped():
+    db = ClauseDb()
+    db.add_clause([1, -1, 2])
+    assert db.clauses == []
+
+
+# ------------------------------------------------------------------ SAT core
+
+
+def test_sat_empty():
+    assert sat.solve([], 0) == {}
+
+
+def test_sat_unit_propagation():
+    model = sat.solve([(1,), (-1, 2), (-2, 3)], 3)
+    assert model == {1: True, 2: True, 3: True}
+
+
+def test_sat_conflict():
+    assert sat.solve([(1,), (-1,)], 1) is None
+
+
+def test_sat_backtracking():
+    # Force a wrong first decision to be undone.
+    clauses = [(1, 2), (-1, 2), (1, -2), (-1, -2)]
+    assert sat.solve(clauses, 2) is None
+
+
+def test_sat_pigeonhole_2_into_1():
+    # p1 and p2 both in hole 1, but not together: unsat.
+    clauses = [(1,), (2,), (-1, -2)]
+    assert sat.solve(clauses, 2) is None
+
+
+@st.composite
+def random_cnf(draw):
+    n_vars = draw(st.integers(1, 5))
+    n_clauses = draw(st.integers(1, 10))
+    clauses = []
+    for _ in range(n_clauses):
+        width = draw(st.integers(1, 3))
+        clause = tuple(
+            draw(st.integers(1, n_vars)) * draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        )
+        clauses.append(clause)
+    return n_vars, clauses
+
+
+def _brute_sat(n_vars, clauses):
+    for bits in product([False, True], repeat=n_vars):
+        assignment = {i + 1: bits[i] for i in range(n_vars)}
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+@settings(max_examples=200, deadline=None)
+@given(random_cnf())
+def test_sat_agrees_with_brute_force(case):
+    n_vars, clauses = case
+    model = sat.solve(list(clauses), n_vars)
+    expected = _brute_sat(n_vars, clauses)
+    assert (model is not None) == expected
+    if model is not None:
+        # The returned model really satisfies every clause.
+        assert all(
+            any(model.get(abs(l), False) == (l > 0) for l in clause)
+            for clause in clauses
+        )

@@ -1,0 +1,38 @@
+"""Tests for countermodel reporting on failed obligations."""
+
+from repro.core.qualifiers.library import POS_SOURCE, standard_qualifiers
+from repro.core.qualifiers.parser import parse_qualifier
+from repro.core.soundness.checker import check_soundness
+
+QUALS = standard_qualifiers()
+
+
+def test_mutated_pos_countermodel_names_the_gap():
+    bad = parse_qualifier(POS_SOURCE.replace("E1 * E2", "E1 - E2"))
+    report = check_soundness(bad, QUALS, time_limit=20)
+    failure = report.failures[0]
+    explanation = failure.explain_failure()
+    # The scenario must say: both operands positive, difference not.
+    assert "0 < evalExpr" in explanation
+    assert "binop_subE" in explanation
+    assert "¬(0 < evalExpr" in explanation
+
+
+def test_wrong_invariant_countermodel():
+    bad = parse_qualifier(POS_SOURCE.replace("value(E) > 0", "value(E) > 1"))
+    report = check_soundness(bad, QUALS, time_limit=20)
+    assert not report.sound
+    # The constant clause C > 0 cannot establish value > 1; the
+    # countermodel exhibits the boundary constant.
+    failing = [f for f in report.failures if "Const" in f.obligation.rule]
+    assert failing
+    assert "scenario" in failing[0].explain_failure()
+
+
+def test_proved_obligation_has_no_countermodel():
+    from repro.core.qualifiers.library import POS
+
+    report = check_soundness(POS, QUALS, time_limit=20)
+    for result in report.results:
+        assert result.proved
+        assert "nothing to explain" in result.explain_failure()

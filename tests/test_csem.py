@@ -1,0 +1,292 @@
+"""Tests for the CIL interpreter and run-time qualifier checks."""
+
+import pytest
+
+from repro.cfront.parser import parse_c
+from repro.cil.lower import lower_unit
+from repro.core.checker.instrument import instrument_program
+from repro.core.qualifiers.library import standard_qualifiers
+from repro.semantics.csem import (
+    CInterpreter,
+    CRuntimeError,
+    FormatStringError,
+    NullDereference,
+    QualifierViolation,
+    run_program,
+)
+
+QUALS = standard_qualifiers()
+QUAL_NAMES = {"pos", "neg", "nonzero", "nonnull", "tainted", "untainted",
+              "unique", "unaliased"}
+
+
+def compile_c(src):
+    return lower_unit(parse_c(src, qualifier_names=QUAL_NAMES))
+
+
+def run(src, entry="main", args=(), quals=QUALS):
+    return run_program(compile_c(src), quals=quals, entry=entry, args=args)
+
+
+def test_arithmetic():
+    value, _ = run("int main() { return 2 * 3 + 10 / 2 - 1; }")
+    assert value == 10
+
+
+def test_c_division_truncates_toward_zero():
+    value, _ = run("int main() { return -7 / 2; }")
+    assert value == -3
+
+
+def test_locals_and_loops():
+    value, _ = run(
+        """
+        int main() {
+          int total = 0;
+          int i;
+          for (i = 1; i <= 10; i++) total += i;
+          return total;
+        }
+        """
+    )
+    assert value == 55
+
+
+def test_while_with_break_continue():
+    value, _ = run(
+        """
+        int main() {
+          int n = 0; int i = 0;
+          while (1) {
+            i++;
+            if (i > 10) break;
+            if (i % 2 == 0) continue;
+            n += i;
+          }
+          return n;
+        }
+        """
+    )
+    assert value == 25
+
+
+def test_function_calls_and_recursion():
+    value, _ = run(
+        """
+        int fib(int n) {
+          if (n < 2) return n;
+          return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(10); }
+        """
+    )
+    assert value == 55
+
+
+def test_pointers_and_malloc():
+    value, _ = run(
+        """
+        int main() {
+          int* p = (int*)malloc(sizeof(int) * 4);
+          p[0] = 10; p[1] = 20;
+          int* q = p;
+          return q[0] + q[1];
+        }
+        """
+    )
+    assert value == 30
+
+
+def test_structs():
+    value, _ = run(
+        """
+        struct point { int x; int y; };
+        int main() {
+          struct point pt;
+          pt.x = 3; pt.y = 4;
+          struct point* p = &pt;
+          return p->x * p->y;
+        }
+        """
+    )
+    assert value == 12
+
+
+def test_globals_initialized():
+    value, _ = run("int g = 40; int main() { return g + 2; }")
+    assert value == 42
+
+
+def test_address_of_and_deref():
+    value, _ = run(
+        """
+        void bump(int* p) { *p = *p + 1; }
+        int main() { int x = 41; bump(&x); return x; }
+        """
+    )
+    assert value == 42
+
+
+def test_null_deref_raises():
+    with pytest.raises((NullDereference, CRuntimeError)):
+        run("int main() { int* p = NULL; return *p; }")
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(CRuntimeError):
+        run("int main() { int z = 0; return 4 / z; }")
+
+
+def test_printf_output():
+    _, output = run(
+        """
+        int printf(char* fmt, ...);
+        int main() { printf("x=%d y=%s\\n", 7, "hi"); return 0; }
+        """
+    )
+    assert output == ["x=7 y=hi\n"]
+
+
+def test_format_string_attack_detected():
+    # The paper's bftpd scenario: a %s directive with no argument.
+    with pytest.raises(FormatStringError):
+        run(
+            """
+            int printf(char* fmt, ...);
+            int main() { printf("%s"); return 0; }
+            """
+        )
+
+
+def test_runtime_cast_check_passes():
+    value, _ = run(
+        """
+        int main() {
+          int x = 5;
+          int pos y = (int pos)x;
+          return y;
+        }
+        """
+    )
+    assert value == 5
+
+
+def test_runtime_cast_check_fails():
+    # Section 2.1.3: a fatal error is signaled if the test fails.
+    with pytest.raises(QualifierViolation):
+        run(
+            """
+            int main() {
+              int x = -5;
+              int pos y = (int pos)x;
+              return y;
+            }
+            """
+        )
+
+
+def test_lcm_example_cast_checked_at_runtime():
+    src = """
+    int gcd(int pos n, int pos m) {
+      while (m != 0) { int t = m; m = n % m; n = t; }
+      return n;
+    }
+    int pos lcm(int pos a, int pos b) {
+      int pos d = (int pos)gcd(a, b);
+      int pos prod = a * b;
+      return (int pos) (prod / d);
+    }
+    int main() { return lcm(4, 6); }
+    """
+    value, _ = run(src)
+    assert value == 12
+
+
+def test_nonnull_cast_violation():
+    with pytest.raises(QualifierViolation):
+        run(
+            """
+            int main() {
+              int* p = NULL;
+              int* nonnull q = (int* nonnull)p;
+              return 0;
+            }
+            """
+        )
+
+
+def test_ref_qualifier_casts_unchecked():
+    # Casts involving reference qualifiers remain unchecked (2.2.3).
+    value, _ = run(
+        """
+        int main() {
+          int x = 1;
+          int* unique p = (int* unique)&x;
+          return 0;
+        }
+        """
+    )
+    assert value == 0
+
+
+def test_instrumented_program_runs_checks():
+    prog = compile_c(
+        """
+        int main() {
+          int x = 3;
+          int pos y = (int pos)x;
+          return y;
+        }
+        """
+    )
+    instrumented = instrument_program(prog, QUALS)
+    interp = CInterpreter(instrumented, quals=QUALS)
+    assert interp.run("main") == 3
+
+
+def test_instrumented_program_traps_violation():
+    prog = compile_c(
+        """
+        int main() {
+          int x = -3;
+          int pos y = (int pos)x;
+          return y;
+        }
+        """
+    )
+    instrumented = instrument_program(prog, QUALS)
+    interp = CInterpreter(instrumented, quals=QUALS)
+    with pytest.raises(QualifierViolation):
+        interp.run("main")
+
+
+def test_strcpy_and_strlen():
+    value, _ = run(
+        """
+        int strlen(char* s);
+        char* strcpy(char* dst, char* src);
+        int main() {
+          char buf[32];
+          strcpy(buf, "hello");
+          return strlen(buf);
+        }
+        """
+    )
+    assert value == 5
+
+
+def test_unknown_extern_is_stubbed():
+    value, _ = run(
+        """
+        void mystery(int x);
+        int main() { mystery(3); return 1; }
+        """
+    )
+    assert value == 1
+
+
+def test_step_budget_guards_infinite_loops():
+    prog = compile_c("int main() { while (1) { } return 0; }")
+    interp = CInterpreter(prog, max_steps=10_000)
+    with pytest.raises(CRuntimeError):
+        interp.run("main")

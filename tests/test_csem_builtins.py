@@ -1,0 +1,188 @@
+"""Interpreter built-ins and memory-model details."""
+
+import pytest
+
+from repro.cfront.parser import parse_c
+from repro.cil.lower import lower_unit
+from repro.semantics.csem import (
+    CInterpreter,
+    CRuntimeError,
+    FormatStringError,
+    run_program,
+)
+
+
+def compile_c(src):
+    return lower_unit(parse_c(src))
+
+
+def run(src, entry="main", args=()):
+    return run_program(compile_c(src), entry=entry, args=args)
+
+
+def test_calloc_zeroes():
+    value, _ = run(
+        """
+        void* calloc(int n, int size);
+        int main() {
+          int* p = (int*)calloc(8, sizeof(int));
+          return p[0] + p[7];
+        }
+        """
+    )
+    assert value == 0
+
+
+def test_malloc_returns_distinct_blocks():
+    value, _ = run(
+        """
+        int main() {
+          int* a = (int*)malloc(sizeof(int) * 4);
+          int* b = (int*)malloc(sizeof(int) * 4);
+          a[3] = 1;
+          b[0] = 2;
+          return a[3] + b[0];
+        }
+        """
+    )
+    assert value == 3
+
+
+def test_heap_addresses_are_heap():
+    prog = compile_c("int main() { int* p = (int*)malloc(4); return 0; }")
+    interp = CInterpreter(prog)
+    addr = interp._alloc_heap(4)
+    assert interp.is_heap_address(addr)
+    stack = interp._alloc_stack()
+    assert not interp.is_heap_address(stack)
+
+
+def test_sprintf_writes_buffer():
+    value, output = run(
+        """
+        int printf(char* fmt, ...);
+        int sprintf(char* buf, char* fmt, ...);
+        int strlen(char* s);
+        int main() {
+          char buf[64];
+          sprintf(buf, "x=%d", 42);
+          printf("%s!\\n", buf);
+          return strlen(buf);
+        }
+        """
+    )
+    assert value == 4
+    assert output == ["x=42!\n"]
+
+
+def test_fprintf_skips_stream_argument():
+    _, output = run(
+        """
+        int fprintf(int stream, char* fmt, ...);
+        int main() { fprintf(2, "err %d\\n", 9); return 0; }
+        """
+    )
+    assert output == ["err 9\n"]
+
+
+def test_percent_percent_literal():
+    _, output = run(
+        """
+        int printf(char* fmt, ...);
+        int main() { printf("100%%\\n"); return 0; }
+        """
+    )
+    assert output == ["100%\n"]
+
+
+def test_width_flags_consumed():
+    _, output = run(
+        """
+        int printf(char* fmt, ...);
+        int main() { printf("%04d|%-8s|\\n", 7, "ok"); return 0; }
+        """
+    )
+    # Width/precision are parsed (not rendered); the directive still
+    # consumes exactly one argument.
+    assert output == ["7|ok|\n"]
+
+
+def test_varargs_forwarding_through_wrapper():
+    _, output = run(
+        """
+        int printf(char* fmt, ...);
+        int log_msg(char* fmt, ...) { return printf(fmt); }
+        int main() { log_msg("n=%d\\n", 5); return 0; }
+        """
+    )
+    assert output == ["n=5\n"]
+
+
+def test_excess_printf_args_harmless():
+    _, output = run(
+        """
+        int printf(char* fmt, ...);
+        int main() { printf("just this\\n", 1, 2, 3); return 0; }
+        """
+    )
+    assert output == ["just this\n"]
+
+
+def test_missing_arg_is_format_string_error():
+    with pytest.raises(FormatStringError):
+        run(
+            """
+            int printf(char* fmt, ...);
+            int main() { printf("%d and %d", 1); return 0; }
+            """
+        )
+
+
+def test_free_is_noop_and_safe():
+    value, _ = run(
+        """
+        void free(void* p);
+        int main() {
+          int* p = (int*)malloc(4);
+          *p = 3;
+          free(p);
+          return 0;
+        }
+        """
+    )
+    assert value == 0
+
+
+def test_exit_unwinds():
+    value, _ = run(
+        """
+        void exit(int code);
+        int main() { exit(42); return 0; }
+        """
+    )
+    assert value == 42
+
+
+def test_entry_with_arguments():
+    value, _ = run(
+        "int add(int a, int b) { return a + b; }", entry="add", args=[20, 22]
+    )
+    assert value == 42
+
+
+def test_global_state_persists_across_calls():
+    prog = compile_c(
+        """
+        int counter = 0;
+        int bump(void) { counter = counter + 1; return counter; }
+        """
+    )
+    interp = CInterpreter(prog)
+    assert interp.run("bump") == 1
+    assert interp.run("bump") == 2
+    assert interp.run("bump") == 3
+
+
+def test_shift_and_bitwise_ops():
+    value, _ = run("int main() { return (1 << 4) | (12 & 10) ^ 1; }")
+    assert value == ((1 << 4) | (12 & 10) ^ 1)

@@ -1,0 +1,210 @@
+"""Unit tests for the C type representation and IR typing."""
+
+import pytest
+
+from repro.cfront.ctypes import (
+    ArrayType,
+    IntType,
+    PointerType,
+    StructType,
+    VoidType,
+    deep_quals_equal,
+    is_pointer_like,
+    pointee_of,
+    type_to_str,
+)
+from repro.cfront.parser import parse_c
+from repro.cil import ir
+from repro.cil.lower import lower_unit
+from repro.cil.typesof import (
+    TypeError_,
+    TypingContext,
+    rtype_of_lvalue,
+    type_of_expr,
+    type_of_lvalue,
+)
+
+INT = IntType()
+POS_INT = IntType().with_quals(["pos"])
+
+
+# -------------------------------------------------------------------- ctypes
+
+
+def test_with_and_without_quals():
+    t = INT.with_quals(["pos", "nonzero"])
+    assert t.quals == {"pos", "nonzero"}
+    assert t.without_quals(["pos"]).quals == {"nonzero"}
+    assert t.strip_quals().quals == frozenset()
+
+
+def test_qualifier_sets_unordered():
+    assert INT.with_quals(["a", "b"]) == INT.with_quals(["b", "a"])
+
+
+def test_same_shape_ignores_quals():
+    assert POS_INT.same_shape(INT)
+    assert PointerType(pointee=POS_INT).same_shape(PointerType(pointee=INT))
+    assert not PointerType(pointee=INT).same_shape(INT)
+
+
+def test_type_to_str_postfix():
+    assert type_to_str(POS_INT) == "int pos"
+    assert type_to_str(PointerType(pointee=POS_INT)) == "int pos*"
+    assert (
+        type_to_str(PointerType(pointee=INT).with_quals(["unique"]))
+        == "int* unique"
+    )
+
+
+def test_deep_quals_equal():
+    assert deep_quals_equal(
+        PointerType(pointee=POS_INT), PointerType(pointee=POS_INT)
+    )
+    assert not deep_quals_equal(
+        PointerType(pointee=POS_INT), PointerType(pointee=INT)
+    )
+    # Top-level qualifiers are not compared here.
+    assert deep_quals_equal(
+        PointerType(pointee=INT).with_quals(["unique"]),
+        PointerType(pointee=INT),
+    )
+
+
+def test_deep_quals_nested_two_levels():
+    inner_a = PointerType(pointee=POS_INT)
+    inner_b = PointerType(pointee=INT)
+    assert not deep_quals_equal(
+        PointerType(pointee=inner_a), PointerType(pointee=inner_b)
+    )
+
+
+def test_pointee_of():
+    assert pointee_of(PointerType(pointee=INT)) == INT
+    assert pointee_of(ArrayType(elem=INT, size=4)) == INT
+    with pytest.raises(TypeError):
+        pointee_of(INT)
+
+
+def test_is_pointer_like():
+    assert is_pointer_like(PointerType())
+    assert is_pointer_like(ArrayType())
+    assert not is_pointer_like(INT)
+    assert not is_pointer_like(VoidType())
+
+
+# ------------------------------------------------------------------- typesof
+
+
+def _context(src, func="f", ref_quals=frozenset()):
+    prog = lower_unit(parse_c(src, qualifier_names={"pos", "unique", "nonnull"}))
+    return (
+        prog,
+        TypingContext.for_function(prog, prog.function(func), ref_quals=ref_quals),
+    )
+
+
+def test_variable_type():
+    _, ctx = _context("void f(int pos x) { }")
+    lv = ir.Lvalue(ir.VarHost("x"))
+    assert type_of_lvalue(ctx, lv).quals == {"pos"}
+
+
+def test_deref_type():
+    _, ctx = _context("void f(int pos * p) { }")
+    lv = ir.Lvalue(ir.MemHost(ir.Lval(ir.Lvalue(ir.VarHost("p")))))
+    assert type_of_lvalue(ctx, lv).quals == {"pos"}
+
+
+def test_deref_of_non_pointer_raises():
+    _, ctx = _context("void f(int x) { }")
+    lv = ir.Lvalue(ir.MemHost(ir.Lval(ir.Lvalue(ir.VarHost("x")))))
+    with pytest.raises(TypeError_):
+        type_of_lvalue(ctx, lv)
+
+
+def test_field_type():
+    _, ctx = _context(
+        """
+        struct s { int pos v; };
+        void f(struct s* p) { }
+        """
+    )
+    lv = ir.Lvalue(
+        ir.MemHost(ir.Lval(ir.Lvalue(ir.VarHost("p")))), ir.FieldOff("v")
+    )
+    assert type_of_lvalue(ctx, lv).quals == {"pos"}
+
+
+def test_unknown_field_raises():
+    _, ctx = _context(
+        """
+        struct s { int v; };
+        void f(struct s* p) { }
+        """
+    )
+    lv = ir.Lvalue(
+        ir.MemHost(ir.Lval(ir.Lvalue(ir.VarHost("p")))), ir.FieldOff("ghost")
+    )
+    with pytest.raises(TypeError_):
+        type_of_lvalue(ctx, lv)
+
+
+def test_rtype_strips_ref_quals_only():
+    _, ctx = _context(
+        "void f(int* unique p) { }", ref_quals=frozenset({"unique"})
+    )
+    lv = ir.Lvalue(ir.VarHost("p"))
+    assert type_of_lvalue(ctx, lv).quals == {"unique"}
+    assert rtype_of_lvalue(ctx, lv).quals == frozenset()
+
+
+def test_addr_of_keeps_full_type():
+    _, ctx = _context(
+        "void f(int* unique p) { }", ref_quals=frozenset({"unique"})
+    )
+    expr = ir.AddrOf(ir.Lvalue(ir.VarHost("p")))
+    t = type_of_expr(ctx, expr)
+    assert isinstance(t, PointerType)
+    assert t.pointee.quals == {"unique"}
+
+
+def test_ptradd_keeps_pointer_type():
+    _, ctx = _context("void f(int* nonnull p, int i) { }")
+    expr = ir.BinOp(
+        "ptradd",
+        ir.Lval(ir.Lvalue(ir.VarHost("p"))),
+        ir.Lval(ir.Lvalue(ir.VarHost("i"))),
+    )
+    t = type_of_expr(ctx, expr)
+    assert isinstance(t, PointerType)
+    assert t.quals == {"nonnull"}
+
+
+def test_comparison_types_int():
+    _, ctx = _context("void f(int* p) { }")
+    expr = ir.BinOp("==", ir.Lval(ir.Lvalue(ir.VarHost("p"))), ir.NullConst())
+    assert isinstance(type_of_expr(ctx, expr), IntType)
+
+
+def test_arithmetic_strips_quals():
+    _, ctx = _context("void f(int pos x) { }")
+    expr = ir.BinOp(
+        "+",
+        ir.Lval(ir.Lvalue(ir.VarHost("x"))),
+        ir.IntConst(1),
+    )
+    assert type_of_expr(ctx, expr).quals == frozenset()
+
+
+def test_unbound_variable_raises():
+    _, ctx = _context("void f() { }")
+    with pytest.raises(TypeError_):
+        type_of_expr(ctx, ir.Lval(ir.Lvalue(ir.VarHost("ghost"))))
+
+
+def test_string_and_null_types():
+    _, ctx = _context("void f() { }")
+    assert isinstance(type_of_expr(ctx, ir.StrConst("hi")), PointerType)
+    assert isinstance(type_of_expr(ctx, ir.NullConst()), PointerType)
+    assert isinstance(type_of_expr(ctx, ir.IntConst(3)), IntType)

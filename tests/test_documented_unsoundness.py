@@ -1,0 +1,118 @@
+"""Pinning tests for the checker's *documented* unsoundnesses
+(paper section 3.3).
+
+These behaviours are deliberate: the checker "can be used to statically
+detect potential errors but cannot guarantee the absence of errors of a
+particular kind."  Each test demonstrates the checker accepting a
+program whose invariant fails at run time, so any future change that
+silently alters the trade-off shows up here.
+"""
+
+import pytest
+
+from repro.cfront.parser import parse_c
+from repro.cil.lower import lower_unit
+from repro.core.checker.typecheck import check_program
+from repro.core.qualifiers.ast import QualifierSet
+from repro.core.qualifiers.library import NONNULL, POS, standard_qualifiers
+from repro.semantics.csem import run_program
+
+QUALS = standard_qualifiers()
+NAMES = {"pos", "nonnull", "nonzero", "neg"}
+
+
+def compile_c(src):
+    return lower_unit(parse_c(src, qualifier_names=NAMES))
+
+
+def test_pointer_arithmetic_is_trusted():
+    """Section 3.3: the type of p+i is the type of p (logical memory
+    model).  p+i keeps nonnull even though it could overflow/escape."""
+    report = check_program(
+        compile_c(
+            """
+            void f(int* nonnull p, int i) {
+              int x = p[i];
+            }
+            """
+        ),
+        QualifierSet([NONNULL]),
+    )
+    assert report.ok
+
+
+def test_uninitialized_variables_are_trusted():
+    """Section 3.3: 'allows variables to be used before being
+    initialized' — a pos local holds its (zero) default before any
+    assignment, violating the invariant at run time."""
+    src = """
+    int main() {
+      int pos p;
+      return p;   /* read before initialization */
+    }
+    """
+    report = check_program(compile_c(src), QUALS)
+    assert report.ok  # documented: no warning
+    value, _ = run_program(compile_c(src), quals=QUALS)
+    assert value == 0  # the pos invariant is silently violated
+
+
+def test_arithmetic_overflow_ignored():
+    """Section 3.3: 'our checker is unsound in the presence of
+    arithmetic overflow.'  pos * pos is accepted; the interpreter's
+    unbounded integers never overflow, so we just pin the static
+    behaviour here."""
+    report = check_program(
+        compile_c(
+            """
+            void f(int pos a, int pos b) {
+              int pos c = a * b;
+            }
+            """
+        ),
+        QUALS,
+    )
+    assert report.ok
+
+
+def test_union_punning_is_trusted():
+    """Section 3.3: union fields may be qualified but checking them is
+    unsound (see also test_c_subset_extensions)."""
+    report = check_program(
+        compile_c(
+            """
+            union pun { int plain; int pos positive; };
+            void f(union pun* nonnull u) {
+              u->plain = -1;
+              int pos p = u->positive;
+            }
+            """
+        ),
+        QUALS,
+    )
+    assert report.ok
+
+
+def test_library_macros_would_be_errors():
+    """Section 3.3's library-macro problem, shown from the other side:
+    an unannotated library signature causes errors until the alternate
+    annotated header (the paper's workaround) is supplied."""
+    without_header = compile_c(
+        """
+        char* getenv(char* name);
+        int printf(char* __attribute__((untainted)) fmt, ...);
+        void f() { printf(getenv("PS1")); }
+        """
+    )
+    report = check_program(without_header, QUALS)
+    assert not report.ok  # getenv's result isn't untainted: a true positive
+
+    with_header = compile_c(
+        """
+        char* __attribute__((untainted)) getenv(char* name);
+        int printf(char* __attribute__((untainted)) fmt, ...);
+        void f() { printf(getenv("PS1")); }
+        """
+    )
+    report = check_program(with_header, QUALS)
+    assert report.ok  # the alternate signature silences it (trusted)

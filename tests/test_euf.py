@@ -1,0 +1,160 @@
+"""Unit tests for the congruence closure engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prover.euf import CongruenceClosure, EufConflict
+from repro.prover.terms import Int, fn
+
+a, b, c, d = fn("a"), fn("b"), fn("c"), fn("d")
+
+
+def test_reflexivity():
+    cc = CongruenceClosure()
+    cc.add_term(a)
+    assert cc.are_equal(a, a)
+
+
+def test_symmetry_and_transitivity():
+    cc = CongruenceClosure()
+    cc.assert_eq(a, b)
+    cc.assert_eq(b, c)
+    assert cc.are_equal(c, a)
+    assert not cc.are_equal(a, d)
+
+
+def test_congruence_single_level():
+    cc = CongruenceClosure()
+    cc.add_term(fn("f", a))
+    cc.add_term(fn("f", b))
+    cc.assert_eq(a, b)
+    assert cc.are_equal(fn("f", a), fn("f", b))
+
+
+def test_congruence_added_after_merge():
+    # Terms registered after the merge must still be congruent.
+    cc = CongruenceClosure()
+    cc.assert_eq(a, b)
+    cc.add_term(fn("f", a))
+    cc.add_term(fn("f", b))
+    assert cc.are_equal(fn("f", a), fn("f", b))
+
+
+def test_congruence_nested():
+    cc = CongruenceClosure()
+    t1 = fn("g", fn("f", a), b)
+    t2 = fn("g", fn("f", c), b)
+    cc.add_term(t1)
+    cc.add_term(t2)
+    cc.assert_eq(a, c)
+    assert cc.are_equal(t1, t2)
+
+
+def test_congruence_chain():
+    cc = CongruenceClosure()
+    cc.add_term(fn("f", fn("f", fn("f", a))))
+    cc.add_term(fn("f", a))
+    # f(a) = a implies f(f(f(a))) = a after closure.
+    cc.assert_eq(fn("f", a), a)
+    assert cc.are_equal(fn("f", fn("f", fn("f", a))), a)
+
+
+def test_disequality_conflict():
+    cc = CongruenceClosure()
+    cc.assert_neq(a, b)
+    with pytest.raises(EufConflict):
+        cc.assert_eq(a, b)
+
+
+def test_disequality_via_congruence():
+    cc = CongruenceClosure()
+    cc.assert_neq(fn("f", a), fn("f", b))
+    with pytest.raises(EufConflict):
+        cc.assert_eq(a, b)
+
+
+def test_distinct_integers_conflict():
+    cc = CongruenceClosure()
+    with pytest.raises(EufConflict):
+        cc.assert_eq(Int(1), Int(2))
+
+
+def test_distinct_integers_via_chain():
+    cc = CongruenceClosure()
+    cc.assert_eq(a, Int(1))
+    with pytest.raises(EufConflict):
+        cc.assert_eq(a, Int(2))
+
+
+def test_integer_representative_kept():
+    cc = CongruenceClosure()
+    cc.assert_eq(a, Int(5))
+    cc.assert_eq(b, a)
+    assert cc.are_equal(b, Int(5))
+
+
+def test_classes():
+    cc = CongruenceClosure()
+    cc.assert_eq(a, b)
+    cc.add_term(c)
+    classes = cc.classes()
+    groups = [members for members in classes.values() if {a, b} <= members]
+    assert len(groups) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)),
+        min_size=0,
+        max_size=12,
+    )
+)
+def test_equivalence_closure_matches_naive_union_find(pairs):
+    """Congruence closure restricted to constants must agree with a
+    naive union-find (no function symbols involved)."""
+    consts = [fn(f"k{i}") for i in range(6)]
+    cc = CongruenceClosure()
+    parent = list(range(6))
+
+    def find(i):
+        while parent[i] != i:
+            i = parent[i]
+        return i
+
+    for i, j in pairs:
+        cc.assert_eq(consts[i], consts[j])
+        parent[find(i)] = find(j)
+
+    for i in range(6):
+        for j in range(6):
+            assert cc.are_equal(consts[i], consts[j]) == (find(i) == find(j))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8)
+)
+def test_congruence_is_sound_for_unary_f(pairs):
+    """If the closure says f(x) = f(y), then x and y must be provably
+    equal from the asserted pairs (soundness of congruence for unary f
+    over a small constant universe)."""
+    consts = [fn(f"k{i}") for i in range(4)]
+    cc = CongruenceClosure()
+    for i in range(4):
+        cc.add_term(fn("f", consts[i]))
+    parent = list(range(4))
+
+    def find(i):
+        while parent[i] != i:
+            i = parent[i]
+        return i
+
+    for i, j in pairs:
+        cc.assert_eq(consts[i], consts[j])
+        parent[find(i)] = find(j)
+
+    for i in range(4):
+        for j in range(4):
+            if cc.are_equal(fn("f", consts[i]), fn("f", consts[j])):
+                assert find(i) == find(j) or cc.are_equal(consts[i], consts[j])

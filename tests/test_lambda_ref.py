@@ -1,0 +1,246 @@
+"""Tests for the section-5 formal calculus: typechecking with the
+T-QUALCASE template, evaluation, and semantic conformance (fig. 11)."""
+
+import pytest
+
+from repro.core.qualifiers.library import POS_SOURCE, standard_qualifiers
+from repro.core.qualifiers.parser import parse_qualifier
+from repro.core.qualifiers.ast import QualifierSet
+from repro.semantics.lambda_ref import (
+    EBin,
+    EConst,
+    EDeref,
+    ELam,
+    ENeg,
+    EUnit,
+    EVar,
+    LambdaTypeError,
+    SApp,
+    SAssign,
+    SExpr,
+    SLet,
+    SRef,
+    SSeq,
+    Stmt,
+    TFun,
+    TIntL,
+    TRef,
+    TUnit,
+    check_conformance,
+    evaluate,
+    subtype,
+    typecheck,
+)
+
+QUALS = standard_qualifiers()
+
+POS_INT = TIntL(quals=frozenset({"pos"}))
+INT = TIntL()
+
+
+def expr(e) -> Stmt:
+    return SExpr(e)
+
+
+# ------------------------------------------------------------------ subtyping
+
+
+def test_subtype_val_qual():
+    assert subtype(POS_INT, INT)
+    assert not subtype(INT, POS_INT)
+
+
+def test_subtype_qual_reorder():
+    a = TIntL(quals=frozenset({"pos", "nonzero"}))
+    b = TIntL(quals=frozenset({"nonzero", "pos"}))
+    assert subtype(a, b) and subtype(b, a)
+
+
+def test_no_subtyping_under_ref():
+    assert not subtype(TRef(inner=POS_INT), TRef(inner=INT))
+    assert subtype(TRef(inner=POS_INT), TRef(inner=POS_INT))
+
+
+def test_function_subtyping_contravariant():
+    f1 = TFun(param=INT, result=POS_INT)  # accepts any int, returns pos
+    f2 = TFun(param=POS_INT, result=INT)
+    assert subtype(f1, f2)
+    assert not subtype(f2, f1)
+
+
+# --------------------------------------------------------------- typechecking
+
+
+def test_constant_gets_pos():
+    t = typecheck(expr(EConst(3)), QUALS)
+    assert "pos" in t.quals and "nonzero" in t.quals
+
+
+def test_zero_not_pos():
+    t = typecheck(expr(EConst(0)), QUALS)
+    assert "pos" not in t.quals and "nonzero" not in t.quals
+
+
+def test_negative_constant_neg():
+    t = typecheck(expr(EConst(-2)), QUALS)
+    assert "neg" in t.quals and "nonzero" in t.quals
+
+
+def test_product_rule():
+    prog = SLet(
+        "x",
+        expr(EConst(3)),
+        SLet(
+            "y",
+            expr(EConst(4)),
+            expr(EBin("*", EVar("x"), EVar("y"))),
+            ascription=POS_INT,
+        ),
+        ascription=POS_INT,
+    )
+    t = typecheck(prog, QUALS)
+    assert "pos" in t.quals
+
+
+def test_negation_of_neg_is_pos():
+    t = typecheck(expr(ENeg(EConst(-3))), QUALS)
+    assert "pos" in t.quals
+
+
+def test_sum_not_pos():
+    t = typecheck(expr(EBin("+", EConst(2), EConst(3))), QUALS)
+    assert "pos" not in t.quals  # pos has no rule for +
+
+
+def test_subsumption_nonzero_from_pos():
+    # nonzero's clause `E1 where pos(E1)` (figure 3).
+    t = typecheck(expr(EConst(7)), QUALS)
+    assert "nonzero" in t.quals
+
+
+def test_let_ascription_subtyping():
+    prog = SLet("x", expr(EConst(3)), expr(EVar("x")), ascription=INT)
+    t = typecheck(prog, QUALS)
+    # tainted's case clause matches any expression (fig. 4), so the body
+    # may pick it back up; what matters is that the declared quals stuck.
+    assert subtype(t, INT)
+    assert "pos" not in t.quals
+
+
+def test_let_ascription_rejects_bad_qualifier():
+    prog = SLet("x", expr(EConst(0)), expr(EVar("x")), ascription=POS_INT)
+    with pytest.raises(LambdaTypeError):
+        typecheck(prog, QUALS)
+
+
+def test_ref_and_assignment():
+    prog = SLet(
+        "r",
+        SRef(expr(EConst(5))),
+        SSeq(
+            SAssign(expr(EVar("r")), expr(EConst(7))),
+            expr(EDeref(EVar("r"))),
+        ),
+    )
+    t = typecheck(prog, QUALS)
+    assert isinstance(t, TIntL)
+
+
+def test_store_into_qualified_ref_checked():
+    # ref (int pos) cells only accept pos values.
+    prog = SLet(
+        "r",
+        SLet("x", expr(EConst(5)), SRef(expr(EVar("x"))), ascription=POS_INT),
+        SAssign(expr(EVar("r")), expr(EConst(0))),
+    )
+    with pytest.raises(LambdaTypeError):
+        typecheck(prog, QUALS)
+
+
+def test_application_checks_argument():
+    double = ELam("x", POS_INT, expr(EBin("*", EVar("x"), EVar("x"))))
+    good = SApp(expr(double), expr(EConst(3)))
+    assert isinstance(typecheck(good, QUALS), TIntL)
+    bad = SApp(expr(double), expr(EConst(0)))
+    with pytest.raises(LambdaTypeError):
+        typecheck(bad, QUALS)
+
+
+def test_unbound_variable_rejected():
+    with pytest.raises(LambdaTypeError):
+        typecheck(expr(EVar("ghost")), QUALS)
+
+
+# ----------------------------------------------------------------- evaluation
+
+
+def test_eval_arithmetic():
+    value, _ = evaluate(expr(EBin("*", EConst(6), EConst(7))))
+    assert value == 42
+
+
+def test_eval_let_and_ref():
+    prog = SLet(
+        "r",
+        SRef(expr(EConst(1))),
+        SSeq(
+            SAssign(expr(EVar("r")), expr(EConst(9))),
+            expr(EDeref(EVar("r"))),
+        ),
+    )
+    value, store = evaluate(prog)
+    assert value == 9
+    assert list(store.values()) == [9]
+
+
+def test_eval_application():
+    inc = ELam("x", INT, expr(EBin("+", EVar("x"), EConst(1))))
+    value, _ = evaluate(SApp(expr(inc), expr(EConst(41))))
+    assert value == 42
+
+
+# ---------------------------------------------------------------- conformance
+
+
+def test_conformance_positive():
+    prog = SLet(
+        "x",
+        expr(EConst(3)),
+        expr(EBin("*", EVar("x"), EVar("x"))),
+        ascription=POS_INT,
+    )
+    t = typecheck(prog, QUALS)
+    value, store = evaluate(prog)
+    assert check_conformance(value, t, store, QUALS) == []
+
+
+def test_conformance_detects_violation():
+    # Manufactured violation: claim pos for a value that is not.
+    assert check_conformance(-5, POS_INT, {}, QUALS)
+
+
+def test_unsound_rule_breaks_preservation():
+    """The E1 - E2 mutation of pos passes (bogus) typechecking but the
+    evaluated value violates the invariant — exactly what Theorem 5.1
+    rules out for rules that pass the soundness checker."""
+    bad_pos = parse_qualifier(POS_SOURCE.replace("E1 * E2", "E1 - E2"))
+    bad_quals = QualifierSet(
+        [bad_pos] + [q for q in QUALS if q.name != "pos"]
+    )
+    prog = SLet(
+        "x",
+        expr(EConst(1)),
+        SLet(
+            "y",
+            expr(EConst(5)),
+            expr(EBin("-", EVar("x"), EVar("y"))),
+            ascription=POS_INT,
+        ),
+        ascription=POS_INT,
+    )
+    t = typecheck(prog, bad_quals)  # typechecks under the bad rule
+    assert "pos" in t.quals
+    value, store = evaluate(prog)
+    assert value == -4
+    problems = check_conformance(value, t, store, bad_quals)
+    assert problems, "the unsound rule must produce a conformance violation"

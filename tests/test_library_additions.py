@@ -1,0 +1,131 @@
+"""Tests for nonneg, ref-qualified returns, and richer rule forms."""
+
+import pytest
+
+from repro.cfront.parser import parse_c
+from repro.cil.lower import lower_unit
+from repro.core.checker.typecheck import check_program
+from repro.core.qualifiers.ast import QualifierSet
+from repro.core.qualifiers.library import NONNEG, UNIQUE, standard_qualifiers
+from repro.core.qualifiers.parser import parse_qualifier
+from repro.core.soundness.checker import check_soundness
+
+QUALS = standard_qualifiers()
+NAMES = {"pos", "neg", "nonneg", "nonzero", "nonnull", "tainted",
+         "untainted", "unique", "unaliased"}
+
+
+def check(src, quals=QUALS):
+    return check_program(lower_unit(parse_c(src, qualifier_names=NAMES)), quals)
+
+
+# --------------------------------------------------------------------- nonneg
+
+
+def test_nonneg_proved_sound():
+    report = check_soundness(NONNEG, QUALS, time_limit=25)
+    assert report.sound, report.summary()
+
+
+def test_nonneg_closed_under_sum_and_product():
+    report = check(
+        """
+        void f(int nonneg a, int nonneg b) {
+          int nonneg s = a + b;
+          int nonneg p = a * b;
+          int nonneg z = 0;
+        }
+        """
+    )
+    assert report.ok, report.summary()
+
+
+def test_pos_subsumes_nonneg():
+    assert check("void f(int pos a) { int nonneg n = a; }").ok
+
+
+def test_nonneg_minus_rejected():
+    assert not check(
+        "void f(int nonneg a, int nonneg b) { int nonneg d = a - b; }"
+    ).ok
+
+
+def test_nonneg_mutation_caught():
+    from repro.core.qualifiers.library import NONNEG_SOURCE
+
+    bad = parse_qualifier(NONNEG_SOURCE.replace("E1 + E2", "E1 - E2"))
+    report = check_soundness(bad, QUALS, time_limit=20)
+    assert not report.sound
+
+
+# --------------------------------------------------------- ref-qual returns
+
+
+def test_unique_return_of_allocation_not_directly_expressible():
+    """`return malloc(...)` lowers through a temp, so the rules can't
+    see the allocation — like the paper's fresh-return limitation
+    (section 2.2.1); a cast is the documented workaround."""
+    report = check(
+        """
+        int* unique fresh_cell(void) {
+          return (int* unique)malloc(sizeof(int));
+        }
+        """,
+        quals=QualifierSet([UNIQUE]),
+    )
+    assert report.ok, report.summary()
+
+
+def test_unique_return_of_plain_pointer_rejected():
+    report = check(
+        """
+        int* unique launder(int* p) { return p; }
+        """,
+        quals=QualifierSet([UNIQUE]),
+    )
+    assert not report.ok
+    assert any(d.kind == "assign" for d in report.diagnostics)
+
+
+def test_unique_return_null_ok():
+    report = check(
+        "int* unique nothing(void) { return NULL; }",
+        quals=QualifierSet([UNIQUE]),
+    )
+    assert report.ok, report.summary()
+
+
+def test_call_to_unique_returning_function_trusted():
+    report = check(
+        """
+        int* unique make(void);
+        int* unique holder;
+        void f() { holder = make(); }
+        """,
+        quals=QualifierSet([UNIQUE]),
+    )
+    assert report.ok, report.summary()
+
+
+# ------------------------------------------------- restrict with disjunction
+
+
+def test_restrict_predicate_with_disjunction():
+    """Section 2.1.1: 'the predicate in a restrict clause may contain
+    conjunctions and disjunctions of qualifier checks.'"""
+    q = parse_qualifier(
+        """
+        value qualifier signed_div(int Expr E)
+          restrict
+              decl int Expr E1, E2:
+                E1 / E2, where pos(E2) || neg(E2)
+          invariant value(E) != 0
+        """
+    )
+    from repro.core.qualifiers.library import NEG, POS
+
+    quals = QualifierSet([POS, NEG, q])
+    ok = check("void f(int a, int pos b, int neg c) { int x = a/b + a/c; }", quals)
+    assert ok.ok, ok.summary()
+    bad = check("void f(int a, int b) { int x = a / b; }", quals)
+    assert any(d.qualifier == "signed_div" for d in bad.diagnostics)

@@ -1,0 +1,214 @@
+"""Unit and property tests for the integer linear arithmetic solver."""
+
+from fractions import Fraction
+from itertools import product
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prover.linarith import (
+    Constraint,
+    entails_eq,
+    linearize,
+    make_eq,
+    make_le,
+    satisfiable,
+)
+from repro.prover.terms import Int, TVar, fn
+
+x, y, z = fn("x"), fn("y"), fn("z")
+
+
+# ----------------------------------------------------------------- linearize
+
+
+def test_linearize_constant():
+    coeffs, const = linearize(Int(7))
+    assert coeffs == {} and const == 7
+
+
+def test_linearize_sum_and_difference():
+    coeffs, const = linearize(fn("-", fn("+", x, Int(3)), y))
+    assert coeffs == {x: 1, y: -1} and const == 3
+
+
+def test_linearize_unary_minus():
+    coeffs, const = linearize(fn("-", x))
+    assert coeffs == {x: -1} and const == 0
+
+
+def test_linearize_scalar_multiple():
+    coeffs, const = linearize(fn("*", Int(4), fn("+", x, y)))
+    assert coeffs == {x: 4, y: 4} and const == 0
+
+
+def test_linearize_opaque_product():
+    coeffs, const = linearize(fn("*", x, y))
+    assert list(coeffs.values()) == [Fraction(1)]
+    assert const == 0
+
+
+def test_linearize_cancellation():
+    coeffs, const = linearize(fn("-", x, x))
+    assert coeffs == {} and const == 0
+
+
+def test_opaque_symbols():
+    # mod and div are not interpreted here.
+    coeffs, _ = linearize(fn("%", x, Int(2)))
+    assert fn("%", x, Int(2)) in coeffs
+
+
+# --------------------------------------------------------------- tightening
+
+
+def test_strict_tightening():
+    c = make_le(x, Int(5), strict=True)
+    assert c.op == "<="
+    # x < 5 over ints is x <= 4: coeffs {x:1}, const -4.
+    assert c.coeffs == {x: 1} and c.const == -4
+
+
+def test_gcd_tightening_inequality():
+    # 2x <= 1 over ints means x <= 0.
+    c = make_le(fn("*", Int(2), x), Int(1), strict=False)
+    assert c.coeffs == {x: 1}
+    assert c.const == 0  # x - 0 <= 0
+
+
+def test_gcd_tightening_equality_infeasible():
+    # 2x = 1 has no integer solution.
+    (c,) = make_eq(fn("*", Int(2), x), Int(1))
+    assert c.is_trivial_false()
+
+
+def test_gcd_tightening_equality_feasible():
+    (c,) = make_eq(fn("*", Int(2), x), Int(6))
+    assert c.coeffs == {x: 1} and c.const == -3
+
+
+# --------------------------------------------------------------- satisfiable
+
+
+def test_empty_is_sat():
+    assert satisfiable([])
+
+
+def test_simple_conflict():
+    assert not satisfiable(
+        [make_le(x, Int(1), False), make_le(Int(2), x, False)]
+    )
+
+
+def test_transitive_chain():
+    cons = [
+        make_le(x, y, True),
+        make_le(y, z, True),
+        make_le(z, x, True),
+    ]
+    assert not satisfiable(cons)
+
+
+def test_equalities_via_gaussian():
+    cons = make_eq(x, fn("+", y, Int(1))) + make_eq(y, Int(5)) + [
+        make_le(x, Int(5), False)
+    ]
+    assert not satisfiable(cons)  # x = 6 but x <= 5
+
+
+def test_parity_conflict():
+    # x = 2q and x = 2r + 1 cannot both hold.
+    q, r = fn("q"), fn("r")
+    cons = make_eq(x, fn("*", Int(2), q)) + make_eq(
+        x, fn("+", fn("*", Int(2), r), Int(1))
+    )
+    assert not satisfiable(cons)
+
+
+def test_strictly_between_consecutive_integers():
+    cons = [make_le(Int(0), x, True), make_le(x, Int(1), True)]
+    assert not satisfiable(cons)
+
+
+def test_entails_eq_positive():
+    cons = [make_le(x, y, False), make_le(y, x, False)]
+    assert entails_eq(cons, x, y)
+
+
+def test_entails_eq_negative():
+    cons = [make_le(x, y, False)]
+    assert not entails_eq(cons, x, y)
+
+
+def test_entails_eq_through_parity():
+    # 0 <= m <= 1 and m = 2t entail m = 0.
+    m, t = fn("m"), fn("t")
+    cons = (
+        [make_le(Int(0), m, False), make_le(m, Int(1), False)]
+        + make_eq(m, fn("*", Int(2), t))
+    )
+    assert entails_eq(cons, m, Int(0))
+
+
+# ------------------------------------------------------------ property tests
+
+
+@st.composite
+def small_systems(draw):
+    """Random systems over 3 integer variables with small coefficients."""
+    n_cons = draw(st.integers(1, 5))
+    rows = []
+    for _ in range(n_cons):
+        coeffs = [draw(st.integers(-3, 3)) for _ in range(3)]
+        const = draw(st.integers(-6, 6))
+        op = draw(st.sampled_from(["<=", "<", "="]))
+        rows.append((coeffs, const, op))
+    return rows
+
+
+def _brute_force_sat(rows, bound=8):
+    for vals in product(range(-bound, bound + 1), repeat=3):
+        ok = True
+        for coeffs, const, op in rows:
+            total = sum(c * v for c, v in zip(coeffs, vals)) + const
+            if op == "<=" and not total <= 0:
+                ok = False
+            elif op == "<" and not total < 0:
+                ok = False
+            elif op == "=" and total != 0:
+                ok = False
+            if not ok:
+                break
+        if ok:
+            return True
+    return False
+
+
+def _to_constraints(rows):
+    vars_ = [fn("v0"), fn("v1"), fn("v2")]
+    out = []
+    for coeffs, const, op in rows:
+        mapping = {
+            v: Fraction(c) for v, c in zip(vars_, coeffs) if c != 0
+        }
+        out.append(Constraint(mapping, Fraction(const), op).tightened())
+    return out
+
+
+@settings(max_examples=120, deadline=None)
+@given(small_systems())
+def test_satisfiable_agrees_with_brute_force_when_unsat(rows):
+    """Completeness direction we rely on: if the solver says UNSAT, no
+    small integer assignment satisfies the system."""
+    cons = _to_constraints(rows)
+    if not satisfiable(cons):
+        assert not _brute_force_sat(rows)
+
+
+@settings(max_examples=120, deadline=None)
+@given(small_systems())
+def test_brute_force_sat_implies_solver_sat(rows):
+    """Soundness: a concrete integer solution means the solver must not
+    claim UNSAT."""
+    if _brute_force_sat(rows, bound=6):
+        assert satisfiable(_to_constraints(rows))

@@ -1,0 +1,154 @@
+"""Unit tests for proof-obligation *generation* (section 4.2) —
+structure of the goals, independent of whether the prover can discharge
+them."""
+
+import pytest
+
+from repro.core.qualifiers.ast import QualifierSet
+from repro.core.qualifiers.library import (
+    NONNULL,
+    NONZERO,
+    POS,
+    TAINTED,
+    UNALIASED,
+    UNIQUE,
+    UNTAINTED,
+    standard_qualifiers,
+)
+from repro.core.qualifiers.parser import parse_qualifier
+from repro.core.soundness.obligations import (
+    ObligationError,
+    generate_obligations,
+    ref_invariant,
+    value_invariant,
+)
+from repro.prover.terms import (
+    And,
+    Eq,
+    ForAll,
+    Implies,
+    Lt,
+    Not,
+    TVar,
+    fn,
+    free_vars,
+)
+
+QUALS = standard_qualifiers()
+RHO = TVar("rho")
+
+
+def test_one_obligation_per_case_clause():
+    obs = generate_obligations(POS, QUALS)
+    assert len(obs) == len(POS.cases)
+    assert all(ob.qualifier == "pos" for ob in obs)
+
+
+def test_obligations_are_closed_formulas():
+    for qdef in (POS, NONZERO, NONNULL, UNIQUE, UNALIASED):
+        for ob in generate_obligations(qdef, QUALS):
+            if not ob.trivial:
+                assert free_vars(ob.goal) == frozenset(), ob.rule
+
+
+def test_value_obligation_shape():
+    ob = generate_obligations(POS, QUALS)[0]  # constant clause
+    assert isinstance(ob.goal, ForAll)
+    assert "rho" in ob.goal.vars
+    body = ob.goal.body
+    assert isinstance(body, Implies)
+
+
+def test_flow_qualifiers_trivial():
+    for qdef in (TAINTED, UNTAINTED):
+        obs = generate_obligations(qdef, QUALS)
+        assert all(ob.trivial for ob in obs)
+
+
+def test_ref_obligations_cover_assign_and_preservation():
+    obs = generate_obligations(UNIQUE, QUALS)
+    rules = [ob.rule for ob in obs]
+    assert sum(r.startswith("assign") for r in rules) == 2
+    preservation = [r for r in rules if r.startswith("preservation")]
+    # constant, read, addr-of, allocation, unary, binary.
+    assert len(preservation) == 6
+
+
+def test_ondecl_obligation_generated():
+    obs = generate_obligations(UNALIASED, QUALS)
+    assert any("ondecl" in ob.rule for ob in obs)
+
+
+def test_disallow_reference_weakens_read_case():
+    """With `disallow L` the read-preservation obligation hypothesizes a
+    distinct address; without it the hypothesis disappears (making the
+    obligation strictly harder)."""
+
+    def read_goal(qdef):
+        obs = generate_obligations(qdef, QUALS)
+        (ob,) = [o for o in obs if "read of an l-value" in o.rule]
+        return str(ob.goal)
+
+    with_disallow = read_goal(UNIQUE)
+    without = parse_qualifier(
+        UNIQUE.source.replace("disallow L", "")
+        if False
+        else _unique_source_without_disallow()
+    )
+    without_goal = read_goal(without)
+    assert "location(?rho, ?l_read)" in with_disallow
+    # The distinctness hypothesis is present only with the disallow.
+    assert with_disallow.count("l_read") > without_goal.count("l_read")
+
+
+def _unique_source_without_disallow():
+    from repro.core.qualifiers.library import UNIQUE_SOURCE
+
+    return UNIQUE_SOURCE.replace("disallow L", "")
+
+
+def test_value_invariant_translation():
+    inv = value_invariant(POS, RHO, fn("e0"))
+    assert inv == Lt(
+        __import__("repro.prover.terms", fromlist=["Int"]).Int(0),
+        fn("evalExpr", RHO, fn("e0")),
+    )
+
+
+def test_ref_invariant_translation_quantifier():
+    inv = ref_invariant(UNIQUE, RHO, fn("l0"))
+    text = str(inv)
+    assert "select(getStore(?rho), location(?rho, l0))" in text
+    assert "∀P" in text
+
+
+def test_predicate_referencing_unknown_qualifier_rejected():
+    bad = parse_qualifier(
+        """
+        value qualifier q(int Expr E)
+          case E of
+            decl int Expr E1: E1, where ghost(E1)
+          invariant value(E) > 0
+        """
+    )
+    with pytest.raises(ObligationError):
+        generate_obligations(bad, QualifierSet([bad]))
+
+
+def test_invariantless_referenced_qualifier_gives_true_hypothesis():
+    # untainted has no invariant; a rule depending on it gets a vacuous
+    # hypothesis (sound: weaker assumptions).
+    q = parse_qualifier(
+        """
+        value qualifier q(int Expr E)
+          case E of
+            decl int Expr E1: E1, where untainted(E1)
+          invariant value(E) > 0
+        """
+    )
+    obs = generate_obligations(q, QUALS)
+    # The obligation is then unprovable (as it should be).
+    from repro.core.soundness.checker import check_soundness
+
+    report = check_soundness(q, QUALS, time_limit=15)
+    assert not report.sound

@@ -1,0 +1,84 @@
+"""Unit tests for the mini-preprocessor."""
+
+from repro.cfront.preprocess import preprocess
+
+
+def test_object_macro_expansion():
+    result = preprocess("#define N 4\nint a[N];")
+    assert "int a[4];" in result.text
+    assert result.defines == {"N": "4"}
+
+
+def test_macro_word_boundaries():
+    result = preprocess("#define N 4\nint NN = N;")
+    assert "int NN = 4;" in result.text  # NN untouched, N expanded
+
+
+def test_self_referential_macro_stops():
+    result = preprocess("#define pos __attribute__((pos))\nint pos x;")
+    assert "int __attribute__((pos)) x;" in result.text
+
+
+def test_nested_macros():
+    result = preprocess(
+        "#define A B\n#define B 7\nint v = A;"
+    )
+    assert "int v = 7;" in result.text
+
+
+def test_includes_recorded_and_skipped():
+    result = preprocess('#include <stdio.h>\n#include "local.h"\nint x;')
+    assert result.includes == ["stdio.h", "local.h"]
+    assert "include" not in result.text
+
+
+def test_line_numbers_preserved():
+    src = "#define N 1\n\nint x = N;"
+    result = preprocess(src)
+    # The define line becomes empty but still occupies line 1.
+    assert result.text.splitlines()[2] == "int x = 1;"
+
+
+def test_ifdef_true_branch():
+    result = preprocess("#define F\n#ifdef F\nint x;\n#endif\nint y;")
+    assert "int x;" in result.text and "int y;" in result.text
+
+
+def test_ifdef_false_branch():
+    result = preprocess("#ifdef F\nint x;\n#endif\nint y;")
+    assert "int x;" not in result.text and "int y;" in result.text
+
+
+def test_ifndef_and_else():
+    result = preprocess(
+        "#ifndef F\nint a;\n#else\nint b;\n#endif"
+    )
+    assert "int a;" in result.text and "int b;" not in result.text
+
+
+def test_nested_conditionals():
+    src = """#define A
+#ifdef A
+#ifdef B
+int x;
+#endif
+int y;
+#endif
+"""
+    result = preprocess(src)
+    assert "int x;" not in result.text and "int y;" in result.text
+
+
+def test_predefined_macros():
+    result = preprocess("int v = K;", predefined={"K": "9"})
+    assert "int v = 9;" in result.text
+
+
+def test_defines_inside_inactive_region_ignored():
+    result = preprocess("#ifdef NOPE\n#define X 1\n#endif\nint v = X;")
+    assert "int v = X;" in result.text
+
+
+def test_unknown_directive_dropped():
+    result = preprocess("#pragma once\nint x;")
+    assert "pragma" not in result.text and "int x;" in result.text

@@ -1,0 +1,121 @@
+"""Property-based check of Theorem 5.1 (preservation).
+
+For randomly generated programs of the section-5 calculus: whatever
+(qualified) type the extensible type system assigns, the evaluated
+value and the final store semantically conform to it (figure 11) —
+because every rule in the standard qualifier library passed the
+soundness checker.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.qualifiers.library import standard_qualifiers
+from repro.semantics.lambda_ref import (
+    EBin,
+    EConst,
+    EDeref,
+    ENeg,
+    EVar,
+    LambdaTypeError,
+    SAssign,
+    SExpr,
+    SLet,
+    SRef,
+    SSeq,
+    check_conformance,
+    evaluate,
+    typecheck,
+)
+
+QUALS = standard_qualifiers()
+
+
+def int_exprs(int_vars):
+    """Strategy for integer expressions over the given variable names."""
+    base = st.one_of(
+        st.integers(min_value=-20, max_value=20).map(EConst),
+        *( [st.sampled_from(sorted(int_vars)).map(EVar)] if int_vars else [] ),
+    )
+    return st.recursive(
+        base,
+        lambda children: st.one_of(
+            children.map(ENeg),
+            st.tuples(st.sampled_from(["+", "-", "*"]), children, children).map(
+                lambda t: EBin(*t)
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+@st.composite
+def programs(draw, depth=3, int_vars=frozenset(), ref_vars=frozenset()):
+    """Random well-formed statements of int type."""
+    if depth <= 0:
+        return SExpr(draw(int_exprs(int_vars)))
+    choice = draw(st.integers(min_value=0, max_value=4))
+    if choice == 0:
+        return SExpr(draw(int_exprs(int_vars)))
+    if choice == 1:  # let over an int binding
+        name = f"v{draw(st.integers(min_value=0, max_value=5))}"
+        bound = draw(programs(depth=depth - 1, int_vars=int_vars, ref_vars=ref_vars))
+        body = draw(
+            programs(
+                depth=depth - 1,
+                int_vars=int_vars | {name},
+                ref_vars=ref_vars - {name},
+            )
+        )
+        return SLet(name, bound, body)
+    if choice == 2:  # sequence
+        first = draw(programs(depth=depth - 1, int_vars=int_vars, ref_vars=ref_vars))
+        second = draw(programs(depth=depth - 1, int_vars=int_vars, ref_vars=ref_vars))
+        return SSeq(first, second)
+    if choice == 3 and True:  # let a ref cell, update it, read it back
+        name = f"r{draw(st.integers(min_value=0, max_value=3))}"
+        init = draw(int_exprs(int_vars))
+        update = draw(int_exprs(int_vars))
+        return SLet(
+            name,
+            SRef(SExpr(init)),
+            SSeq(
+                SAssign(SExpr(EVar(name)), SExpr(update)),
+                SExpr(EDeref(EVar(name))),
+            ),
+        )
+    return SExpr(draw(int_exprs(int_vars)))
+
+
+@settings(max_examples=120, deadline=None)
+@given(programs())
+def test_preservation(prog):
+    """Theorem 5.1: Γ ⊢ s : τ and <σ,s> → <σ',v> imply Γ';τ ⊢ <σ',v>."""
+    try:
+        ltype = typecheck(prog, QUALS)
+    except LambdaTypeError:
+        return  # ill-typed programs are outside the theorem
+    value, store = evaluate(prog)
+    problems = check_conformance(value, ltype, store, QUALS)
+    assert problems == [], f"{prog} : {ltype} evaluated to {value}: {problems}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(int_exprs(frozenset()))
+def test_principal_qualifiers_are_invariant_respecting(expr):
+    """Every qualifier the checker derives for a closed int expression
+    holds of its value."""
+    stmt = SExpr(expr)
+    ltype = typecheck(stmt, QUALS)
+    value, store = evaluate(stmt)
+    assert check_conformance(value, ltype, store, QUALS) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=-50, max_value=50))
+def test_constant_qualifiers_exact(n):
+    """The derived qualifier set of a constant matches its sign exactly
+    (the paper's constant case clauses are tight)."""
+    ltype = typecheck(SExpr(EConst(n)), QUALS)
+    assert ("pos" in ltype.quals) == (n > 0)
+    assert ("neg" in ltype.quals) == (n < 0)
+    assert ("nonzero" in ltype.quals) == (n != 0)

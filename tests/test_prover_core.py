@@ -1,0 +1,202 @@
+"""Tests for the Simplify-style prover: ground EUF + arithmetic."""
+
+from repro.prover import (
+    And,
+    Eq,
+    ForAll,
+    Iff,
+    Implies,
+    Int,
+    Le,
+    Lt,
+    Not,
+    Or,
+    Pr,
+    Prover,
+    TVar,
+    fn,
+)
+from repro.prover.prover import prove_valid
+
+a, b, c = fn("a"), fn("b"), fn("c")
+x, y = TVar("x"), TVar("y")
+
+
+def proved(goal, axioms=()):
+    return prove_valid(goal, list(axioms)).proved
+
+
+# ----------------------------------------------------------------- boolean
+
+
+def test_tautology():
+    assert proved(Or(Pr("p", ()), Not(Pr("p", ()))))
+
+
+def test_contradiction_not_proved():
+    assert not proved(And(Pr("p", ()), Not(Pr("p", ()))))
+
+
+def test_modus_ponens():
+    p, q = Pr("p", ()), Pr("q", ())
+    assert proved(q, [p, Implies(p, q)])
+
+
+def test_iff_roundtrip():
+    p, q = Pr("p", ()), Pr("q", ())
+    assert proved(Iff(p, q), [Implies(p, q), Implies(q, p)])
+
+
+# ---------------------------------------------------------------- equality
+
+
+def test_eq_reflexive():
+    assert proved(Eq(a, a))
+
+
+def test_eq_symmetric():
+    assert proved(Eq(b, a), [Eq(a, b)])
+
+
+def test_eq_transitive():
+    assert proved(Eq(a, c), [Eq(a, b), Eq(b, c)])
+
+
+def test_congruence():
+    assert proved(Eq(fn("f", a), fn("f", b)), [Eq(a, b)])
+
+
+def test_congruence_two_levels():
+    assert proved(
+        Eq(fn("g", fn("f", a)), fn("g", fn("f", b))),
+        [Eq(a, b)],
+    )
+
+
+def test_disequality_blocks():
+    assert not proved(Eq(a, b), [Not(Eq(a, c))])
+
+
+def test_distinct_integers():
+    assert proved(Not(Eq(Int(1), Int(2))))
+
+
+def test_predicate_congruence():
+    assert proved(
+        Pr("isHeapLoc", (b,)),
+        [Pr("isHeapLoc", (a,)), Eq(a, b)],
+    )
+
+
+def test_predicate_negative_congruence():
+    # a = b, P(a), not P(b) is inconsistent -> anything provable.
+    assert proved(
+        Eq(Int(0), Int(1)),
+        [Eq(a, b), Pr("p", (a,)), Not(Pr("p", (b,)))],
+    )
+
+
+# -------------------------------------------------------------- arithmetic
+
+
+def test_ordering_transitive():
+    assert proved(Lt(a, c), [Lt(a, b), Lt(b, c)])
+
+
+def test_le_antisymmetric():
+    assert proved(Eq(a, b), [Le(a, b), Le(b, a)])
+
+
+def test_arith_constants():
+    assert proved(Lt(Int(1), Int(2)))
+    assert not proved(Lt(Int(2), Int(1)))
+
+
+def test_linear_combination():
+    # a + b <= 10, a >= 4 |- b <= 6
+    assert proved(
+        Le(b, Int(6)),
+        [Le(fn("+", a, b), Int(10)), Le(Int(4), a)],
+    )
+
+
+def test_integer_tightening():
+    # Over the integers, a > 0 means a >= 1.
+    assert proved(Le(Int(1), a), [Lt(Int(0), a)])
+
+
+def test_strictly_between_integers_impossible():
+    # no integer strictly between 0 and 1: 0 < a < 1 is inconsistent.
+    assert proved(
+        Eq(Int(0), Int(1)),
+        [Lt(Int(0), a), Lt(a, Int(1))],
+    )
+
+
+def test_pos_implies_nonzero():
+    assert proved(Not(Eq(a, Int(0))), [Lt(Int(0), a)])
+
+
+def test_arith_and_euf_exchange():
+    # f(a) where a forced equal to b arithmetically.
+    assert proved(
+        Eq(fn("f", a), fn("f", b)),
+        [Le(a, b), Le(b, a)],
+    )
+
+
+def test_negation_arithmetic():
+    # a < 0 |- -a > 0 (unary minus).
+    assert proved(Lt(Int(0), fn("-", a)), [Lt(a, Int(0))])
+
+
+# ---------------------------------------------------- nonlinear sign lemmas
+
+
+def test_product_of_positives_is_positive():
+    goal = Implies(
+        And(Lt(Int(0), a), Lt(Int(0), b)),
+        Lt(Int(0), fn("*", a, b)),
+    )
+    assert proved(goal)
+
+
+def test_product_of_negatives_is_positive():
+    goal = Implies(
+        And(Lt(a, Int(0)), Lt(b, Int(0))),
+        Lt(Int(0), fn("*", a, b)),
+    )
+    assert proved(goal)
+
+
+def test_product_nonzero():
+    goal = Implies(
+        And(Not(Eq(a, Int(0))), Not(Eq(b, Int(0)))),
+        Not(Eq(fn("*", a, b), Int(0))),
+    )
+    assert proved(goal)
+
+
+def test_difference_of_positives_not_positive():
+    # The paper's buggy-rule scenario: a > 0, b > 0 does NOT prove a-b > 0.
+    goal = Implies(
+        And(Lt(Int(0), a), Lt(Int(0), b)),
+        Lt(Int(0), fn("-", a, b)),
+    )
+    assert not proved(goal)
+
+
+def test_sum_of_positives_not_provably_negative():
+    goal = Implies(
+        And(Lt(Int(0), a), Lt(Int(0), b)),
+        Lt(fn("+", a, b), Int(0)),
+    )
+    assert not proved(goal)
+
+
+def test_sum_of_positives_is_positive():
+    goal = Implies(
+        And(Lt(Int(0), a), Lt(Int(0), b)),
+        Lt(Int(0), fn("+", a, b)),
+    )
+    assert proved(goal)

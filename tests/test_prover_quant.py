@@ -1,0 +1,167 @@
+"""Prover tests with quantified axioms (E-matching instantiation)."""
+
+from repro.prover import (
+    And,
+    Eq,
+    ForAll,
+    Implies,
+    Int,
+    Le,
+    Lt,
+    Not,
+    Or,
+    Pr,
+    TVar,
+    fn,
+)
+from repro.prover.prover import prove_valid
+
+a, b, c = fn("a"), fn("b"), fn("c")
+x, y, m, k, v = TVar("x"), TVar("y"), TVar("m"), TVar("k"), TVar("v")
+
+
+def proved(goal, axioms=()):
+    return prove_valid(goal, list(axioms)).proved
+
+
+def test_simple_instantiation():
+    # forall x. f(x) = x |- f(a) = a
+    ax = ForAll(("x",), Eq(fn("f", x), x))
+    assert proved(Eq(fn("f", a), a), [ax])
+
+
+def test_chained_instantiation():
+    # forall x. f(x) = g(x); forall x. g(x) = x |- f(a) = a
+    ax1 = ForAll(("x",), Eq(fn("f", x), fn("g", x)))
+    ax2 = ForAll(("x",), Eq(fn("g", x), x))
+    assert proved(Eq(fn("f", a), a), [ax1, ax2])
+
+
+def test_instantiation_creates_new_terms():
+    # Round 2 must match g(f(a)) created by round 1.
+    ax1 = ForAll(("x",), Eq(fn("f", x), fn("g", fn("f", x))))
+    ax2 = ForAll(("x",), Eq(fn("g", x), fn("h", x)))
+    assert proved(Eq(fn("f", a), fn("h", fn("f", a))), [ax1, ax2])
+
+
+def test_quantified_hypothesis_in_goal():
+    # (forall x. P(x)) => P(a) is valid.
+    goal = Implies(ForAll(("x",), Pr("P", (x,))), Pr("P", (a,)))
+    assert proved(goal)
+
+
+def test_quantified_conclusion_skolemized():
+    # P(a) does not prove forall x. P(x).
+    goal = ForAll(("x",), Pr("P", (x,)))
+    assert not proved(goal, [Pr("P", (a,))])
+
+
+def test_forall_conclusion_from_forall_hyp():
+    goal = Implies(
+        ForAll(("x",), Pr("P", (x,))),
+        ForAll(("y",), Or(Pr("P", (y,)), Pr("Q", (y,)))),
+    )
+    assert proved(goal)
+
+
+# --------------------------------------------------------- select / store
+
+
+def select(m_, k_):
+    return fn("select", m_, k_)
+
+
+def store(m_, k_, v_):
+    return fn("store", m_, k_, v_)
+
+
+SELECT_STORE_AXIOMS = [
+    ForAll(("m", "k", "v"), Eq(select(store(m, k, v), k), v)),
+    ForAll(
+        ("m", "k", "j", "v"),
+        Implies(
+            Not(Eq(k, TVar("j"))),
+            Eq(select(store(m, k, v), TVar("j")), select(m, TVar("j"))),
+        ),
+        triggers=((select(store(m, k, v), TVar("j")),),),
+    ),
+]
+
+
+def test_select_of_store_same_key():
+    goal = Eq(select(store(fn("s"), a, b), a), b)
+    assert proved(goal, SELECT_STORE_AXIOMS)
+
+
+def test_select_of_store_other_key():
+    goal = Implies(
+        Not(Eq(a, c)),
+        Eq(select(store(fn("s"), a, b), c), select(fn("s"), c)),
+    )
+    assert proved(goal, SELECT_STORE_AXIOMS)
+
+
+def test_store_preserves_distinct_cell():
+    # The shape of the paper's preservation obligations: after writing
+    # v at a' != a_l, the cell at a_l is unchanged.
+    s = fn("s")
+    goal = Implies(
+        And(Not(Eq(a, c)), Eq(select(s, a), fn("old"))),
+        Eq(select(store(s, c, b), a), fn("old")),
+    )
+    assert proved(goal, SELECT_STORE_AXIOMS)
+
+
+def test_uniqueness_quantifier_shape():
+    # forall P: select(s,P) = V => P = A   (the unique invariant), plus a
+    # write of W (W != V) at address D != A, must preserve the property
+    # for the new store.
+    s, A, V, D, W = fn("s"), fn("A"), fn("V"), fn("D"), fn("W")
+    P = TVar("P")
+    old_inv = ForAll(
+        ("P",),
+        Implies(Eq(select(s, P), V), Eq(P, A)),
+        triggers=((select(s, P),),),
+    )
+    s2 = store(s, D, W)
+    new_inv = ForAll(
+        ("P",),
+        Implies(Eq(select(s2, P), V), Eq(P, A)),
+    )
+    goal = Implies(
+        And(old_inv, Not(Eq(D, A)), Not(Eq(W, V))),
+        new_inv,
+    )
+    assert proved(goal, SELECT_STORE_AXIOMS)
+
+
+def test_uniqueness_shape_fails_when_value_written():
+    # Writing V itself at D != A must NOT preserve the property.
+    s, A, V, D = fn("s"), fn("A"), fn("V"), fn("D")
+    P = TVar("P")
+    old_inv = ForAll(
+        ("P",),
+        Implies(Eq(select(s, P), V), Eq(P, A)),
+        triggers=((select(s, P),),),
+    )
+    s2 = store(s, D, V)
+    new_inv = ForAll(("P",), Implies(Eq(select(s2, P), V), Eq(P, A)))
+    goal = Implies(And(old_inv, Not(Eq(D, A))), new_inv)
+    assert not proved(goal, SELECT_STORE_AXIOMS)
+
+
+def test_triggers_respected():
+    # An axiom whose trigger never matches stays dormant.
+    ax = ForAll(
+        ("x",),
+        Eq(fn("f", x), Int(1)),
+        triggers=((fn("never_used", x),),),
+    )
+    assert not proved(Eq(fn("f", a), Int(1)), [ax])
+
+
+def test_arith_with_quantifier():
+    # forall x. g(x) >= 0, g(a) <= -1 is inconsistent.
+    ax = ForAll(("x",), Le(Int(0), fn("g", x)))
+    goal = Implies(Le(fn("g", a), Int(-1)), Eq(Int(0), Int(1)))
+    assert proved(goal, [ax])

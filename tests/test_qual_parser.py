@@ -1,0 +1,233 @@
+"""Tests for the qualifier-definition language parser."""
+
+import pytest
+
+from repro.core.qualifiers import ast as Q
+from repro.core.qualifiers.library import (
+    NEG,
+    NONNULL,
+    NONZERO,
+    POS,
+    TAINTED,
+    UNALIASED,
+    UNIQUE,
+    UNTAINTED,
+    UNTAINTED_WITH_CONSTS,
+    standard_qualifiers,
+)
+from repro.core.qualifiers.parser import QualParseError, parse_qualifier, parse_qualifiers
+
+
+def test_pos_header():
+    assert POS.name == "pos"
+    assert POS.kind == "value"
+    assert POS.dtype == Q.DInt()
+    assert POS.classifier is Q.Classifier.EXPR
+    assert POS.var == "E"
+
+
+def test_pos_clauses():
+    assert len(POS.cases) == 3
+    const_clause, mult_clause, neg_clause = POS.cases
+    assert isinstance(const_clause.pattern, Q.PVar)
+    assert const_clause.decls[0].classifier is Q.Classifier.CONST
+    assert const_clause.predicate == Q.PredCmp(">", Q.AVar("C"), Q.ANum(0))
+    assert mult_clause.pattern == Q.PBinop("*", "E1", "E2")
+    assert mult_clause.predicate == Q.PredAnd(
+        Q.PredQual("pos", "E1"), Q.PredQual("pos", "E2")
+    )
+    assert neg_clause.pattern == Q.PUnop("-", "E1")
+    assert neg_clause.predicate == Q.PredQual("neg", "E1")
+
+
+def test_pos_invariant():
+    assert POS.invariant == Q.ICmp(">", Q.IValue("E"), Q.INum(0))
+
+
+def test_shared_decl_type_for_multiple_names():
+    clause = POS.cases[1]
+    assert [d.name for d in clause.decls] == ["E1", "E2"]
+    assert all(d.dtype == Q.DInt() for d in clause.decls)
+    assert all(d.classifier is Q.Classifier.EXPR for d in clause.decls)
+
+
+def test_nonzero_restrict_clause():
+    assert len(NONZERO.restricts) == 1
+    r = NONZERO.restricts[0]
+    assert r.pattern == Q.PBinop("/", "E1", "E2")
+    assert r.predicate == Q.PredQual("nonzero", "E2")
+
+
+def test_nonzero_subsumes_pos_clause():
+    # Second case clause: E1 where pos(E1) encodes pos <= nonzero.
+    clause = NONZERO.cases[1]
+    assert clause.pattern == Q.PVar("E1")
+    assert clause.predicate == Q.PredQual("pos", "E1")
+
+
+def test_untainted_has_no_rules():
+    assert UNTAINTED.cases == []
+    assert UNTAINTED.restricts == []
+    assert UNTAINTED.invariant is None
+
+
+def test_tainted_matches_anything():
+    assert len(TAINTED.cases) == 1
+    clause = TAINTED.cases[0]
+    assert clause.decls == ()
+    assert clause.pattern == Q.PVar("E")
+
+
+def test_untainted_with_consts():
+    clause = UNTAINTED_WITH_CONSTS.cases[0]
+    assert clause.decls[0].classifier is Q.Classifier.CONST
+    assert isinstance(clause.decls[0].dtype, Q.DTypeVar)
+
+
+def test_unique_definition():
+    assert UNIQUE.kind == "ref"
+    assert UNIQUE.classifier is Q.Classifier.LVALUE
+    assert isinstance(UNIQUE.dtype, Q.DPtr)
+    assert len(UNIQUE.assigns) == 2
+    assert UNIQUE.assigns[0].pattern == Q.PNull()
+    assert UNIQUE.assigns[1].pattern == Q.PNew()
+    assert UNIQUE.disallow == Q.DisallowClause(forbid_reference=True)
+
+
+def test_unique_invariant_structure():
+    inv = UNIQUE.invariant
+    assert isinstance(inv, Q.IOr)
+    assert inv.left == Q.ICmp("==", Q.IValue("L"), Q.INull())
+    assert isinstance(inv.right, Q.IAnd)
+    assert inv.right.left == Q.IIsHeapLoc(Q.IValue("L"))
+    forall = inv.right.right
+    assert isinstance(forall, Q.IForall)
+    assert forall.var == "P"
+    assert forall.dtype == Q.DPtr(Q.DPtr(Q.DTypeVar("T")))
+    assert isinstance(forall.body, Q.IImplies)
+    assert forall.body.left == Q.ICmp("==", Q.IDeref(Q.IVar("P")), Q.IValue("L"))
+    assert forall.body.right == Q.ICmp("==", Q.IVar("P"), Q.ILocation("L"))
+
+
+def test_unaliased_definition():
+    assert UNALIASED.ondecl
+    assert UNALIASED.classifier is Q.Classifier.VAR
+    assert UNALIASED.disallow == Q.DisallowClause(forbid_address_of=True)
+    inv = UNALIASED.invariant
+    assert isinstance(inv, Q.IForall)
+    assert inv.body == Q.ICmp("!=", Q.IDeref(Q.IVar("P")), Q.ILocation("X"))
+
+
+def test_nonnull_definition():
+    assert NONNULL.invariant == Q.ICmp("!=", Q.IValue("E"), Q.INull())
+    case = NONNULL.cases[0]
+    assert case.pattern == Q.PAddrOf("L")
+    assert case.decls[0].classifier is Q.Classifier.LVALUE
+    restrict = NONNULL.restricts[0]
+    assert restrict.pattern == Q.PDeref("E1")
+
+
+def test_mutual_recursion_references():
+    assert "neg" in POS.referenced_qualifiers()
+    assert "pos" in NEG.referenced_qualifiers()
+
+
+def test_qualifier_set():
+    qs = standard_qualifiers()
+    assert "pos" in qs and "unique" in qs
+    assert qs.missing_references() == set()
+    assert {d.name for d in qs.ref_qualifiers()} == {"unique", "unaliased"}
+
+
+def test_multiple_definitions_in_one_source():
+    defs = parse_qualifiers(
+        """
+        value qualifier a(int Expr E)
+          invariant value(E) > 0
+        value qualifier b(int Expr E)
+          case E of decl int Expr E1: E1, where a(E1)
+        """
+    )
+    assert [d.name for d in defs] == ["a", "b"]
+    assert defs[1].referenced_qualifiers() == {"a"}
+
+
+def test_value_qualifier_rejects_ref_blocks():
+    with pytest.raises(QualParseError):
+        parse_qualifier(
+            """
+            value qualifier bad(int Expr E)
+              disallow E
+            """
+        )
+
+
+def test_ref_qualifier_rejects_case_blocks():
+    with pytest.raises(QualParseError):
+        parse_qualifier(
+            """
+            ref qualifier bad(int* LValue L)
+              case L of decl int Const C: C
+            """
+        )
+
+
+def test_ref_qualifier_requires_lvalue_classifier():
+    with pytest.raises(QualParseError):
+        parse_qualifier("ref qualifier bad(int* Expr E)")
+
+
+def test_case_subject_must_be_qualifier_var():
+    with pytest.raises(QualParseError):
+        parse_qualifier(
+            """
+            value qualifier bad(int Expr E)
+              case F of decl int Const C: C
+            """
+        )
+
+
+def test_bad_classifier_rejected():
+    with pytest.raises(QualParseError):
+        parse_qualifier("value qualifier bad(int Thing E)")
+
+
+def test_predicate_or_and_parens():
+    qdef = parse_qualifier(
+        """
+        value qualifier q(int Expr E)
+          case E of
+            decl int Const C:
+              C, where (C > 0 && C < 10) || C == 42
+        """
+    )
+    pred = qdef.cases[0].predicate
+    assert isinstance(pred, Q.PredOr)
+    assert isinstance(pred.left, Q.PredAnd)
+
+
+def test_arithmetic_in_predicate():
+    qdef = parse_qualifier(
+        """
+        value qualifier q(int Expr E)
+          case E of
+            decl int Const C:
+              C, where C % 2 == 0
+        """
+    )
+    pred = qdef.cases[0].predicate
+    assert pred == Q.PredCmp("==", Q.ABin("%", Q.AVar("C"), Q.ANum(2)), Q.ANum(0))
+
+
+def test_negative_number_in_invariant():
+    qdef = parse_qualifier(
+        """
+        value qualifier q(int Expr E)
+          invariant value(E) > -5
+        """
+    )
+    assert qdef.invariant == Q.ICmp(">", Q.IValue("E"), Q.INum(-5))
+
+
+def test_source_round_trip_recorded():
+    assert "case E of" in " ".join(POS.source.split())

@@ -1,0 +1,144 @@
+"""Unit tests for trigger derivation and E-matching."""
+
+from repro.prover.cnf import QuantAtom
+from repro.prover.quant import (
+    derive_triggers,
+    ground_pool,
+    instantiate,
+    match_term,
+)
+from repro.prover.terms import (
+    And,
+    Eq,
+    ForAll,
+    Implies,
+    Int,
+    Not,
+    Pr,
+    TVar,
+    fn,
+)
+
+a, b = fn("a"), fn("b")
+x, y = TVar("x"), TVar("y")
+
+
+# ------------------------------------------------------------------ matching
+
+
+def test_match_variable_binds():
+    assert match_term(x, a, {}) == {"x": a}
+
+
+def test_match_consistency():
+    pattern = fn("f", x, x)
+    assert match_term(pattern, fn("f", a, a), {}) == {"x": a}
+    assert match_term(pattern, fn("f", a, b), {}) is None
+
+
+def test_match_nested():
+    pattern = fn("f", fn("g", x), y)
+    ground = fn("f", fn("g", a), fn("h", b))
+    assert match_term(pattern, ground, {}) == {"x": a, "y": fn("h", b)}
+
+
+def test_match_respects_existing_bindings():
+    pattern = fn("f", x)
+    assert match_term(pattern, fn("f", a), {"x": b}) is None
+    assert match_term(pattern, fn("f", a), {"x": a}) == {"x": a}
+
+
+def test_match_integer_literals():
+    assert match_term(Int(3), Int(3), {}) == {}
+    assert match_term(Int(3), Int(4), {}) is None
+
+
+def test_match_arity_and_symbol():
+    assert match_term(fn("f", x), fn("g", a), {}) is None
+    assert match_term(fn("f", x), fn("f", a, b), {}) is None
+
+
+# ------------------------------------------------------------------ triggers
+
+
+def test_explicit_triggers_win():
+    atom = QuantAtom(("x",), Eq(fn("f", x), x), ((fn("mark", x),),))
+    assert derive_triggers(atom) == ((fn("mark", x),),)
+
+
+def test_derived_trigger_covers_all_vars():
+    atom = QuantAtom(("x",), Eq(fn("f", x), Int(0)), ())
+    triggers = derive_triggers(atom)
+    assert ((fn("f", x),),) == triggers
+
+
+def test_derived_trigger_skips_arithmetic():
+    # +(x, 1) is interpreted; f(x) is the usable pattern.
+    atom = QuantAtom(("x",), Eq(fn("f", x), fn("+", x, Int(1))), ())
+    triggers = derive_triggers(atom)
+    assert all(
+        pat.fname != "+" for trig in triggers for pat in trig
+    )
+
+
+def test_multi_pattern_when_no_single_cover():
+    atom = QuantAtom(
+        ("x", "y"),
+        Implies(Pr("P", (x,)), Pr("Q", (y,))),
+        (),
+    )
+    triggers = derive_triggers(atom)
+    assert triggers, "must derive something"
+    # The single multi-pattern must cover both variables.
+    names = {v for trig in triggers for pat in trig for v in _vars(pat)}
+    assert names == {"x", "y"}
+
+
+def _vars(term):
+    from repro.prover.terms import term_vars
+
+    return term_vars(term)
+
+
+def test_predicate_reified_in_pool():
+    pool = ground_pool([Pr("P", (a,)), Eq(b, Int(0))])
+    assert fn("@p_P", a) in pool
+    assert a in pool and b in pool
+
+
+# -------------------------------------------------------------- instantiation
+
+
+def test_instantiate_simple():
+    atom = QuantAtom(("x",), Eq(fn("f", x), Int(1)), ())
+    pool = ground_pool([Eq(fn("f", a), Int(0))])
+    seen = set()
+    out = instantiate(atom, pool, seen)
+    assert ((a,), Eq(fn("f", a), Int(1))) in out
+
+
+def test_instantiate_dedupes():
+    atom = QuantAtom(("x",), Eq(fn("f", x), Int(1)), ())
+    pool = ground_pool([Eq(fn("f", a), Int(0))])
+    seen = set()
+    first = instantiate(atom, pool, seen)
+    second = instantiate(atom, pool, seen)
+    assert first and not second
+
+
+def test_instantiate_multi_pattern_cross_product():
+    atom = QuantAtom(
+        ("x", "y"),
+        Implies(Pr("P", (x,)), Pr("Q", (y,))),
+        ((fn("@p_P", x), fn("@p_Q", y)),),
+    )
+    pool = ground_pool([Pr("P", (a,)), Pr("Q", (b,)), Pr("Q", (a,))])
+    out = instantiate(atom, pool, set())
+    args = {args for args, _body in out}
+    assert args == {(a, b), (a, a)}
+
+
+def test_instantiate_nothing_without_matches():
+    atom = QuantAtom(("x",), Eq(fn("f", x), Int(1)), ())
+    pool = ground_pool([Eq(fn("g", a), Int(0))])
+    assert instantiate(atom, pool, set()) == []

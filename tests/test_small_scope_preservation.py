@@ -1,0 +1,135 @@
+"""Small-scope, *exhaustive* validation of Theorem 5.1.
+
+Where test_preservation_property samples randomly, this module
+enumerates every program in a bounded fragment of the §5 calculus and
+checks semantic conformance (figure 11) for each — a small-scope
+mechanization of the preservation theorem for the standard qualifier
+library.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.qualifiers.library import standard_qualifiers
+from repro.semantics.lambda_ref import (
+    EBin,
+    EConst,
+    EDeref,
+    ENeg,
+    EVar,
+    SAssign,
+    SExpr,
+    SLet,
+    SRef,
+    SSeq,
+    check_conformance,
+    evaluate,
+    typecheck,
+)
+
+QUALS = standard_qualifiers()
+
+CONSTS = [-2, -1, 0, 1, 2]
+OPS = ["+", "-", "*"]
+
+
+def depth1_exprs():
+    for c in CONSTS:
+        yield EConst(c)
+
+
+def depth2_exprs():
+    yield from depth1_exprs()
+    for e in depth1_exprs():
+        yield ENeg(e)
+    for op, l, r in itertools.product(OPS, depth1_exprs(), depth1_exprs()):
+        yield EBin(op, l, r)
+
+
+def depth3_sample_exprs():
+    """Depth-3 expressions with depth-2 left subtrees (full depth 3 is
+    ~10^5 programs; one-sided nesting already exercises rule recursion)."""
+    for op, l, r in itertools.product(OPS, depth2_exprs(), depth1_exprs()):
+        yield EBin(op, l, r)
+    for e in depth2_exprs():
+        yield ENeg(e)
+
+
+def check_one(stmt):
+    ltype = typecheck(stmt, QUALS)
+    value, store = evaluate(stmt)
+    problems = check_conformance(value, ltype, store, QUALS)
+    assert problems == [], f"{stmt} : {ltype} -> {value}: {problems}"
+
+
+def test_all_depth2_expressions():
+    count = 0
+    for e in depth2_exprs():
+        check_one(SExpr(e))
+        count += 1
+    assert count == 5 + 5 + 3 * 25
+
+
+def test_all_depth3_left_nested_expressions():
+    for e in depth3_sample_exprs():
+        check_one(SExpr(e))
+
+
+def test_all_let_bindings_over_depth2():
+    for bound in depth2_exprs():
+        prog = SLet(
+            "x",
+            SExpr(bound),
+            SExpr(EBin("*", EVar("x"), EVar("x"))),
+        )
+        check_one(prog)
+
+
+def test_all_ref_cell_programs():
+    """Every (init, update) pair: when the program typechecks (storing
+    into a ``ref (int pos)`` cell demands a pos value — no subtyping
+    under ref), the cell's contents must conform after assignment."""
+    from repro.semantics.lambda_ref import LambdaTypeError
+
+    checked = rejected = 0
+    for init, update in itertools.product(depth1_exprs(), depth2_exprs()):
+        prog = SLet(
+            "r",
+            SRef(SExpr(init)),
+            SSeq(
+                SAssign(SExpr(EVar("r")), SExpr(update)),
+                SExpr(EDeref(EVar("r"))),
+            ),
+        )
+        try:
+            check_one(prog)
+            checked += 1
+        except LambdaTypeError:
+            rejected += 1  # e.g. storing 0 into ref (int pos): correct
+    # The richer the qualifier library, the more precise the inferred
+    # cell types and the fewer update expressions still fit them; what
+    # matters is that a real population passes and a real one is
+    # rejected by ref-type invariance.
+    assert checked >= 40
+    assert rejected > 0  # the invariance of ref types really bites
+
+
+def test_derived_qualifier_sets_are_tight_on_depth2():
+    """For every depth-2 expression, each of pos/neg/nonzero is derived
+    only if it is true of the value — and the constant rules are exact
+    (the compound rules may be incomplete but never wrong)."""
+    for e in depth2_exprs():
+        stmt = SExpr(e)
+        ltype = typecheck(stmt, QUALS)
+        value, _ = evaluate(stmt)
+        if "pos" in ltype.quals:
+            assert value > 0
+        if "neg" in ltype.quals:
+            assert value < 0
+        if "nonzero" in ltype.quals:
+            assert value != 0
+        if isinstance(e, EConst):
+            assert ("pos" in ltype.quals) == (value > 0)
+            assert ("neg" in ltype.quals) == (value < 0)
+            assert ("nonzero" in ltype.quals) == (value != 0)

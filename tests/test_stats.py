@@ -1,0 +1,136 @@
+"""Unit tests for program statistics (the table-column metrics)."""
+
+from repro.analysis.stats import (
+    count_dereferences,
+    count_lines,
+    count_printf_calls,
+    program_stats,
+)
+from repro.cfront.parser import parse_c
+from repro.cil.lower import lower_unit
+
+
+def compile_c(src):
+    return lower_unit(parse_c(src))
+
+
+# -------------------------------------------------------------- line counts
+
+
+def test_count_lines_skips_blank_and_comments():
+    src = """
+// leading comment
+int x;
+
+/* block
+   comment */
+int y;   // trailing comment counts the line
+"""
+    assert count_lines(src) == 2  # only the two declaration lines
+
+
+def test_count_lines_block_comment_inline():
+    assert count_lines("int /* c */ x;\n") == 1
+
+
+def test_count_lines_empty():
+    assert count_lines("") == 0
+    assert count_lines("\n\n// only comments\n/* and this */\n") == 0
+
+
+# ------------------------------------------------------------- dereferences
+
+
+def test_deref_counts_reads_and_writes():
+    prog = compile_c(
+        """
+        void f(int* p) {
+          int a = *p;     /* 1 */
+          *p = a;         /* 2 */
+        }
+        """
+    )
+    assert count_dereferences(prog) == 2
+
+
+def test_deref_counts_fields_and_indexing():
+    prog = compile_c(
+        """
+        struct s { int v; int* arr; };
+        int f(struct s* p, int i) {
+          return p->v + p->arr[i];   /* p->v, p->arr, p->arr[i] */
+        }
+        """
+    )
+    assert count_dereferences(prog) == 3
+
+
+def test_deref_counts_conditions_and_returns():
+    prog = compile_c(
+        """
+        int f(int* p) {
+          if (*p > 0) { return *p; }
+          while (*p < 10) { *p = *p + 1; }
+          return 0;
+        }
+        """
+    )
+    # if-cond + return + while-cond + body write + body read = 5
+    assert count_dereferences(prog) == 5
+
+
+def test_array_locals_not_counted_as_derefs():
+    prog = compile_c("int f() { int a[4]; a[1] = 2; return a[1]; }")
+    assert count_dereferences(prog) == 0  # direct offsets, no pointer deref
+
+
+def test_deref_in_call_arguments():
+    prog = compile_c(
+        """
+        void g(int x);
+        void f(int* p) { g(*p); }
+        """
+    )
+    assert count_dereferences(prog) == 1
+
+
+# -------------------------------------------------------------- printf calls
+
+
+def test_printf_family_counted():
+    prog = compile_c(
+        """
+        int printf(char* fmt, ...);
+        int fprintf(int s, char* fmt, ...);
+        int sprintf(char* b, char* fmt, ...);
+        void f(char* b) {
+          printf("a");
+          fprintf(2, "b");
+          sprintf(b, "c");
+        }
+        """
+    )
+    assert count_printf_calls(prog) == 3
+
+
+def test_wrappers_counted_when_named():
+    prog = compile_c(
+        """
+        int reply(char* fmt, ...) { return 0; }
+        void f() { reply("x"); reply("y"); }
+        """
+    )
+    assert count_printf_calls(prog) == 0
+    assert count_printf_calls(prog, wrappers=("reply",)) == 2
+
+
+def test_program_stats_bundle():
+    src = """
+    int printf(char* fmt, ...);
+    void f(int* p) { printf("%d", *p); }
+    """
+    stats = program_stats(src, compile_c(src))
+    assert stats.lines == 2
+    assert stats.dereferences == 1
+    assert stats.printf_calls == 1
+    assert "lines: 2" in str(stats)

@@ -1,0 +1,92 @@
+"""Tests for the user/kernel flow qualifiers (section 2.1.4's second
+flow-qualifier example, after Johnson & Wagner)."""
+
+import pytest
+
+from repro.core.checker.typecheck import check_program
+from repro.core.qualifiers.ast import QualifierSet
+from repro.core.qualifiers.library import KERNEL, USER
+from repro.core.soundness.checker import check_soundness
+from repro.cfront.parser import parse_c
+from repro.cil.lower import lower_unit
+
+QUALS = QualifierSet([KERNEL, USER])
+NAMES = {"user", "kernel"}
+
+
+def check(src):
+    return check_program(lower_unit(parse_c(src, qualifier_names=NAMES)), QUALS)
+
+
+def test_kernel_pointer_dereference_allowed():
+    report = check(
+        """
+        int read_flag(int* kernel config) {
+          return *config;
+        }
+        """
+    )
+    assert report.ok, report.summary()
+
+
+def test_user_pointer_dereference_rejected():
+    # The user/kernel bug class: dereferencing an unchecked user pointer.
+    report = check(
+        """
+        int syscall_arg(int* user ptr) {
+          return *ptr;
+        }
+        """
+    )
+    assert not report.ok
+    assert report.errors_for("user")
+
+
+def test_unannotated_pointer_dereference_rejected():
+    # Everything is potentially a user pointer until marked kernel.
+    report = check("int f(int* p) { return *p; }")
+    assert not report.ok
+
+
+def test_kernel_flows_to_user_context():
+    # kernel data may be passed where arbitrary (user) data is expected:
+    # T kernel <= T, and `user`'s case clause accepts anything.
+    report = check(
+        """
+        void accept_any(int* user p);
+        void f(int* kernel k) { accept_any(k); }
+        """
+    )
+    assert report.ok, report.summary()
+
+
+def test_user_does_not_flow_to_kernel():
+    report = check(
+        """
+        void kernel_only(int* kernel p);
+        void f(int* user u) { kernel_only(u); }
+        """
+    )
+    assert not report.ok
+    assert report.errors_for("kernel")
+
+
+def test_copy_from_user_pattern():
+    # The sanctioned idiom: an explicit cast models copy_from_user's
+    # verified transfer into kernel space.
+    report = check(
+        """
+        int syscall_arg(int* user ptr) {
+          int* kernel safe = (int* kernel) ptr;
+          return *safe;
+        }
+        """
+    )
+    assert report.ok, report.summary()
+
+
+def test_flow_qualifiers_trivially_sound():
+    for qdef in (KERNEL, USER):
+        report = check_soundness(qdef, QUALS)
+        assert report.sound
+        assert all(r.obligation.trivial for r in report.results)

@@ -1,0 +1,122 @@
+"""Tests for qualifier-definition validation (lint)."""
+
+from repro.core.qualifiers.library import standard_qualifiers
+from repro.core.qualifiers.parser import parse_qualifier
+from repro.core.qualifiers.validate import validate_definition, validate_set
+
+QUALS = standard_qualifiers()
+
+
+def problems_of(src):
+    return validate_definition(parse_qualifier(src), QUALS)
+
+
+def test_standard_library_is_clean():
+    assert validate_set(QUALS) == []
+
+
+def test_undefined_qualifier_reference():
+    problems = problems_of(
+        """
+        value qualifier q(int Expr E)
+          case E of
+            decl int Expr E1: E1, where ghostqual(E1)
+        """
+    )
+    assert any("ghostqual" in p for p in problems)
+
+
+def test_comparison_on_non_const():
+    problems = problems_of(
+        """
+        value qualifier q(int Expr E)
+          case E of
+            decl int Expr E1: E1, where E1 > 0
+        """
+    )
+    assert any("Const" in p for p in problems)
+
+
+def test_unbound_predicate_variable():
+    problems = problems_of(
+        """
+        value qualifier q(int Expr E)
+          case E of
+            decl int Expr E1, E2: -E1, where q(E2)
+        """
+    )
+    assert any("E2" in p and "not bind" in p for p in problems)
+
+
+def test_unused_declared_variable():
+    problems = problems_of(
+        """
+        value qualifier q(int Expr E)
+          case E of
+            decl int Expr E1, E2: -E1
+        """
+    )
+    assert any("never bound" in p for p in problems)
+
+
+def test_invariant_wrong_subject_name():
+    problems = problems_of(
+        """
+        value qualifier q(int Expr E)
+          invariant value(F) > 0
+        """
+    )
+    assert any("does not name the subject" in p for p in problems)
+
+
+def test_location_in_value_invariant():
+    problems = problems_of(
+        """
+        value qualifier q(int Expr E)
+          invariant location(E) != NULL
+        """
+    )
+    assert any("reference qualifiers" in p for p in problems)
+
+
+def test_unbound_invariant_variable():
+    problems = problems_of(
+        """
+        ref qualifier q(int* LValue L)
+          assign L NULL
+          invariant *P != location(L)
+        """
+    )
+    assert any("unbound variable 'P'" in p for p in problems)
+
+
+def test_forall_binds_invariant_variable():
+    problems = problems_of(
+        """
+        ref qualifier q(int* LValue L)
+          assign L NULL
+          invariant forall int* P: *P != location(L)
+        """
+    )
+    assert problems == []
+
+
+def test_ref_qualifier_without_introduction():
+    problems = problems_of(
+        """
+        ref qualifier q(int* LValue L)
+          disallow L
+          invariant value(L) == NULL
+        """
+    )
+    assert any("neither assign rules nor ondecl" in p for p in problems)
+
+
+def test_value_invariant_without_cases_noted():
+    problems = problems_of(
+        """
+        value qualifier q(int Expr E)
+          invariant value(E) > 0
+        """
+    )
+    assert any("only casts" in p for p in problems)
