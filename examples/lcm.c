@@ -1,0 +1,10 @@
+/* The paper's running example (section 2.1): pos-qualified arithmetic.
+ * Checks clean; the cast inserts one runtime check. */
+
+int pos gcd(int pos n, int pos m);
+
+int pos lcm(int pos a, int pos b) {
+  int pos d = gcd(a, b);
+  int pos prod = a * b;
+  return (int pos) (prod / d);
+}

@@ -1,0 +1,12 @@
+/* nonnull pointers: a dereference is only legal through a pointer the
+ * rules can prove non-null (postfix: `int* nonnull` is a non-null
+ * pointer to int, paper section 2.1).  Checks clean. */
+
+int deref(int* nonnull p) {
+  return *p;
+}
+
+int pick(int* nonnull a) {
+  int* nonnull q = a;
+  return deref(q);
+}

@@ -1,0 +1,13 @@
+/* Taint tracking (paper section 6.3): format strings must be
+ * untainted before reaching printf-like sinks.  Checks clean; each
+ * cast of a literal to untainted inserts a runtime check. */
+
+int printf(char* untainted fmt, ...);
+
+void greet(char* untainted name) {
+  printf(name);
+}
+
+void banner() {
+  printf((char* untainted)"semantic type qualifiers\n");
+}

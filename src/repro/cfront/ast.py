@@ -253,6 +253,9 @@ class TranslationUnit:
     structs: List[StructDef] = field(default_factory=list)
     globals: List[GlobalDecl] = field(default_factory=list)
     functions: List[FuncDef] = field(default_factory=list)
+    # Syntax errors recovered from in panic mode (parse_c(recover=True));
+    # empty when parsing succeeded outright or recovery was off.
+    errors: List[Exception] = field(default_factory=list)
 
     def struct(self, name: str) -> StructDef:
         for s in self.structs:

@@ -102,16 +102,29 @@ class Lexer:
     the parser).
     """
 
-    def __init__(self, source: str):
+    def __init__(self, source: str, tolerant: bool = False):
         self.source = source
         self.pos = 0
         self.line = 1
         self.col = 1
+        # Tolerant mode (used by panic-mode parsing): a malformed token
+        # — stray byte, unterminated literal — is emitted as a punct
+        # token instead of raising, so the parser can flag it as a
+        # syntax error, synchronize, and keep going.
+        self.tolerant = tolerant
 
     def tokens(self) -> List[Token]:
         toks = []
         while True:
-            tok = self._next()
+            try:
+                tok = self._next()
+            except LexError:
+                if not self.tolerant:
+                    raise
+                line, col = self.line, self.col
+                ch = self._peek() or ";"
+                self._advance()
+                tok = Token("punct", ch, line, col)
             toks.append(tok)
             if tok.kind == "eof":
                 return toks
@@ -216,6 +229,6 @@ class Lexer:
         raise self._error(f"unexpected character {ch!r}")
 
 
-def tokenize(source: str) -> List[Token]:
+def tokenize(source: str, tolerant: bool = False) -> List[Token]:
     """Convenience wrapper: tokenize ``source`` in one call."""
-    return Lexer(source).tokens()
+    return Lexer(source, tolerant=tolerant).tokens()

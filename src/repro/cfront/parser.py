@@ -49,11 +49,26 @@ class ParseError(Exception):
 
 
 class Parser:
-    def __init__(self, source: str, qualifier_names: Iterable[str] = ()):
-        self.tokens = tokenize(source)
+    """``recover=True`` enables panic-mode error recovery: a syntax
+    error inside a function body (or at top level) is recorded in
+    ``self.errors`` and the parser synchronizes to the next ``;`` or
+    ``}`` at the right nesting depth, so one run reports *every* syntax
+    error in a unit instead of dying on the first.  With
+    ``recover=False`` (the default) the first error raises, as before.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        qualifier_names: Iterable[str] = (),
+        recover: bool = False,
+    ):
+        self.tokens = tokenize(source, tolerant=recover)
         self.pos = 0
         self.qualifier_names: Set[str] = set(qualifier_names)
         self.typedefs: dict = {}
+        self.recover = recover
+        self.errors: List[ParseError] = []
 
     # ------------------------------------------------------------ utilities
 
@@ -92,31 +107,85 @@ class Parser:
     def parse_translation_unit(self) -> A.TranslationUnit:
         unit = A.TranslationUnit()
         while self._peek().kind != "eof":
-            if self._at(";"):
-                self._advance()
-                continue
-            self._skip_storage()
-            if self._at("typedef"):
-                self._parse_typedef()
-                continue
-            if self._at("struct") and self._peek(2).text == "{":
-                unit.structs.append(self._parse_struct_def())
-                continue
-            if self._at("union") and self._peek(2).text == "{":
-                unit.structs.append(self._parse_struct_def(is_union=True))
-                continue
-            loc = self._loc()
-            ctype = self._parse_type()
-            name = self._expect_id().text
-            if self._at("("):
-                unit.functions.append(self._parse_function(ctype, name, loc))
-            else:
-                unit.globals.extend(self._parse_global_tail(ctype, name, loc))
+            try:
+                self._parse_top_level(unit)
+            except ParseError as err:
+                if not self.recover:
+                    raise
+                self.errors.append(err)
+                self._synchronize_top_level()
+        unit.errors = list(self.errors)
         return unit
+
+    def _parse_top_level(self, unit: A.TranslationUnit) -> None:
+        if self._at(";"):
+            self._advance()
+            return
+        self._skip_storage()
+        if self._at("typedef"):
+            self._parse_typedef()
+            return
+        if self._at("struct") and self._peek(2).text == "{":
+            unit.structs.append(self._parse_struct_def())
+            return
+        if self._at("union") and self._peek(2).text == "{":
+            unit.structs.append(self._parse_struct_def(is_union=True))
+            return
+        loc = self._loc()
+        ctype = self._parse_type()
+        name = self._expect_id().text
+        if self._at("("):
+            unit.functions.append(self._parse_function(ctype, name, loc))
+        else:
+            unit.globals.extend(self._parse_global_tail(ctype, name, loc))
 
     def _skip_storage(self) -> None:
         while self._peek().kind == "id" and self._peek().text in _STORAGE_KEYWORDS:
             self._advance()
+
+    # ------------------------------------------------------ panic-mode sync
+
+    def _synchronize_statement(self) -> None:
+        """After a syntax error inside a function body: skip to just
+        past the next ``;`` at the current brace depth, or stop *at*
+        the ``}`` that closes the enclosing block (the block loop
+        consumes it).  Braces opened while skipping are matched so a
+        mangled nested block does not desynchronize the parser."""
+        depth = 0
+        while True:
+            tok = self._peek()
+            if tok.kind == "eof":
+                return
+            if tok.text == "}" and depth == 0:
+                return
+            self._advance()
+            if tok.text == "{":
+                depth += 1
+            elif tok.text == "}":
+                depth -= 1
+            elif tok.text == ";" and depth == 0:
+                return
+
+    def _synchronize_top_level(self) -> None:
+        """After a syntax error at top level: skip past the next
+        ``;`` outside braces or past the ``}`` closing the outermost
+        open brace, whichever comes first — i.e. drop the rest of the
+        broken declaration or function and resume at the next one."""
+        depth = 0
+        while True:
+            tok = self._peek()
+            if tok.kind == "eof":
+                return
+            self._advance()
+            if tok.text == "{":
+                depth += 1
+            elif tok.text == "}":
+                if depth > 0:
+                    depth -= 1
+                if depth == 0:
+                    return
+            elif tok.text == ";" and depth == 0:
+                return
 
     # --------------------------------------------------------------- types
 
@@ -308,7 +377,20 @@ class Parser:
         self._expect("{")
         stmts: List[A.Stmt] = []
         while not self._at("}"):
-            stmts.append(self._parse_statement())
+            if self._peek().kind == "eof":
+                err = ParseError("unexpected end of file in block", self._peek())
+                if not self.recover:
+                    raise err
+                self.errors.append(err)
+                return A.Block(stmts=stmts, loc=loc)
+            if not self.recover:
+                stmts.append(self._parse_statement())
+                continue
+            try:
+                stmts.append(self._parse_statement())
+            except ParseError as err:
+                self.errors.append(err)
+                self._synchronize_statement()
         self._expect("}")
         return A.Block(stmts=stmts, loc=loc)
 
@@ -621,14 +703,20 @@ def parse_c(
     source: str,
     qualifier_names: Iterable[str] = (),
     run_preprocessor: bool = True,
+    recover: bool = False,
 ) -> A.TranslationUnit:
     """Parse C source into a :class:`TranslationUnit`.
 
     When ``run_preprocessor`` is true, object-like macros are expanded
     first, so qualifier macros (``#define pos __attribute__((pos))``)
     work exactly as in the paper's setup.
+
+    With ``recover=True``, syntax errors do not raise: the parser
+    panic-mode-synchronizes past each one and the returned unit carries
+    every diagnostic in ``unit.errors`` — so a single ``check`` run can
+    report all syntax errors in a file, not just the first.
     """
     if run_preprocessor:
         source = preprocess(source).text
-    parser = Parser(source, qualifier_names=qualifier_names)
+    parser = Parser(source, qualifier_names=qualifier_names, recover=recover)
     return parser.parse_translation_unit()

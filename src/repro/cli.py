@@ -1,33 +1,65 @@
 """Command-line interface.
 
-    python -m repro check FILE.c [--quals DEFS.qual] [--flow-sensitive]
-    python -m repro prove DEFS.qual [--qualifier NAME]
+    python -m repro check FILE.c [MORE.c ...] [--quals DEFS.qual] [--flow-sensitive]
+    python -m repro prove DEFS.qual [MORE.qual ...] [--qualifier NAME]
     python -m repro run FILE.c [--entry MAIN]
     python -m repro show-ir FILE.c
-    python -m repro infer FILE.c --qualifier NAME [--quals DEFS.qual]
+    python -m repro infer FILE.c [MORE.c ...] --qualifier NAME [--quals DEFS.qual]
 
-``check`` exits nonzero when qualifier warnings are found; ``prove``
-exits nonzero when any obligation fails — so both fit CI pipelines.
-Qualifier definition files use the paper's rule language; without
-``--quals`` the standard library (pos/neg/nonzero/nonnull/tainted/
-untainted/unique/unaliased) is loaded.
+``check``, ``prove`` and ``infer`` are batch commands: they accept any
+number of input files, and every file (and every proof obligation) runs
+in an isolated unit-of-work so one bad input degrades to a structured
+verdict instead of aborting the run.  Shared batch flags:
+
+* ``--keep-going`` — continue past failing units (the default stops
+  dispatching new units after the first ERROR-or-worse verdict);
+* ``--jobs N`` — fan units out over a process pool with preemptive
+  per-child deadlines;
+* ``--unit-timeout S`` — wall-clock budget per unit;
+* ``--format json`` — machine-readable per-unit report.
+
+Exit codes (documented contract, see docs/robustness.md): 0 clean,
+1 qualifier warnings / unsound rules found, 2 input error or timeout,
+3 an internal crash was survived.  Qualifier definition files use the
+paper's rule language; without ``--quals`` the standard library
+(pos/neg/nonzero/nonnull/tainted/untainted/unique/unaliased) is loaded.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro.cfront.lexer import LexError
 from repro.cfront.parser import ParseError, parse_c
 from repro.cil.lower import LowerError, lower_unit
 from repro.cil.printer import program_to_c
+from repro.core.checker.diagnostics import code_for
 from repro.core.checker.typecheck import QualifierChecker
 from repro.core.qualifiers.ast import QualifierSet
 from repro.core.qualifiers.library import standard_qualifiers
 from repro.core.qualifiers.parser import QualParseError, parse_qualifiers
 from repro.core.soundness.checker import check_soundness
+from repro.harness import batch
+from repro.harness.watchdog import Deadline, RetryPolicy
 from repro.semantics.csem import CRuntimeError, run_program
+
+#: Worst-first ordering used to combine per-obligation verdicts into a
+#: unit verdict (distinct from exit-code severity, which ties some).
+_VERDICT_RANK = {
+    batch.OK: 0,
+    batch.WARNINGS: 1,
+    batch.UNKNOWN: 2,
+    batch.TIMEOUT: 3,
+    batch.ERROR: 4,
+    batch.CRASH: 5,
+}
+
+
+def _worst(verdicts) -> str:
+    return max(verdicts, key=lambda v: _VERDICT_RANK.get(v, 5), default=batch.OK)
 
 
 def _load_qualifiers(args) -> QualifierSet:
@@ -42,42 +74,201 @@ def _load_qualifiers(args) -> QualifierSet:
     return QualifierSet(defs)
 
 
+def _read_source(path: str) -> str:
+    # Binary read + explicit decode so a non-UTF-8 file produces a
+    # clean UnicodeDecodeError (input error) instead of a traceback.
+    with open(path, "rb") as handle:
+        return handle.read().decode("utf-8")
+
+
 def _load_program(path: str, quals: QualifierSet):
-    with open(path) as handle:
-        source = handle.read()
-    unit = parse_c(source, qualifier_names=quals.names)
+    unit = parse_c(_read_source(path), qualifier_names=quals.names)
     return lower_unit(unit)
+
+
+def _parse_error_dict(err: Exception) -> dict:
+    return {
+        "code": code_for("parse"),
+        "kind": "parse",
+        "qualifier": "-",
+        "message": str(err),
+        "severity": "error",
+        "text": f"error: {err}",
+    }
+
+
+# ------------------------------------------------------------------ workers
+
+
+def _check_worker(args, quals: QualifierSet):
+    """Unit worker for ``check``: parse (with panic-mode recovery),
+    lower, typecheck one file."""
+
+    def worker(path: str, deadline: Deadline) -> batch.UnitResult:
+        source = _read_source(path)
+        unit = parse_c(source, qualifier_names=quals.names, recover=True)
+        diagnostics = [_parse_error_dict(e) for e in unit.errors]
+        deadline.check("after parse")
+        program = lower_unit(unit)
+        checker = QualifierChecker(
+            program, quals, flow_sensitive=args.flow_sensitive
+        )
+        report = checker.check()
+        diagnostics.extend(
+            {**d.to_dict(), "text": str(d)} for d in report.diagnostics
+        )
+        if unit.errors:
+            verdict = batch.ERROR
+        elif report.diagnostics:
+            verdict = batch.WARNINGS
+        else:
+            verdict = batch.OK
+        return batch.UnitResult(
+            unit=path,
+            verdict=verdict,
+            diagnostics=diagnostics,
+            error=str(unit.errors[0]) if unit.errors else "",
+            detail={
+                "warnings": report.warning_count,
+                "runtime_checks": len(report.runtime_checks),
+            },
+        )
+
+    return worker
+
+
+def _prove_worker(args):
+    """Unit worker for ``prove``: soundness-check every qualifier
+    defined in one ``.qual`` file, one obligation at a time."""
+    retry = RetryPolicy(max_attempts=args.retries + 1)
+
+    def worker(path: str, deadline: Deadline) -> batch.UnitResult:
+        defs = parse_qualifiers(_read_source(path))
+        quals = QualifierSet(
+            list(standard_qualifiers())
+            + [d for d in defs if d.name not in standard_qualifiers().names]
+        )
+        verdicts = [batch.OK]
+        summaries: List[dict] = []
+        for qdef in defs:
+            if args.qualifier and qdef.name != args.qualifier:
+                continue
+            report = check_soundness(
+                qdef,
+                quals,
+                time_limit=args.time_limit,
+                retry=retry,
+                deadline=deadline,
+            )
+            entry = report.to_dict()
+            entry["summary"] = report.summary()
+            summaries.append(entry)
+            for res in report.results:
+                if res.verdict == "CRASH":
+                    verdicts.append(batch.CRASH)
+                elif res.verdict == "TIMEOUT":
+                    verdicts.append(batch.TIMEOUT)
+                elif res.verdict == "GAVE_UP":
+                    verdicts.append(batch.UNKNOWN)
+                elif not res.proved:
+                    verdicts.append(batch.WARNINGS)
+        return batch.UnitResult(
+            unit=path,
+            verdict=_worst(verdicts),
+            detail={"qualifiers": summaries},
+        )
+
+    return worker
+
+
+def _infer_worker(args, quals: QualifierSet, qdef):
+    def worker(path: str, deadline: Deadline) -> batch.UnitResult:
+        from repro.analysis.infer import infer_value_qualifier
+
+        program = _load_program(path, quals)
+        result = infer_value_qualifier(
+            program, qdef, quals, flow_sensitive=args.flow_sensitive
+        )
+        return batch.UnitResult(
+            unit=path,
+            verdict=batch.OK,
+            detail={
+                "summary": result.summary(),
+                "entities": sorted(str(e) for e in result.inferred),
+            },
+        )
+
+    return worker
+
+
+# ----------------------------------------------------------------- commands
+
+
+def _run_batch(args, worker) -> batch.BatchReport:
+    return batch.run_units(
+        args.files,
+        worker,
+        keep_going=args.keep_going,
+        jobs=args.jobs,
+        unit_timeout=args.unit_timeout,
+    )
+
+
+def _print_unit_header(path: str, many: bool) -> None:
+    if many:
+        print(f"== {path}")
 
 
 def cmd_check(args) -> int:
     quals = _load_qualifiers(args)
-    program = _load_program(args.file, quals)
-    checker = QualifierChecker(program, quals, flow_sensitive=args.flow_sensitive)
-    report = checker.check()
-    for diag in report.diagnostics:
-        print(diag)
-    if report.runtime_checks:
-        print(f"{len(report.runtime_checks)} runtime check(s) inserted for casts")
-    print(f"{report.error_count} qualifier warning(s)")
-    return 1 if report.diagnostics else 0
+    report = _run_batch(args, _check_worker(args, quals))
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code
+    many = len(args.files) > 1
+    for result in report.results:
+        _print_unit_header(result.unit, many)
+        if result.verdict == batch.SKIPPED:
+            print("skipped (earlier unit failed; use --keep-going)")
+            continue
+        warnings = 0
+        for diag in result.diagnostics:
+            if diag.get("severity") == "error":
+                print(diag["text"], file=sys.stderr)
+            else:
+                print(diag["text"])
+                warnings += 1
+        if result.verdict in (batch.CRASH, batch.TIMEOUT) or (
+            result.verdict == batch.ERROR and not result.diagnostics
+        ):
+            print(f"error: {result.error}", file=sys.stderr)
+        checks = result.detail.get("runtime_checks", 0)
+        if checks:
+            print(f"{checks} runtime check(s) inserted for casts")
+        print(f"{warnings} qualifier warning(s)")
+    if many:
+        print(report.summary())
+    return report.exit_code
 
 
 def cmd_prove(args) -> int:
-    with open(args.file) as handle:
-        defs = parse_qualifiers(handle.read())
-    quals = QualifierSet(
-        list(standard_qualifiers())
-        + [d for d in defs if d.name not in standard_qualifiers().names]
-    )
-    failed = 0
-    for qdef in defs:
-        if args.qualifier and qdef.name != args.qualifier:
+    report = _run_batch(args, _prove_worker(args))
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code
+    many = len(args.files) > 1
+    for result in report.results:
+        _print_unit_header(result.unit, many)
+        if result.verdict == batch.SKIPPED:
+            print("skipped (earlier unit failed; use --keep-going)")
             continue
-        report = check_soundness(qdef, quals, time_limit=args.time_limit)
+        if result.error:
+            print(f"error: {result.error}", file=sys.stderr)
+        for entry in result.detail.get("qualifiers", ()):
+            print(entry["summary"])
+    if many:
         print(report.summary())
-        if not report.sound:
-            failed += 1
-    return 1 if failed else 0
+    return report.exit_code
 
 
 def cmd_run(args) -> int:
@@ -103,21 +294,30 @@ def cmd_show_ir(args) -> int:
 
 
 def cmd_infer(args) -> int:
-    from repro.analysis.infer import infer_value_qualifier
-
     quals = _load_qualifiers(args)
     qdef = quals.get(args.qualifier)
     if qdef is None:
         print(f"unknown qualifier {args.qualifier!r}", file=sys.stderr)
         return 2
-    program = _load_program(args.file, quals)
-    result = infer_value_qualifier(
-        program, qdef, quals, flow_sensitive=args.flow_sensitive
-    )
-    print(result.summary())
-    for entity in sorted(result.inferred):
-        print(f"  {args.qualifier} at {entity}")
-    return 0
+    report = _run_batch(args, _infer_worker(args, quals, qdef))
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code
+    many = len(args.files) > 1
+    for result in report.results:
+        _print_unit_header(result.unit, many)
+        if result.verdict == batch.SKIPPED:
+            print("skipped (earlier unit failed; use --keep-going)")
+            continue
+        if result.error:
+            print(f"error: {result.error}", file=sys.stderr)
+            continue
+        print(result.detail["summary"])
+        for entity in result.detail["entities"]:
+            print(f"  {args.qualifier} at {entity}")
+    if many:
+        print(report.summary())
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -146,15 +346,54 @@ def build_parser() -> argparse.ArgumentParser:
                 help="enable guard refinement (section 8 extension)",
             )
 
-    p_check = sub.add_parser("check", help="qualifier-check a C file")
-    p_check.add_argument("file")
+    def batch_flags(p):
+        p.add_argument(
+            "--keep-going",
+            action="store_true",
+            help="continue past units that fail (ERROR/TIMEOUT/CRASH)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="run units in N worker processes (with per-child deadlines)",
+        )
+        p.add_argument(
+            "--unit-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget per unit of work",
+        )
+        p.add_argument(
+            "--format",
+            choices=("text", "json"),
+            default="text",
+            help="report format (json: structured per-unit verdicts)",
+        )
+
+    p_check = sub.add_parser("check", help="qualifier-check C files")
+    p_check.add_argument("files", nargs="+", metavar="file")
     common(p_check)
+    batch_flags(p_check)
     p_check.set_defaults(fn=cmd_check)
 
-    p_prove = sub.add_parser("prove", help="soundness-check qualifier definitions")
-    p_prove.add_argument("file")
+    p_prove = sub.add_parser(
+        "prove", help="soundness-check qualifier definitions"
+    )
+    p_prove.add_argument("files", nargs="+", metavar="file")
     p_prove.add_argument("--qualifier", help="prove only this qualifier")
     p_prove.add_argument("--time-limit", type=float, default=45.0)
+    p_prove.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry GAVE_UP obligations up to N times with escalating "
+        "budgets and exponential backoff",
+    )
+    batch_flags(p_prove)
     p_prove.set_defaults(fn=cmd_prove)
 
     p_run = sub.add_parser("run", help="execute a C file with runtime checks")
@@ -170,9 +409,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_ir.set_defaults(fn=cmd_show_ir)
 
     p_infer = sub.add_parser("infer", help="infer annotations for a qualifier")
-    p_infer.add_argument("file")
+    p_infer.add_argument("files", nargs="+", metavar="file")
     p_infer.add_argument("--qualifier", required=True)
     common(p_infer)
+    batch_flags(p_infer)
     p_infer.set_defaults(fn=cmd_infer)
 
     return parser
@@ -183,11 +423,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except (ParseError, LowerError, QualParseError) as exc:
+    except (ParseError, LexError, LowerError, QualParseError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except FileNotFoundError as exc:
+    except UnicodeDecodeError as exc:
+        print(f"error: input is not valid UTF-8: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:  # unreadable file, missing file, EACCES, ...
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RecursionError:
+        print(
+            "error: input too deeply nested (recursion limit exceeded)",
+            file=sys.stderr,
+        )
         return 2
 
 

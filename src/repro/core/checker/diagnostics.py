@@ -8,9 +8,36 @@ violation in the program.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cfront.ast import Loc
+
+#: Stable machine-readable codes per diagnostic kind.  Q0xx are
+#: pipeline/input failures (reported by the batch harness), Q1xx are
+#: qualifier-rule violations from the typechecker.  Codes are part of
+#: the tool's output contract (--format json); never renumber, only
+#: append.
+DIAGNOSTIC_CODES: Dict[str, str] = {
+    "parse": "Q001",  # C syntax error (including panic-mode recoveries)
+    "lower": "Q002",  # surface AST -> CIL lowering failure
+    "qualfile": "Q003",  # malformed qualifier definition file
+    "io": "Q004",  # unreadable / undecodable input
+    "internal": "Q005",  # survived internal crash (CRASH verdict)
+    "timeout": "Q006",  # unit exceeded its wall-clock deadline
+    "assign": "Q101",
+    "restrict": "Q102",
+    "disallow": "Q103",
+    "call": "Q104",
+    "return": "Q105",
+    "base": "Q106",
+}
+
+_UNKNOWN_CODE = "Q999"
+
+
+def code_for(kind: str) -> str:
+    """The stable ``Q###`` code for a diagnostic kind."""
+    return DIAGNOSTIC_CODES.get(kind, _UNKNOWN_CODE)
 
 
 @dataclass(frozen=True)
@@ -22,10 +49,29 @@ class Diagnostic:
     message: str
     loc: Loc = field(default_factory=Loc)
     function: str = ""
+    severity: str = "warning"  # the paper reports violations as warnings
+
+    @property
+    def code(self) -> str:
+        return code_for(self.kind)
 
     def __str__(self) -> str:
         where = f"{self.function}: " if self.function else ""
-        return f"{where}{self.loc}: [{self.qualifier}/{self.kind}] {self.message}"
+        return (
+            f"{where}{self.loc}: {self.code} "
+            f"[{self.qualifier}/{self.kind}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "kind": self.kind,
+            "qualifier": self.qualifier,
+            "message": self.message,
+            "severity": self.severity,
+            "loc": str(self.loc),
+            "function": self.function,
+        }
 
 
 @dataclass
@@ -53,8 +99,28 @@ class Report:
         return not self.diagnostics
 
     @property
+    def warning_count(self) -> int:
+        """Diagnostics with warning severity — the paper's default for
+        every rule violation (checking continues past them)."""
+        return sum(1 for d in self.diagnostics if d.severity == "warning")
+
+    @property
     def error_count(self) -> int:
+        """Total diagnostics, regardless of severity.
+
+        Historically the CLI printed ``error_count`` but keyed its exit
+        status on ``diagnostics`` being non-empty; both are the same
+        quantity, and this property is the single source of truth for
+        "did checking find anything".
+        """
         return len(self.diagnostics)
+
+    def to_dict(self) -> dict:
+        return {
+            "warnings": self.warning_count,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "runtime_checks": len(self.runtime_checks),
+        }
 
     def errors_for(self, qualifier: str) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.qualifier == qualifier]

@@ -10,21 +10,44 @@ from typing import Dict, List, Optional
 from repro.core.qualifiers.ast import QualifierDef, QualifierSet
 from repro.core.soundness.axioms import semantics_axioms
 from repro.core.soundness.obligations import Obligation, generate_obligations
-from repro.prover.prover import ProofResult, Prover
+from repro.harness.watchdog import (
+    NO_RETRY,
+    Deadline,
+    RetryPolicy,
+    recursion_guard,
+)
+from repro.prover.prover import GAVE_UP, TIMEOUT, ProofResult, Prover
 
 
 @dataclass
 class ObligationResult:
     obligation: Obligation
     result: Optional[ProofResult]  # None for trivial obligations
+    # Non-empty when discharging this obligation crashed the prover
+    # (the exception is recorded, the remaining obligations still run).
+    error: str = ""
 
     @property
     def proved(self) -> bool:
-        return self.obligation.trivial or (
-            self.result is not None and self.result.proved
+        return (
+            not self.error
+            and (
+                self.obligation.trivial
+                or (self.result is not None and self.result.proved)
+            )
         )
 
+    @property
+    def verdict(self) -> str:
+        if self.error:
+            return "CRASH"
+        if self.obligation.trivial:
+            return "PROVED"
+        return self.result.verdict if self.result is not None else GAVE_UP
+
     def __str__(self) -> str:
+        if self.error:
+            return f"{self.obligation}: CRASH ({self.error})"
         if self.obligation.trivial:
             return f"{self.obligation}: trivially sound (no invariant)"
         return f"{self.obligation}: {self.result}"
@@ -74,24 +97,56 @@ class SoundnessReport:
         lines.extend(f"  note: {p}" for p in self.lint)
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict:
+        """JSON-ready shape for ``--format json`` reports."""
+        return {
+            "qualifier": self.qualifier,
+            "sound": self.sound,
+            "elapsed": self.elapsed,
+            "obligations": [
+                {
+                    "rule": r.obligation.rule,
+                    "verdict": r.verdict,
+                    "proved": r.proved,
+                    "reason": (
+                        r.error
+                        if r.error
+                        else (r.result.reason if r.result is not None else "")
+                    ),
+                    "elapsed": r.result.elapsed if r.result is not None else 0.0,
+                }
+                for r in self.results
+            ],
+            "lint": list(self.lint),
+        }
+
 
 def check_soundness(
     qdef: QualifierDef,
     quals: Optional[QualifierSet] = None,
     max_rounds: int = 6,
     time_limit: float = 45.0,
+    retry: RetryPolicy = NO_RETRY,
+    deadline: Optional[Deadline] = None,
 ) -> SoundnessReport:
     """Prove every obligation of one qualifier definition.
 
     ``quals`` supplies the definitions of qualifiers referenced by
     ``qdef``'s rules (their invariants are needed, section 4.2); it
     defaults to a set containing only ``qdef``.
+
+    Each obligation is an isolated unit of work: ``time_limit`` bounds
+    every proof attempt, ``deadline`` (if given) additionally caps the
+    whole report, ``retry`` re-attempts ``GAVE_UP`` results with
+    escalated budgets, and an exception from the prover is recorded as
+    a ``CRASH`` on that obligation while the rest still run.
     """
     if quals is None:
         quals = QualifierSet([qdef])
     elif qdef.name not in quals:
         quals = QualifierSet(list(quals) + [qdef])
     start = time.perf_counter()
+    deadline = deadline or Deadline(None)
     report = SoundnessReport(qualifier=qdef.name)
     from repro.core.qualifiers.validate import validate_definition
 
@@ -101,10 +156,34 @@ def check_soundness(
         if obligation.trivial:
             report.results.append(ObligationResult(obligation, None))
             continue
+        if deadline.expired():
+            report.results.append(
+                ObligationResult(
+                    obligation,
+                    ProofResult(
+                        proved=False, reason="time limit", verdict=TIMEOUT
+                    ),
+                )
+            )
+            continue
         prover = Prover(max_rounds=max_rounds, time_limit=time_limit)
         prover.add_axioms(axioms)
-        result = prover.prove(obligation.goal)
-        report.results.append(ObligationResult(obligation, result))
+        try:
+            with recursion_guard():
+                result = prover.prove_with_retry(
+                    obligation.goal, retry=retry, deadline=deadline
+                )
+            report.results.append(ObligationResult(obligation, result))
+        except (RecursionError, MemoryError) as exc:
+            report.results.append(
+                ObligationResult(obligation, None, error=type(exc).__name__)
+            )
+        except Exception as exc:  # prover bug: survive, report, continue
+            report.results.append(
+                ObligationResult(
+                    obligation, None, error=f"{type(exc).__name__}: {exc}"
+                )
+            )
     report.elapsed = time.perf_counter() - start
     return report
 

@@ -1,0 +1,354 @@
+"""Batch engine: many units of work, isolated, never a lost run.
+
+A *unit* is one translation unit (``check``/``infer``) or one
+qualifier-definition file (``prove``).  Each unit runs inside its own
+fault boundary — try/except, recursion-limit guard, wall-clock
+deadline — so a failure downgrades to a structured verdict instead of
+aborting the invocation:
+
+===========  =====================================================
+``OK``       unit completed, nothing found
+``WARNINGS`` unit completed, qualifier warnings / unsound rules
+``ERROR``    bad input (syntax error, malformed .qual, unreadable)
+``TIMEOUT``  the unit's wall-clock deadline fired
+``UNKNOWN``  a prover gave up within budget (neither proof nor
+             countermodel) — the industrial checker's "don't know"
+``CRASH``    an internal failure was survived (bug in *us*, not in
+             the input); the run continues, exit code says 3
+``SKIPPED``  a preceding unit failed and ``--keep-going`` was off
+===========  =====================================================
+
+With ``jobs > 1``, units fan out over a process pool: each child gets
+its own interpreter, its deadline is enforced preemptively
+(``terminate`` then ``kill``), and every child is reaped on the way
+out — including when the parent is interrupted — so no orphans linger.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness.watchdog import Deadline, DeadlineExceeded, recursion_guard
+
+OK = "OK"
+WARNINGS = "WARNINGS"
+ERROR = "ERROR"
+TIMEOUT = "TIMEOUT"
+UNKNOWN = "UNKNOWN"
+CRASH = "CRASH"
+SKIPPED = "SKIPPED"
+
+#: Verdict -> process exit code contribution.  The run's exit code is
+#: the max over units: 0 clean, 1 warnings found, 2 input error (or
+#: timeout/unknown — the input could not be fully judged), 3 internal
+#: crash survived.
+_SEVERITY: Dict[str, int] = {
+    OK: 0,
+    SKIPPED: 0,
+    WARNINGS: 1,
+    ERROR: 2,
+    TIMEOUT: 2,
+    UNKNOWN: 2,
+    CRASH: 3,
+}
+
+#: Exceptions that mean "the input is bad", not "we are buggy".
+_INPUT_ERRORS: tuple = ()
+
+
+def _input_error_types() -> tuple:
+    # Deferred import: cfront/core import the harness's sibling module
+    # (watchdog) and the CLI imports us, so resolve lazily once.
+    global _INPUT_ERRORS
+    if not _INPUT_ERRORS:
+        from repro.cfront.lexer import LexError  # type: ignore
+        from repro.cfront.parser import ParseError
+        from repro.cil.lower import LowerError
+        from repro.core.qualifiers.parser import QualParseError
+
+        _INPUT_ERRORS = (
+            ParseError,
+            LexError,
+            LowerError,
+            QualParseError,
+            OSError,
+            UnicodeDecodeError,
+            ValueError,
+        )
+    return _INPUT_ERRORS
+
+
+@dataclass
+class UnitResult:
+    """Outcome of one isolated unit of work (picklable: crosses the
+    process-pool boundary)."""
+
+    unit: str
+    verdict: str
+    elapsed: float = 0.0
+    # Diagnostic dicts (see Diagnostic.to_dict) — warnings, recovered
+    # parse errors, etc.
+    diagnostics: List[dict] = field(default_factory=list)
+    error: str = ""  # exception text for ERROR/CRASH/TIMEOUT verdicts
+    detail: dict = field(default_factory=dict)  # command-specific extras
+
+    @property
+    def severity(self) -> int:
+        return _SEVERITY.get(self.verdict, 3)
+
+    def to_dict(self) -> dict:
+        return {
+            "unit": self.unit,
+            "verdict": self.verdict,
+            "elapsed": round(self.elapsed, 6),
+            "diagnostics": self.diagnostics,
+            "error": self.error,
+            **({"detail": self.detail} if self.detail else {}),
+        }
+
+
+@dataclass
+class BatchReport:
+    results: List[UnitResult] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def exit_code(self) -> int:
+        return max((r.severity for r in self.results), default=0)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.results:
+            out[r.verdict] = out.get(r.verdict, 0) + 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "units": [r.to_dict() for r in self.results],
+            "counts": self.counts(),
+            "elapsed": round(self.elapsed, 6),
+            "exit_code": self.exit_code,
+        }
+
+    def summary(self) -> str:
+        parts = [f"{v} {k}" for k, v in sorted(self.counts().items())]
+        return (
+            f"{len(self.results)} unit(s): "
+            + (", ".join(parts) if parts else "nothing to do")
+            + f" ({self.elapsed:.2f} s)"
+        )
+
+
+#: A worker maps (unit, deadline) to a UnitResult.  Workers may ignore
+#: the deadline; honoring it (as the prover does) turns a preemptive
+#: kill into a clean in-process TIMEOUT verdict.
+Worker = Callable[[str, Deadline], UnitResult]
+
+
+def run_one(
+    unit: str,
+    worker: Worker,
+    unit_timeout: Optional[float] = None,
+    recursion_limit: int = 20000,
+) -> UnitResult:
+    """Run one unit inside the full fault boundary."""
+    start = time.perf_counter()
+    deadline = Deadline.after(unit_timeout)
+    try:
+        with recursion_guard(recursion_limit):
+            result = worker(unit, deadline)
+        result.elapsed = time.perf_counter() - start
+        return result
+    except DeadlineExceeded as exc:
+        return UnitResult(
+            unit=unit,
+            verdict=TIMEOUT,
+            elapsed=time.perf_counter() - start,
+            error=str(exc) or "deadline exceeded",
+        )
+    except _input_error_types() as exc:
+        return UnitResult(
+            unit=unit,
+            verdict=ERROR,
+            elapsed=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    except RecursionError:
+        # The guard already granted generous headroom, so blowing it
+        # means the *input* is pathologically nested — an input error
+        # (exit 2), not an internal crash.
+        return UnitResult(
+            unit=unit,
+            verdict=ERROR,
+            elapsed=time.perf_counter() - start,
+            error="input too deeply nested (recursion limit exceeded)",
+        )
+    except MemoryError:
+        return UnitResult(
+            unit=unit,
+            verdict=CRASH,
+            elapsed=time.perf_counter() - start,
+            error="MemoryError",
+        )
+    except Exception as exc:  # internal bug: survive and report
+        return UnitResult(
+            unit=unit,
+            verdict=CRASH,
+            elapsed=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def run_units(
+    units: Sequence[str],
+    worker: Worker,
+    keep_going: bool = True,
+    jobs: int = 1,
+    unit_timeout: Optional[float] = None,
+    recursion_limit: int = 20000,
+) -> BatchReport:
+    """Run every unit through ``worker`` with per-unit isolation.
+
+    ``keep_going=False`` stops dispatching after the first unit whose
+    verdict is ERROR or worse; the remaining units are reported as
+    ``SKIPPED`` so the report still covers the whole batch.  With
+    ``jobs > 1`` units run in a process pool with preemptive per-child
+    deadlines and guaranteed reaping.
+    """
+    start = time.perf_counter()
+    if jobs > 1 and len(units) > 1:
+        report = _run_pool(
+            list(units), worker, jobs, unit_timeout, recursion_limit, keep_going
+        )
+    else:
+        report = BatchReport()
+        stop = False
+        for unit in units:
+            if stop:
+                report.results.append(UnitResult(unit=unit, verdict=SKIPPED))
+                continue
+            result = run_one(unit, worker, unit_timeout, recursion_limit)
+            report.results.append(result)
+            if not keep_going and result.severity >= _SEVERITY[ERROR]:
+                stop = True
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+# ------------------------------------------------------------- process pool
+
+
+def _child_entry(worker, unit, conn, unit_timeout, recursion_limit):
+    """Child process body: run the unit, ship the result, exit."""
+    try:
+        result = run_one(unit, worker, unit_timeout, recursion_limit)
+        conn.send(result)
+    except Exception as exc:  # pragma: no cover - belt and braces
+        try:
+            conn.send(
+                UnitResult(unit=unit, verdict=CRASH, error=repr(exc))
+            )
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _reap(proc) -> None:
+    """Terminate, then kill, then join — never leave an orphan."""
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=1.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=1.0)
+    if not proc.is_alive():
+        proc.join()
+
+
+def _run_pool(
+    units: List[str],
+    worker: Worker,
+    jobs: int,
+    unit_timeout: Optional[float],
+    recursion_limit: int,
+    keep_going: bool,
+) -> BatchReport:
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    pending = deque(enumerate(units))
+    running: dict = {}  # proc -> (index, unit, recv-end, started-at)
+    results: List[Optional[UnitResult]] = [None] * len(units)
+    stop = False
+    try:
+        while pending or running:
+            while pending and len(running) < jobs and not stop:
+                index, unit = pending.popleft()
+                recv, send = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_entry,
+                    args=(worker, unit, send, unit_timeout, recursion_limit),
+                    daemon=True,
+                )
+                proc.start()
+                send.close()  # parent keeps only the read end
+                running[proc] = (index, unit, recv, time.perf_counter())
+            if stop and not running:
+                break
+            if not running:
+                continue
+            time.sleep(0.005)
+            for proc in list(running):
+                index, unit, recv, started = running[proc]
+                outcome: Optional[UnitResult] = None
+                if recv.poll():
+                    try:
+                        outcome = recv.recv()
+                    except (EOFError, OSError):
+                        outcome = UnitResult(
+                            unit=unit,
+                            verdict=CRASH,
+                            error="worker result lost",
+                        )
+                elif unit_timeout is not None and (
+                    time.perf_counter() - started > unit_timeout
+                ):
+                    outcome = UnitResult(
+                        unit=unit,
+                        verdict=TIMEOUT,
+                        elapsed=time.perf_counter() - started,
+                        error=f"killed after {unit_timeout:g} s",
+                    )
+                elif not proc.is_alive():
+                    # Died without sending a result: segfault, OOM kill.
+                    outcome = UnitResult(
+                        unit=unit,
+                        verdict=CRASH,
+                        elapsed=time.perf_counter() - started,
+                        error=f"worker died (exitcode {proc.exitcode})",
+                    )
+                if outcome is None:
+                    continue
+                del running[proc]
+                _reap(proc)
+                recv.close()
+                if not outcome.elapsed:
+                    outcome.elapsed = time.perf_counter() - started
+                results[index] = outcome
+                if not keep_going and outcome.severity >= _SEVERITY[ERROR]:
+                    stop = True
+    finally:
+        for proc in list(running):
+            _reap(proc)
+        running.clear()
+    report = BatchReport()
+    for index, unit in enumerate(units):
+        result = results[index]
+        if result is None:
+            result = UnitResult(unit=unit, verdict=SKIPPED)
+        report.results.append(result)
+    return report

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.harness.watchdog import NO_RETRY, Deadline, DeadlineExceeded, RetryPolicy
 from repro.prover import combine, sat
 from repro.prover.cnf import ClauseDb, QuantAtom, assert_formula, encode, nnf, skolemize
 from repro.prover.quant import ground_pool, instantiate
@@ -43,6 +44,22 @@ from repro.prover.terms import (
 )
 
 
+#: Outcome taxonomy (``ProofResult.verdict``):
+#: * ``PROVED`` — the negated goal is unsatisfiable: the obligation holds.
+#: * ``REFUTED`` — instantiation saturated and a theory-consistent
+#:   candidate countermodel remains: the rules genuinely fail to
+#:   exclude a scenario (Simplify's "invalid").
+#: * ``TIMEOUT`` — the wall-clock deadline fired mid-search; more time
+#:   might settle it either way.
+#: * ``GAVE_UP`` — a search budget (conflicts, instantiation rounds)
+#:   ran out before saturation; a bigger budget may help, so this is
+#:   the verdict the retry policy escalates on.
+PROVED = "PROVED"
+REFUTED = "REFUTED"
+TIMEOUT = "TIMEOUT"
+GAVE_UP = "GAVE_UP"
+
+
 @dataclass
 class ProofResult:
     proved: bool
@@ -51,6 +68,8 @@ class ProofResult:
     conflicts: int = 0
     elapsed: float = 0.0
     reason: str = ""
+    verdict: str = GAVE_UP
+    attempts: int = 1
     # For NOT PROVEN: the theory literals of the final candidate
     # countermodel (a consistent scenario the rules fail to exclude).
     countermodel: List[str] = field(default_factory=list)
@@ -59,10 +78,11 @@ class ProofResult:
         return self.proved
 
     def __str__(self) -> str:
-        status = "PROVED" if self.proved else "NOT PROVEN"
+        status = "PROVED" if self.proved else f"NOT PROVEN [{self.verdict}]"
+        retried = f", attempts={self.attempts}" if self.attempts > 1 else ""
         return (
             f"{status} (rounds={self.rounds}, instances={self.instances}, "
-            f"theory conflicts={self.conflicts}, {self.elapsed * 1000:.1f} ms)"
+            f"theory conflicts={self.conflicts}, {self.elapsed * 1000:.1f} ms{retried})"
             + (f": {self.reason}" if self.reason else "")
         )
 
@@ -89,8 +109,19 @@ class Prover:
 
     # ----------------------------------------------------------------- prove
 
-    def prove(self, goal: Formula, extra_axioms: List[Formula] = ()) -> ProofResult:
+    def prove(
+        self,
+        goal: Formula,
+        extra_axioms: List[Formula] = (),
+        deadline: Optional[Deadline] = None,
+    ) -> ProofResult:
+        """Attempt the goal once within ``self.time_limit`` (further
+        capped by ``deadline`` when one is supplied).  The deadline is
+        threaded into *every* loop — DPLL restarts, theory checks, and
+        each E-matching pass inside an instantiation round — so a hard
+        obligation cannot overshoot its budget by a whole round."""
         start = time.perf_counter()
+        deadline = (deadline or Deadline(None)).tightened(self.time_limit)
         db = ClauseDb()
         for ax in self.axioms:
             assert_formula(db, ax)
@@ -108,36 +139,85 @@ class Prover:
         result = ProofResult(proved=False)
 
         last_model = None
-        for round_no in range(self.max_rounds + 1):
-            result.rounds = round_no
-            self._add_product_lemmas(db, lemma_products)
-            model = self._smt_search(db, result, start)
-            if model is None:
-                result.proved = True
-                result.elapsed = time.perf_counter() - start
-                return result
-            if model == "budget":
-                result.reason = "search budget exhausted"
-                break
-            last_model = model
-            # Theory-consistent boolean model: instantiate and retry.
-            added = self._instantiation_round(db, instantiated, result)
-            if not added:
-                result.reason = "no further instances (candidate countermodel)"
-                break
-            if time.perf_counter() - start > self.time_limit:
-                result.reason = "time limit"
-                break
-        else:
-            result.reason = "instantiation round limit"
+        try:
+            for round_no in range(self.max_rounds + 1):
+                result.rounds = round_no
+                self._add_product_lemmas(db, lemma_products)
+                model = self._smt_search(db, result, deadline)
+                if model is None:
+                    result.proved = True
+                    result.verdict = PROVED
+                    result.elapsed = time.perf_counter() - start
+                    return result
+                if model == "budget":
+                    result.reason = "search budget exhausted"
+                    result.verdict = GAVE_UP
+                    break
+                if model == "timeout":
+                    result.reason = "time limit"
+                    result.verdict = TIMEOUT
+                    break
+                last_model = model
+                # Theory-consistent boolean model: instantiate and retry.
+                added = self._instantiation_round(
+                    db, instantiated, result, deadline
+                )
+                if not added:
+                    result.reason = "no further instances (candidate countermodel)"
+                    result.verdict = REFUTED
+                    break
+                deadline.check()
+            else:
+                result.reason = "instantiation round limit"
+                result.verdict = GAVE_UP
+        except DeadlineExceeded:
+            result.reason = "time limit"
+            result.verdict = TIMEOUT
         if last_model is not None:
             result.countermodel = _describe_model(db, last_model)
         result.elapsed = time.perf_counter() - start
         return result
 
+    def prove_with_retry(
+        self,
+        goal: Formula,
+        extra_axioms: List[Formula] = (),
+        retry: RetryPolicy = NO_RETRY,
+        deadline: Optional[Deadline] = None,
+    ) -> ProofResult:
+        """Like :meth:`prove`, but ``GAVE_UP`` outcomes are retried with
+        escalating conflict/round budgets and exponential backoff, as
+        long as the governing deadline can fund another attempt.
+        ``TIMEOUT`` is never retried (more wall-clock is exactly what
+        the unit does not have), and ``REFUTED`` is final: saturation
+        found a stable countermodel that a bigger budget cannot remove.
+        """
+        deadline = (deadline or Deadline(None)).tightened(self.time_limit)
+        result: Optional[ProofResult] = None
+        attempts = 0
+        for attempt in retry.attempts(deadline):
+            attempts = attempt
+            scale = retry.budget_scale(attempt)
+            attempt_prover = Prover(
+                max_rounds=max(1, int(self.max_rounds * scale)),
+                max_conflicts=max(1, int(self.max_conflicts * scale)),
+                time_limit=deadline.remaining(),
+            )
+            attempt_prover.axioms = self.axioms
+            result = attempt_prover.prove(goal, extra_axioms, deadline=deadline)
+            result.attempts = attempts
+            if result.verdict != GAVE_UP or deadline.expired():
+                return result
+        if result is None:  # deadline could not fund even one attempt
+            result = ProofResult(
+                proved=False, reason="time limit", verdict=TIMEOUT
+            )
+        result.attempts = max(attempts, result.attempts)
+        return result
+
     # -------------------------------------------------------------- internals
 
-    def _smt_search(self, db: ClauseDb, result: ProofResult, start: float):
+    def _smt_search(self, db: ClauseDb, result: ProofResult, deadline: Deadline):
         while True:
             model = sat.solve(db.clauses, db.num_vars)
             if model is None:
@@ -147,9 +227,7 @@ class Prover:
                 for var, atom in db.theory_atoms()
                 if var in model
             ]
-            conflict = combine.check(
-                theory_lits, deadline=start + self.time_limit
-            )
+            conflict = combine.check(theory_lits, deadline=deadline.at)
             if conflict is None:
                 return model
             result.conflicts += 1
@@ -161,23 +239,28 @@ class Prover:
             )
             if result.conflicts > self.max_conflicts:
                 return "budget"
-            if time.perf_counter() - start > self.time_limit:
-                return "budget"
+            if deadline.expired():
+                return "timeout"
 
     def _instantiation_round(
         self,
         db: ClauseDb,
         instantiated: Dict[int, Set[Tuple[Term, ...]]],
         result: ProofResult,
+        deadline: Deadline,
     ) -> bool:
         atoms = [a for _, a in db.theory_atoms()]
         pool = ground_pool(atoms)
         added = False
         # Snapshot: instances added this round may create new quant atoms
-        # (nested foralls); they instantiate next round.
+        # (nested foralls); they instantiate next round.  The deadline is
+        # threaded into the E-matching loops themselves: a round over a
+        # large pool aborts mid-match (DeadlineExceeded) rather than
+        # only noticing the limit once the whole round has run.
         for var, qatom in list(db.quant_atoms()):
+            deadline.check("instantiation round")
             seen = instantiated.setdefault(var, set())
-            for _args, body in instantiate(qatom, pool, seen):
+            for _args, body in instantiate(qatom, pool, seen, deadline=deadline):
                 lit = encode(db, body)
                 db.add_clause([-var, lit])
                 result.instances += 1
@@ -277,9 +360,15 @@ def _describe_model(db: ClauseDb, model) -> List[str]:
 
 
 def prove_valid(
-    goal: Formula, axioms: List[Formula] = (), **kwargs
+    goal: Formula,
+    axioms: List[Formula] = (),
+    retry: Optional[RetryPolicy] = None,
+    deadline: Optional[Deadline] = None,
+    **kwargs,
 ) -> ProofResult:
     """One-shot validity check: is ``goal`` entailed by ``axioms``?"""
     prover = Prover(**kwargs)
     prover.add_axioms(list(axioms))
-    return prover.prove(goal)
+    if retry is not None:
+        return prover.prove_with_retry(goal, retry=retry, deadline=deadline)
+    return prover.prove(goal, deadline=deadline)

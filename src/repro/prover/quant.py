@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.harness.watchdog import Deadline
 from repro.prover import terms as T
 from repro.prover.cnf import QuantAtom
 from repro.prover.terms import (
@@ -111,6 +112,11 @@ def match_term(pattern: Term, ground: Term, subst: Dict[str, Term]) -> Optional[
     raise TypeError(f"unknown pattern term {pattern!r}")
 
 
+#: Deadline polling stride inside the matching loops: checking the
+#: clock on every candidate would cost more than the match itself.
+_DEADLINE_STRIDE = 64
+
+
 def _matches_for_pattern(
     pattern: Term, pool: Iterable[Term], subst: Dict[str, Term]
 ) -> List[Dict[str, Term]]:
@@ -126,25 +132,37 @@ def instantiate(
     atom: QuantAtom,
     pool: List[Term],
     already: Set[Tuple[Term, ...]],
+    deadline: Optional[Deadline] = None,
 ) -> List[Tuple[Tuple[Term, ...], Formula]]:
     """All new instances of ``atom`` over the ground-term ``pool``.
 
     Returns (argument tuple, instantiated body) pairs; ``already`` is
-    updated with the argument tuples produced.
+    updated with the argument tuples produced.  The matching loops are
+    combinatorial in the trigger arity and pool size, so the
+    ``deadline`` is polled *inside* them (every ``_DEADLINE_STRIDE``
+    candidates) — a hard atom raises ``DeadlineExceeded`` mid-round
+    instead of overrunning its budget by a whole round.
     """
     triggers = derive_triggers(atom)
     out: List[Tuple[Tuple[Term, ...], Formula]] = []
     bound = list(atom.vars)
+    ticks = 0
     for trigger in triggers:
         substs: List[Dict[str, Term]] = [{}]
         for pattern in trigger:
             next_substs: List[Dict[str, Term]] = []
             for s in substs:
+                ticks += 1
+                if deadline is not None and ticks % _DEADLINE_STRIDE == 0:
+                    deadline.check("E-matching")
                 next_substs.extend(_matches_for_pattern(pattern, pool, s))
             substs = next_substs
             if not substs:
                 break
         for s in substs:
+            ticks += 1
+            if deadline is not None and ticks % _DEADLINE_STRIDE == 0:
+                deadline.check("E-matching substitution")
             if not all(v in s for v in bound):
                 continue
             args = tuple(s[v] for v in bound)

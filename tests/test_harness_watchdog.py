@@ -1,0 +1,112 @@
+"""Unit tests for the resource guards (harness.watchdog)."""
+
+import sys
+import time
+
+import pytest
+
+from repro.harness.watchdog import (
+    NEVER,
+    NO_RETRY,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    recursion_guard,
+)
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        d = Deadline(None)
+        assert not d.expired()
+        assert d.remaining() == float("inf")
+        d.check()  # must not raise
+
+    def test_after_and_expiry(self):
+        d = Deadline.after(0.01)
+        assert not d.expired()
+        time.sleep(0.02)
+        assert d.expired()
+        with pytest.raises(DeadlineExceeded):
+            d.check("unit x")
+
+    def test_check_message(self):
+        d = Deadline.after(-1.0)  # already past
+        with pytest.raises(DeadlineExceeded, match="E-matching"):
+            d.check("E-matching")
+
+    def test_remaining_clamped_at_zero(self):
+        assert Deadline.after(-5.0).remaining() == 0.0
+
+    def test_tightened_takes_the_earlier(self):
+        loose = Deadline.after(100.0)
+        tight = loose.tightened(0.001)
+        assert tight.at < loose.at
+        assert loose.tightened(None) is loose
+        assert Deadline(None).tightened(5.0).at is not None
+
+    def test_after_none_is_unbounded(self):
+        assert Deadline.after(None).at is None
+
+
+class TestRetryPolicy:
+    def test_no_retry_is_single_attempt(self):
+        assert list(NO_RETRY.attempts()) == [1]
+
+    def test_backoff_schedule_is_exponential(self):
+        p = RetryPolicy(max_attempts=4, backoff=0.1, backoff_factor=2.0)
+        assert p.delay_before(1) == 0.0
+        assert p.delay_before(2) == pytest.approx(0.1)
+        assert p.delay_before(3) == pytest.approx(0.2)
+        assert p.delay_before(4) == pytest.approx(0.4)
+
+    def test_budget_escalation(self):
+        p = RetryPolicy(budget_factor=3.0)
+        assert p.budget_scale(1) == 1.0
+        assert p.budget_scale(2) == 3.0
+        assert p.budget_scale(3) == 9.0
+
+    def test_attempts_sleep_between_tries(self):
+        p = RetryPolicy(max_attempts=3, backoff=0.01, backoff_factor=1.0)
+        start = time.perf_counter()
+        assert list(p.attempts()) == [1, 2, 3]
+        assert time.perf_counter() - start >= 0.02
+
+    def test_attempts_stop_when_deadline_cannot_fund_backoff(self):
+        p = RetryPolicy(max_attempts=5, backoff=10.0)
+        # Only the free first attempt fits in a 50 ms budget.
+        assert list(p.attempts(Deadline.after(0.05))) == [1]
+
+    def test_never_deadline_allows_all_attempts(self):
+        p = RetryPolicy(max_attempts=2, backoff=0.001)
+        assert list(p.attempts(NEVER)) == [1, 2]
+
+
+class TestRecursionGuard:
+    def test_raises_limit_and_restores(self):
+        before = sys.getrecursionlimit()
+        with recursion_guard(before + 1000):
+            assert sys.getrecursionlimit() == before + 1000
+        assert sys.getrecursionlimit() == before
+
+    def test_never_lowers_the_limit(self):
+        before = sys.getrecursionlimit()
+        with recursion_guard(10):
+            assert sys.getrecursionlimit() == before
+
+    def test_restores_on_exception(self):
+        before = sys.getrecursionlimit()
+        with pytest.raises(ValueError):
+            with recursion_guard(before + 500):
+                raise ValueError("boom")
+        assert sys.getrecursionlimit() == before
+
+    def test_gives_headroom_for_deep_recursion(self):
+        def depth(n):
+            return 0 if n == 0 else 1 + depth(n - 1)
+
+        need = sys.getrecursionlimit() + 200
+        with pytest.raises(RecursionError):
+            depth(need)
+        with recursion_guard(need * 3):
+            assert depth(need) == need

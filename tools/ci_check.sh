@@ -1,0 +1,51 @@
+#!/bin/sh
+# CI smoke gate: tier-1 tests plus batch-mode CLI runs with the exit
+# codes docs/robustness.md documents.  Run from the repository root:
+#
+#   sh tools/ci_check.sh
+#
+# Exits nonzero on the first failing stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+export PYTHONPATH
+
+echo "== tier-1 test suite"
+python -m pytest -x -q tests/
+
+echo "== batch check over examples/ (expect exit 0, JSON report)"
+python -m repro check examples/*.c --keep-going --format json \
+    | python -c '
+import json, sys
+report = json.load(sys.stdin)
+units = report["units"]
+bad = [u for u in units if u["verdict"] != "OK"]
+assert not bad, f"expected every example unit OK, got: {bad}"
+assert report["exit_code"] == 0, report["exit_code"]
+print(f"   {len(units)} unit(s) OK")
+'
+
+echo "== prove the standard qualifier library (expect exit 0)"
+python -m repro prove examples/posneg.qual --keep-going --time-limit 30
+
+echo "== broken input is contained, not fatal (expect exit 2)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+printf 'int f( {' > "$tmpdir/broken.c"
+status=0
+python -m repro check "$tmpdir/broken.c" examples/lcm.c \
+    --keep-going --format json > "$tmpdir/report.json" || status=$?
+test "$status" -eq 2 || {
+    echo "expected exit 2 for a batch with one broken unit, got $status" >&2
+    exit 1
+}
+python -c '
+import json, sys
+report = json.load(open(sys.argv[1]))
+verdicts = [u["verdict"] for u in report["units"]]
+assert verdicts == ["ERROR", "OK"], verdicts
+print("   verdicts:", " ".join(verdicts))
+' "$tmpdir/report.json"
+
+echo "ci_check: all stages passed"
