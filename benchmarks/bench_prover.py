@@ -2,7 +2,13 @@
 
 These isolate the prover's cost drivers so regressions in any layer
 (SAT, congruence closure, arithmetic, instantiation) show up
-independently of the soundness-checker pipeline."""
+independently of the soundness-checker pipeline.
+
+Also runnable standalone, to measure the proof cache's effect::
+
+    PYTHONPATH=src python benchmarks/bench_prover.py          # cold only
+    PYTHONPATH=src python benchmarks/bench_prover.py --warm   # cold + warm
+"""
 
 import pytest
 
@@ -113,3 +119,63 @@ def test_quantified_store_reasoning(benchmark):
     goal = Implies(And(old_inv, Not(Eq(D, A)), Not(Eq(W, V))), new_inv)
     result = benchmark(lambda: prove_valid(goal, axioms))
     assert result.proved
+
+
+# --------------------------------------------------------- standalone runner
+
+
+def _soundness_pass(cache) -> tuple:
+    """One full soundness sweep of the standard library; returns
+    (wall seconds, obligations discharged, cache hits during the pass)."""
+    import time
+
+    from repro.core.soundness.checker import check_soundness
+
+    before = cache.snapshot() if cache is not None else {}
+    start = time.perf_counter()
+    discharged = 0
+    for qdef in QUALS:
+        report = check_soundness(qdef, QUALS, time_limit=30, cache=cache)
+        discharged += len(report.results)
+    elapsed = time.perf_counter() - start
+    hits = cache.delta(before)["hits"] if cache is not None else 0
+    return elapsed, discharged, hits
+
+
+def main(argv=None) -> int:
+    import argparse
+    import tempfile
+
+    from repro.cache import ProofCache
+
+    parser = argparse.ArgumentParser(
+        description="Time a soundness sweep of the standard qualifier "
+        "library, cold and (with --warm) again against a warmed proof cache."
+    )
+    parser.add_argument(
+        "--warm",
+        action="store_true",
+        help="after the cold pass, re-run against the now-populated cache "
+        "and report the speedup",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        with ProofCache(cache_dir=tmp) as cache:
+            cold, count, _ = _soundness_pass(cache)
+            print(
+                f"cold: {count} obligation(s) in {cold:.3f} s "
+                f"({cache.counters['stores']} cached)"
+            )
+            if args.warm:
+                warm, _, hits = _soundness_pass(cache)
+                speedup = cold / warm if warm > 0 else float("inf")
+                print(
+                    f"warm: {count} obligation(s) in {warm:.3f} s "
+                    f"({hits} cache hit(s), {speedup:.1f}x speedup)"
+                )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,16 @@ Quick start::
     assert soundness.sound
 """
 
+from repro import api
+from repro.api import (
+    SCHEMA_VERSION,
+    CheckRequest,
+    InferRequest,
+    ProveRequest,
+    Session,
+    UnknownQualifierError,
+)
+from repro.cache import ProofCache
 from repro.cfront.parser import ParseError, parse_c
 from repro.cil.lower import LowerError, lower_unit
 from repro.cil.printer import program_to_c
@@ -63,6 +73,10 @@ __version__ = "0.1.0"
 
 __all__ = [
     "__version__",
+    # stable facade (the supported programmatic surface; repro.api.Report
+    # is reached through the module to avoid shadowing the checker Report)
+    "api", "Session", "CheckRequest", "ProveRequest", "InferRequest",
+    "UnknownQualifierError", "SCHEMA_VERSION", "ProofCache",
     # front end
     "parse_c", "ParseError", "lower_unit", "LowerError", "program_to_c",
     # qualifier language

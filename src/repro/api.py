@@ -1,0 +1,390 @@
+"""The stable library facade over the parse→lower→check→prove pipeline.
+
+Programmatic users should depend on this module — not on ``repro.cli``
+(whose argparse plumbing is an implementation detail) and not on the
+internal module layout (which refactors freely).  The surface is four
+dataclasses and one entry object:
+
+* :class:`Session` — a qualifier environment: which definition files
+  are loaded (in order, later files overriding earlier ones by name),
+  whether the standard library is included, and the paper's
+  ``trust-constants`` switch.
+* :class:`CheckRequest` / :class:`ProveRequest` / :class:`InferRequest`
+  — one batch invocation each, mirroring the CLI flag-for-flag.
+* :class:`Report` — the result: per-unit verdicts, exit code, and a
+  JSON-ready :meth:`Report.to_dict` stamped with
+  ``schema_version`` = :data:`SCHEMA_VERSION`.
+
+Every ``--format json`` payload the CLI prints is exactly
+``Report.to_dict()`` (or :func:`cache_stats` for the ``cache``
+subcommand), so the schema documented in docs/robustness.md is the
+schema of this module.
+
+Example::
+
+    from repro.api import ProveRequest, Session
+
+    report = Session().prove(ProveRequest(files=("defs.qual",)))
+    assert report.exit_code == 0
+    assert report.to_dict()["schema_version"] == 1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.store import DEFAULT_CACHE_DIR, ProofCache
+from repro.cfront.parser import parse_c
+from repro.cil.lower import lower_unit
+from repro.cil.printer import program_to_c
+from repro.core.checker.diagnostics import code_for
+from repro.core.checker.typecheck import QualifierChecker
+from repro.core.qualifiers.ast import QualifierDef, QualifierSet
+from repro.core.qualifiers.library import standard_qualifiers
+from repro.core.qualifiers.parser import parse_qualifiers
+from repro.core.soundness.checker import check_soundness
+from repro.harness import batch
+from repro.harness.watchdog import Deadline, RetryPolicy
+from repro.semantics.csem import run_program
+
+#: Version of the report payload shape (``Report.to_dict`` and the
+#: CLI's ``--format json`` output).  Bump only on breaking changes —
+#: removing or renaming a field, changing a field's type — never for
+#: additions; consumers must tolerate new keys.
+SCHEMA_VERSION = 1
+
+
+class UnknownQualifierError(ValueError):
+    """The requested qualifier is not defined in the session's set."""
+
+
+# ----------------------------------------------------------------- requests
+
+
+@dataclass(frozen=True)
+class BatchOptions:
+    """Flags shared by every batch command (see docs/robustness.md)."""
+
+    keep_going: bool = False
+    jobs: int = 1
+    unit_timeout: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CheckRequest(BatchOptions):
+    """One ``check`` invocation: qualifier-check C translation units."""
+
+    files: Tuple[str, ...] = ()
+    flow_sensitive: bool = False
+
+
+@dataclass(frozen=True)
+class ProveRequest(BatchOptions):
+    """One ``prove`` invocation: soundness-check ``.qual`` files."""
+
+    files: Tuple[str, ...] = ()
+    qualifier: Optional[str] = None  # prove only this qualifier
+    time_limit: float = 45.0
+    retries: int = 0
+    cache: bool = True
+    cache_dir: str = DEFAULT_CACHE_DIR
+
+
+@dataclass(frozen=True)
+class InferRequest(BatchOptions):
+    """One ``infer`` invocation: infer annotations for one qualifier."""
+
+    files: Tuple[str, ...] = ()
+    qualifier: str = ""
+    flow_sensitive: bool = False
+
+
+# ------------------------------------------------------------------- report
+
+
+@dataclass
+class Report:
+    """The outcome of one batch invocation, JSON-ready.
+
+    ``batch`` carries the per-unit verdicts and counts;
+    :meth:`to_dict` is the exact ``--format json`` payload.
+    """
+
+    command: str
+    batch: batch.BatchReport
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def exit_code(self) -> int:
+        return self.batch.exit_code
+
+    @property
+    def results(self) -> List[batch.UnitResult]:
+        return self.batch.results
+
+    def counts(self) -> Dict[str, int]:
+        return self.batch.counts()
+
+    def summary(self) -> str:
+        return self.batch.summary()
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "command": self.command,
+            **self.batch.to_dict(),
+        }
+
+
+#: Worst-first ordering used to combine per-obligation verdicts into a
+#: unit verdict (distinct from exit-code severity, which ties some).
+_VERDICT_RANK = {
+    batch.OK: 0,
+    batch.WARNINGS: 1,
+    batch.UNKNOWN: 2,
+    batch.TIMEOUT: 3,
+    batch.ERROR: 4,
+    batch.CRASH: 5,
+}
+
+
+def _worst(verdicts) -> str:
+    return max(verdicts, key=lambda v: _VERDICT_RANK.get(v, 5), default=batch.OK)
+
+
+def _read_source(path: str) -> str:
+    # Binary read + explicit decode so a non-UTF-8 file produces a
+    # clean UnicodeDecodeError (input error) instead of a traceback.
+    with open(path, "rb") as handle:
+        return handle.read().decode("utf-8")
+
+
+def _parse_error_dict(err: Exception) -> dict:
+    return {
+        "code": code_for("parse"),
+        "kind": "parse",
+        "qualifier": "-",
+        "message": str(err),
+        "severity": "error",
+        "text": f"error: {err}",
+    }
+
+
+# ------------------------------------------------------------------ session
+
+
+@dataclass(frozen=True)
+class Session:
+    """A qualifier environment; every pipeline entry point hangs off it.
+
+    ``quals`` lists qualifier-definition files loaded *in order*: a
+    definition with an already-seen name replaces the earlier one, so
+    a project file can override a team file can override the standard
+    library.
+    """
+
+    quals: Tuple[str, ...] = ()
+    no_std: bool = False
+    trust_constants: bool = False
+
+    # ------------------------------------------------------------ loading
+
+    def qualifier_set(self) -> QualifierSet:
+        """The composed qualifier set for this session."""
+        defs: List[QualifierDef] = []
+        if not self.no_std:
+            defs.extend(standard_qualifiers(trust_constants=self.trust_constants))
+        for path in self.quals:
+            for qdef in parse_qualifiers(_read_source(path)):
+                defs = [d for d in defs if d.name != qdef.name]
+                defs.append(qdef)
+        return QualifierSet(defs)
+
+    def load_program(self, path: str, quals: Optional[QualifierSet] = None):
+        """Parse and lower one translation unit under this session."""
+        if quals is None:
+            quals = self.qualifier_set()
+        unit = parse_c(_read_source(path), qualifier_names=quals.names)
+        return lower_unit(unit)
+
+    # ----------------------------------------------------------- commands
+
+    def check(self, request: CheckRequest) -> Report:
+        """Qualifier-check each file as an isolated batch unit."""
+        quals = self.qualifier_set()
+
+        def worker(path: str, deadline: Deadline) -> batch.UnitResult:
+            source = _read_source(path)
+            unit = parse_c(source, qualifier_names=quals.names, recover=True)
+            diagnostics = [_parse_error_dict(e) for e in unit.errors]
+            deadline.check("after parse")
+            program = lower_unit(unit)
+            checker = QualifierChecker(
+                program, quals, flow_sensitive=request.flow_sensitive
+            )
+            check_report = checker.check()
+            diagnostics.extend(
+                {**d.to_dict(), "text": str(d)} for d in check_report.diagnostics
+            )
+            if unit.errors:
+                verdict = batch.ERROR
+            elif check_report.diagnostics:
+                verdict = batch.WARNINGS
+            else:
+                verdict = batch.OK
+            return batch.UnitResult(
+                unit=path,
+                verdict=verdict,
+                diagnostics=diagnostics,
+                error=str(unit.errors[0]) if unit.errors else "",
+                detail={
+                    "warnings": check_report.warning_count,
+                    "runtime_checks": len(check_report.runtime_checks),
+                },
+            )
+
+        return Report("check", self._run(request, worker))
+
+    def prove(self, request: ProveRequest) -> Report:
+        """Soundness-check every qualifier defined in each ``.qual``
+        unit, consulting the content-addressed proof cache before any
+        prover work and recording settled verdicts back into it."""
+        retry = RetryPolicy(max_attempts=request.retries + 1)
+        cache = (
+            ProofCache(cache_dir=request.cache_dir) if request.cache else None
+        )
+
+        def worker(path: str, deadline: Deadline) -> batch.UnitResult:
+            before = cache.snapshot() if cache is not None else None
+            defs = parse_qualifiers(_read_source(path))
+            quals = QualifierSet(
+                list(standard_qualifiers())
+                + [d for d in defs if d.name not in standard_qualifiers().names]
+            )
+            verdicts = [batch.OK]
+            summaries: List[dict] = []
+            for qdef in defs:
+                if request.qualifier and qdef.name != request.qualifier:
+                    continue
+                report = check_soundness(
+                    qdef,
+                    quals,
+                    time_limit=request.time_limit,
+                    retry=retry,
+                    deadline=deadline,
+                    cache=cache,
+                )
+                entry = report.to_dict()
+                entry["summary"] = report.summary()
+                summaries.append(entry)
+                for res in report.results:
+                    if res.verdict == "CRASH":
+                        verdicts.append(batch.CRASH)
+                    elif res.verdict == "TIMEOUT":
+                        verdicts.append(batch.TIMEOUT)
+                    elif res.verdict == "GAVE_UP":
+                        verdicts.append(batch.UNKNOWN)
+                    elif not res.proved:
+                        verdicts.append(batch.WARNINGS)
+            detail: dict = {"qualifiers": summaries}
+            if cache is not None:
+                # Per-unit counter delta: crosses the process-pool
+                # boundary inside the UnitResult, and is folded into
+                # the store's lifetime totals here (in whichever
+                # process ran the unit).
+                delta = cache.delta(before)
+                cache.flush_counters(delta)
+                detail["cache"] = delta
+            return batch.UnitResult(
+                unit=path,
+                verdict=_worst(verdicts),
+                detail=detail,
+            )
+
+        batch_report = self._run(request, worker)
+        if cache is not None:
+            batch_report.meta["cache"] = {
+                "enabled": True,
+                "dir": request.cache_dir,
+                "entries": cache.entry_count(),
+                **batch_report.sum_detail_counters("cache"),
+            }
+            cache.close()
+        else:
+            batch_report.meta["cache"] = {"enabled": False}
+        return Report("prove", batch_report)
+
+    def infer(self, request: InferRequest) -> Report:
+        """Infer annotations for one qualifier over each file."""
+        quals = self.qualifier_set()
+        qdef = quals.get(request.qualifier)
+        if qdef is None:
+            raise UnknownQualifierError(
+                f"unknown qualifier {request.qualifier!r}"
+            )
+
+        def worker(path: str, deadline: Deadline) -> batch.UnitResult:
+            from repro.analysis.infer import infer_value_qualifier
+
+            program = self.load_program(path, quals)
+            result = infer_value_qualifier(
+                program, qdef, quals, flow_sensitive=request.flow_sensitive
+            )
+            return batch.UnitResult(
+                unit=path,
+                verdict=batch.OK,
+                detail={
+                    "summary": result.summary(),
+                    "entities": sorted(str(e) for e in result.inferred),
+                },
+            )
+
+        return Report("infer", self._run(request, worker))
+
+    def run(self, path: str, entry: str = "main", args=()) -> Tuple[int, List[str]]:
+        """Execute one translation unit with run-time qualifier checks;
+        returns ``(exit_value, printf_output)``."""
+        quals = self.qualifier_set()
+        program = self.load_program(path, quals)
+        return run_program(program, quals=quals, entry=entry, args=list(args))
+
+    def show_ir(self, path: str) -> str:
+        """The lowered CIL-style IR of one unit, rendered as C."""
+        return program_to_c(self.load_program(path))
+
+    # ----------------------------------------------------------- internals
+
+    def _run(self, request: BatchOptions, worker) -> batch.BatchReport:
+        return batch.run_units(
+            request.files,
+            worker,
+            keep_going=request.keep_going,
+            jobs=request.jobs,
+            unit_timeout=request.unit_timeout,
+        )
+
+
+# -------------------------------------------------------- cache management
+
+
+def cache_stats(cache_dir: str = DEFAULT_CACHE_DIR) -> dict:
+    """Facts about the on-disk proof cache, JSON-ready (the payload of
+    ``python -m repro cache stats --format json``)."""
+    with ProofCache(cache_dir=cache_dir) as cache:
+        entries = cache.entry_count()
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "command": "cache-stats",
+            "path": cache.path,
+            "disk": cache.disk_available,
+            "entries": entries,
+            "size_bytes": cache.size_bytes(),
+            "lifetime": cache.lifetime_counters(),
+        }
+
+
+def cache_clear(cache_dir: str = DEFAULT_CACHE_DIR) -> int:
+    """Drop every cached proof; returns the number of entries removed."""
+    with ProofCache(cache_dir=cache_dir) as cache:
+        return cache.clear()

@@ -1,0 +1,39 @@
+"""Content-addressed proof cache (see docs/caching.md).
+
+The prover re-proves byte-identical obligations on every invocation;
+at corpus scale that is the hot path.  This package memoizes settled
+verdicts — ``PROVED``/``REFUTED``, never budget-dependent outcomes —
+keyed by a canonical fingerprint of the obligation and everything it
+was proved under, so warm re-checks skip the prover entirely and
+edited definitions invalidate themselves.
+"""
+
+from repro.cache.fingerprint import (
+    PROVER_SALT,
+    ProofKey,
+    canonical_formula,
+    canonical_term,
+    environment_key,
+    obligation_key,
+    proof_key,
+)
+from repro.cache.store import (
+    CACHE_FORMAT,
+    CACHEABLE_VERDICTS,
+    DEFAULT_CACHE_DIR,
+    ProofCache,
+)
+
+__all__ = [
+    "PROVER_SALT",
+    "ProofKey",
+    "canonical_formula",
+    "canonical_term",
+    "environment_key",
+    "obligation_key",
+    "proof_key",
+    "CACHE_FORMAT",
+    "CACHEABLE_VERDICTS",
+    "DEFAULT_CACHE_DIR",
+    "ProofCache",
+]

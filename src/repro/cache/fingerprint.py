@@ -1,0 +1,164 @@
+"""Canonical fingerprints for proof obligations.
+
+A cache entry is addressed by *content*, never by file name or rule
+position: two keys identify it —
+
+* the **obligation key**: a SHA-256 over a canonical S-expression
+  rendering of the goal formula plus any per-obligation extra axioms.
+  Renaming a ``.qual`` file or reordering its clauses leaves the key
+  unchanged; editing a predicate, an invariant, or a referenced
+  qualifier's definition (whose invariant is inlined into the goal)
+  changes it.
+* the **environment key**: a SHA-256 over the prover's axiom set, an
+  arbitrary context string (the soundness checker passes the qualifier
+  definition's normalized source text), and the prover version salt.
+  Bumping the salt, changing the dynamic-semantics axioms, or editing
+  the definition text invalidates every entry proved under the old
+  environment — those entries are detected as *stale* and purged.
+
+The canonical rendering is a deliberate, versioned format (not
+``repr``/``pickle``): every constructor of the term/formula language is
+spelled out below, including quantifier triggers, which affect what the
+prover can prove and therefore belong in the identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, NamedTuple
+
+from repro.prover.terms import (
+    And,
+    Eq,
+    Exists,
+    FFalse,
+    ForAll,
+    Formula,
+    FTrue,
+    Iff,
+    Implies,
+    Le,
+    Lt,
+    Not,
+    Or,
+    Pr,
+    TApp,
+    Term,
+    TInt,
+    TVar,
+)
+
+#: Salt mixed into every environment key.  Bump the trailing integer
+#: whenever the prover's search behaviour changes in a way that could
+#: flip a verdict (new lemma schemas, different instantiation strategy,
+#: fixed unsoundness) — every cached result proved by the old prover
+#: then reads as stale instead of being trusted.
+PROVER_SALT = "repro-prover/1"
+
+
+class ProofKey(NamedTuple):
+    """The two-part content address of one proof obligation."""
+
+    obligation: str  # hex digest of the goal (+ extra axioms)
+    environment: str  # hex digest of (axioms, context, salt)
+
+    def __str__(self) -> str:
+        return f"{self.obligation[:12]}@{self.environment[:12]}"
+
+
+# ------------------------------------------------------- canonical rendering
+
+
+def canonical_term(t: Term) -> str:
+    if isinstance(t, TVar):
+        return f"(v {t.name})"
+    if isinstance(t, TInt):
+        return f"(i {t.value})"
+    if isinstance(t, TApp):
+        if not t.args:
+            return f"(a {t.fname})"
+        args = " ".join(canonical_term(a) for a in t.args)
+        return f"(a {t.fname} {args})"
+    raise TypeError(f"unknown term {t!r}")
+
+
+def canonical_formula(f: Formula) -> str:
+    if isinstance(f, FTrue):
+        return "(true)"
+    if isinstance(f, FFalse):
+        return "(false)"
+    if isinstance(f, Eq):
+        return f"(= {canonical_term(f.left)} {canonical_term(f.right)})"
+    if isinstance(f, Le):
+        return f"(<= {canonical_term(f.left)} {canonical_term(f.right)})"
+    if isinstance(f, Lt):
+        return f"(< {canonical_term(f.left)} {canonical_term(f.right)})"
+    if isinstance(f, Pr):
+        args = " ".join(canonical_term(a) for a in f.args)
+        return f"(pr {f.name} {args})"
+    if isinstance(f, Not):
+        return f"(not {canonical_formula(f.operand)})"
+    if isinstance(f, And):
+        return "(and " + " ".join(canonical_formula(c) for c in f.conjuncts) + ")"
+    if isinstance(f, Or):
+        return "(or " + " ".join(canonical_formula(d) for d in f.disjuncts) + ")"
+    if isinstance(f, Implies):
+        return f"(=> {canonical_formula(f.left)} {canonical_formula(f.right)})"
+    if isinstance(f, Iff):
+        return f"(<=> {canonical_formula(f.left)} {canonical_formula(f.right)})"
+    if isinstance(f, ForAll):
+        trig = " ".join(
+            "(trigger " + " ".join(canonical_term(p) for p in pattern) + ")"
+            for pattern in f.triggers
+        )
+        return (
+            f"(forall ({' '.join(f.vars)}) "
+            + (f"{trig} " if trig else "")
+            + canonical_formula(f.body)
+            + ")"
+        )
+    if isinstance(f, Exists):
+        return f"(exists ({' '.join(f.vars)}) {canonical_formula(f.body)})"
+    raise TypeError(f"unknown formula {f!r}")
+
+
+# ------------------------------------------------------------------ hashing
+
+
+def _digest(parts: Iterable[str]) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")  # unambiguous part separator
+    return h.hexdigest()
+
+
+def obligation_key(goal: Formula, extra_axioms: Iterable[Formula] = ()) -> str:
+    """Content hash of one obligation: the goal and its local axioms."""
+    return _digest(
+        ["goal", canonical_formula(goal)]
+        + [canonical_formula(ax) for ax in extra_axioms]
+    )
+
+
+def environment_key(
+    axioms: Iterable[Formula], context: str = "", salt: str = PROVER_SALT
+) -> str:
+    """Content hash of everything an obligation is proved *under*."""
+    return _digest(
+        ["env", salt, context] + [canonical_formula(ax) for ax in axioms]
+    )
+
+
+def proof_key(
+    goal: Formula,
+    axioms: Iterable[Formula],
+    extra_axioms: Iterable[Formula] = (),
+    context: str = "",
+    salt: str = PROVER_SALT,
+) -> ProofKey:
+    """The full two-part cache key for one proof attempt."""
+    return ProofKey(
+        obligation=obligation_key(goal, extra_axioms),
+        environment=environment_key(axioms, context=context, salt=salt),
+    )

@@ -1,10 +1,15 @@
 """Command-line interface.
 
     python -m repro check FILE.c [MORE.c ...] [--quals DEFS.qual] [--flow-sensitive]
-    python -m repro prove DEFS.qual [MORE.qual ...] [--qualifier NAME]
+    python -m repro prove DEFS.qual [MORE.qual ...] [--qualifier NAME] [--no-cache]
     python -m repro run FILE.c [--entry MAIN]
     python -m repro show-ir FILE.c
     python -m repro infer FILE.c [MORE.c ...] --qualifier NAME [--quals DEFS.qual]
+    python -m repro cache stats|clear [--cache-dir DIR]
+
+Every command body is a thin adapter over :mod:`repro.api` — the
+stable library facade — plus terminal formatting; programmatic users
+should call the facade directly, never this module.
 
 ``check``, ``prove`` and ``infer`` are batch commands: they accept any
 number of input files, and every file (and every proof obligation) runs
@@ -16,13 +21,21 @@ verdict instead of aborting the run.  Shared batch flags:
 * ``--jobs N`` — fan units out over a process pool with preemptive
   per-child deadlines;
 * ``--unit-timeout S`` — wall-clock budget per unit;
-* ``--format json`` — machine-readable per-unit report.
+* ``--format json`` — machine-readable per-unit report (the payload is
+  ``repro.api.Report.to_dict()``, stamped with ``schema_version``).
+
+``prove`` consults a persistent content-addressed proof cache (default
+``.repro-cache/``; see docs/caching.md): settled obligations are
+replayed instead of re-proved, so warm re-runs are near-instant.
+``--no-cache`` disables it, ``--cache-dir`` relocates it.
 
 Exit codes (documented contract, see docs/robustness.md): 0 clean,
 1 qualifier warnings / unsound rules found, 2 input error or timeout,
 3 an internal crash was survived.  Qualifier definition files use the
-paper's rule language; without ``--quals`` the standard library
-(pos/neg/nonzero/nonnull/tainted/untainted/unique/unaliased) is loaded.
+paper's rule language; ``--quals`` may be repeated — files compose in
+order, later definitions overriding earlier ones of the same name —
+and without it the standard library (pos/neg/nonzero/nonnull/tainted/
+untainted/unique/unaliased) is loaded.
 """
 
 from __future__ import annotations
@@ -32,185 +45,21 @@ import json
 import sys
 from typing import List, Optional
 
+from repro import api
+from repro.cache.store import DEFAULT_CACHE_DIR
 from repro.cfront.lexer import LexError
-from repro.cfront.parser import ParseError, parse_c
-from repro.cil.lower import LowerError, lower_unit
-from repro.cil.printer import program_to_c
-from repro.core.checker.diagnostics import code_for
-from repro.core.checker.typecheck import QualifierChecker
-from repro.core.qualifiers.ast import QualifierSet
-from repro.core.qualifiers.library import standard_qualifiers
-from repro.core.qualifiers.parser import QualParseError, parse_qualifiers
-from repro.core.soundness.checker import check_soundness
+from repro.cfront.parser import ParseError
+from repro.cil.lower import LowerError
+from repro.core.qualifiers.parser import QualParseError
 from repro.harness import batch
-from repro.harness.watchdog import Deadline, RetryPolicy
-from repro.semantics.csem import CRuntimeError, run_program
-
-#: Worst-first ordering used to combine per-obligation verdicts into a
-#: unit verdict (distinct from exit-code severity, which ties some).
-_VERDICT_RANK = {
-    batch.OK: 0,
-    batch.WARNINGS: 1,
-    batch.UNKNOWN: 2,
-    batch.TIMEOUT: 3,
-    batch.ERROR: 4,
-    batch.CRASH: 5,
-}
+from repro.semantics.csem import CRuntimeError
 
 
-def _worst(verdicts) -> str:
-    return max(verdicts, key=lambda v: _VERDICT_RANK.get(v, 5), default=batch.OK)
-
-
-def _load_qualifiers(args) -> QualifierSet:
-    defs = []
-    if not getattr(args, "no_std", False):
-        defs.extend(standard_qualifiers(trust_constants=args.trust_constants))
-    if args.quals:
-        with open(args.quals) as handle:
-            for qdef in parse_qualifiers(handle.read()):
-                defs = [d for d in defs if d.name != qdef.name]
-                defs.append(qdef)
-    return QualifierSet(defs)
-
-
-def _read_source(path: str) -> str:
-    # Binary read + explicit decode so a non-UTF-8 file produces a
-    # clean UnicodeDecodeError (input error) instead of a traceback.
-    with open(path, "rb") as handle:
-        return handle.read().decode("utf-8")
-
-
-def _load_program(path: str, quals: QualifierSet):
-    unit = parse_c(_read_source(path), qualifier_names=quals.names)
-    return lower_unit(unit)
-
-
-def _parse_error_dict(err: Exception) -> dict:
-    return {
-        "code": code_for("parse"),
-        "kind": "parse",
-        "qualifier": "-",
-        "message": str(err),
-        "severity": "error",
-        "text": f"error: {err}",
-    }
-
-
-# ------------------------------------------------------------------ workers
-
-
-def _check_worker(args, quals: QualifierSet):
-    """Unit worker for ``check``: parse (with panic-mode recovery),
-    lower, typecheck one file."""
-
-    def worker(path: str, deadline: Deadline) -> batch.UnitResult:
-        source = _read_source(path)
-        unit = parse_c(source, qualifier_names=quals.names, recover=True)
-        diagnostics = [_parse_error_dict(e) for e in unit.errors]
-        deadline.check("after parse")
-        program = lower_unit(unit)
-        checker = QualifierChecker(
-            program, quals, flow_sensitive=args.flow_sensitive
-        )
-        report = checker.check()
-        diagnostics.extend(
-            {**d.to_dict(), "text": str(d)} for d in report.diagnostics
-        )
-        if unit.errors:
-            verdict = batch.ERROR
-        elif report.diagnostics:
-            verdict = batch.WARNINGS
-        else:
-            verdict = batch.OK
-        return batch.UnitResult(
-            unit=path,
-            verdict=verdict,
-            diagnostics=diagnostics,
-            error=str(unit.errors[0]) if unit.errors else "",
-            detail={
-                "warnings": report.warning_count,
-                "runtime_checks": len(report.runtime_checks),
-            },
-        )
-
-    return worker
-
-
-def _prove_worker(args):
-    """Unit worker for ``prove``: soundness-check every qualifier
-    defined in one ``.qual`` file, one obligation at a time."""
-    retry = RetryPolicy(max_attempts=args.retries + 1)
-
-    def worker(path: str, deadline: Deadline) -> batch.UnitResult:
-        defs = parse_qualifiers(_read_source(path))
-        quals = QualifierSet(
-            list(standard_qualifiers())
-            + [d for d in defs if d.name not in standard_qualifiers().names]
-        )
-        verdicts = [batch.OK]
-        summaries: List[dict] = []
-        for qdef in defs:
-            if args.qualifier and qdef.name != args.qualifier:
-                continue
-            report = check_soundness(
-                qdef,
-                quals,
-                time_limit=args.time_limit,
-                retry=retry,
-                deadline=deadline,
-            )
-            entry = report.to_dict()
-            entry["summary"] = report.summary()
-            summaries.append(entry)
-            for res in report.results:
-                if res.verdict == "CRASH":
-                    verdicts.append(batch.CRASH)
-                elif res.verdict == "TIMEOUT":
-                    verdicts.append(batch.TIMEOUT)
-                elif res.verdict == "GAVE_UP":
-                    verdicts.append(batch.UNKNOWN)
-                elif not res.proved:
-                    verdicts.append(batch.WARNINGS)
-        return batch.UnitResult(
-            unit=path,
-            verdict=_worst(verdicts),
-            detail={"qualifiers": summaries},
-        )
-
-    return worker
-
-
-def _infer_worker(args, quals: QualifierSet, qdef):
-    def worker(path: str, deadline: Deadline) -> batch.UnitResult:
-        from repro.analysis.infer import infer_value_qualifier
-
-        program = _load_program(path, quals)
-        result = infer_value_qualifier(
-            program, qdef, quals, flow_sensitive=args.flow_sensitive
-        )
-        return batch.UnitResult(
-            unit=path,
-            verdict=batch.OK,
-            detail={
-                "summary": result.summary(),
-                "entities": sorted(str(e) for e in result.inferred),
-            },
-        )
-
-    return worker
-
-
-# ----------------------------------------------------------------- commands
-
-
-def _run_batch(args, worker) -> batch.BatchReport:
-    return batch.run_units(
-        args.files,
-        worker,
-        keep_going=args.keep_going,
-        jobs=args.jobs,
-        unit_timeout=args.unit_timeout,
+def _session(args) -> api.Session:
+    return api.Session(
+        quals=tuple(getattr(args, "quals", None) or ()),
+        no_std=getattr(args, "no_std", False),
+        trust_constants=getattr(args, "trust_constants", False),
     )
 
 
@@ -219,9 +68,19 @@ def _print_unit_header(path: str, many: bool) -> None:
         print(f"== {path}")
 
 
+# ----------------------------------------------------------------- commands
+
+
 def cmd_check(args) -> int:
-    quals = _load_qualifiers(args)
-    report = _run_batch(args, _check_worker(args, quals))
+    report = _session(args).check(
+        api.CheckRequest(
+            files=tuple(args.files),
+            flow_sensitive=args.flow_sensitive,
+            keep_going=args.keep_going,
+            jobs=args.jobs,
+            unit_timeout=args.unit_timeout,
+        )
+    )
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
         return report.exit_code
@@ -252,7 +111,19 @@ def cmd_check(args) -> int:
 
 
 def cmd_prove(args) -> int:
-    report = _run_batch(args, _prove_worker(args))
+    report = _session(args).prove(
+        api.ProveRequest(
+            files=tuple(args.files),
+            qualifier=args.qualifier,
+            time_limit=args.time_limit,
+            retries=args.retries,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+            keep_going=args.keep_going,
+            jobs=args.jobs,
+            unit_timeout=args.unit_timeout,
+        )
+    )
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
         return report.exit_code
@@ -268,15 +139,22 @@ def cmd_prove(args) -> int:
             print(entry["summary"])
     if many:
         print(report.summary())
+    cache_meta = report.batch.meta.get("cache", {})
+    if cache_meta.get("enabled"):
+        print(
+            f"proof cache: {cache_meta.get('hits', 0)} hit(s), "
+            f"{cache_meta.get('misses', 0)} miss(es), "
+            f"{cache_meta.get('stores', 0)} stored, "
+            f"{cache_meta.get('stale', 0)} stale "
+            f"({cache_meta.get('dir')})"
+        )
     return report.exit_code
 
 
 def cmd_run(args) -> int:
-    quals = _load_qualifiers(args)
-    program = _load_program(args.file, quals)
     try:
-        value, output = run_program(
-            program, quals=quals, entry=args.entry, args=list(args.args)
+        value, output = _session(args).run(
+            args.file, entry=args.entry, args=list(args.args)
         )
     except CRuntimeError as exc:
         print(f"runtime error: {exc}", file=sys.stderr)
@@ -287,19 +165,25 @@ def cmd_run(args) -> int:
 
 
 def cmd_show_ir(args) -> int:
-    quals = _load_qualifiers(args)
-    program = _load_program(args.file, quals)
-    print(program_to_c(program))
+    print(_session(args).show_ir(args.file))
     return 0
 
 
 def cmd_infer(args) -> int:
-    quals = _load_qualifiers(args)
-    qdef = quals.get(args.qualifier)
-    if qdef is None:
-        print(f"unknown qualifier {args.qualifier!r}", file=sys.stderr)
+    try:
+        report = _session(args).infer(
+            api.InferRequest(
+                files=tuple(args.files),
+                qualifier=args.qualifier,
+                flow_sensitive=args.flow_sensitive,
+                keep_going=args.keep_going,
+                jobs=args.jobs,
+                unit_timeout=args.unit_timeout,
+            )
+        )
+    except api.UnknownQualifierError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
-    report = _run_batch(args, _infer_worker(args, quals, qdef))
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
         return report.exit_code
@@ -320,6 +204,29 @@ def cmd_infer(args) -> int:
     return report.exit_code
 
 
+def cmd_cache(args) -> int:
+    if args.cache_command == "clear":
+        removed = api.cache_clear(cache_dir=args.cache_dir)
+        print(f"proof cache cleared: {removed} entr(ies) removed")
+        return 0
+    stats = api.cache_stats(cache_dir=args.cache_dir)
+    if args.format == "json":
+        print(json.dumps(stats, indent=2))
+        return 0
+    print(f"proof cache at {stats['path']}")
+    print(f"  entries:     {stats['entries']}")
+    print(f"  size:        {stats['size_bytes']} bytes")
+    print(f"  disk tier:   {'ok' if stats['disk'] else 'DISABLED (corrupt or unwritable)'}")
+    lifetime = stats["lifetime"]
+    print(
+        "  lifetime:    "
+        f"{lifetime['hits']} hit(s), {lifetime['misses']} miss(es), "
+        f"{lifetime['stores']} stored, {lifetime['stale']} stale, "
+        f"{lifetime['evictions']} evicted, {lifetime['errors']} error(s)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -328,7 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p, with_flow=True):
-        p.add_argument("--quals", help="qualifier definition file")
+        p.add_argument(
+            "--quals",
+            action="append",
+            metavar="FILE",
+            help="qualifier definition file; may be repeated — files "
+            "compose in order, later names overriding earlier ones",
+        )
         p.add_argument(
             "--no-std",
             action="store_true",
@@ -393,6 +306,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry GAVE_UP obligations up to N times with escalating "
         "budgets and exponential backoff",
     )
+    p_prove.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=True,
+        help="consult/update the persistent proof cache (default)",
+    )
+    p_prove.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="re-prove every obligation from scratch",
+    )
+    p_prove.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"proof cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
     batch_flags(p_prove)
     p_prove.set_defaults(fn=cmd_prove)
 
@@ -414,6 +346,28 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_infer)
     batch_flags(p_infer)
     p_infer.set_defaults(fn=cmd_infer)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent proof cache"
+    )
+    p_cache.add_argument(
+        "cache_command",
+        choices=("stats", "clear"),
+        help="stats: entries, size, lifetime counters; clear: drop all",
+    )
+    p_cache.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"proof cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_cache.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    p_cache.set_defaults(fn=cmd_cache)
 
     return parser
 

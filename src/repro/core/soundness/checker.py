@@ -97,6 +97,15 @@ class SoundnessReport:
         lines.extend(f"  note: {p}" for p in self.lint)
         return "\n".join(lines)
 
+    @property
+    def cached_count(self) -> int:
+        """How many obligations were replayed from the proof cache."""
+        return sum(
+            1
+            for r in self.results
+            if r.result is not None and r.result.cached
+        )
+
     def to_dict(self) -> Dict:
         """JSON-ready shape for ``--format json`` reports."""
         return {
@@ -114,6 +123,7 @@ class SoundnessReport:
                         else (r.result.reason if r.result is not None else "")
                     ),
                     "elapsed": r.result.elapsed if r.result is not None else 0.0,
+                    "cached": r.result.cached if r.result is not None else False,
                 }
                 for r in self.results
             ],
@@ -128,6 +138,7 @@ def check_soundness(
     time_limit: float = 45.0,
     retry: RetryPolicy = NO_RETRY,
     deadline: Optional[Deadline] = None,
+    cache=None,
 ) -> SoundnessReport:
     """Prove every obligation of one qualifier definition.
 
@@ -140,6 +151,11 @@ def check_soundness(
     whole report, ``retry`` re-attempts ``GAVE_UP`` results with
     escalated budgets, and an exception from the prover is recorded as
     a ``CRASH`` on that obligation while the rest still run.
+
+    ``cache`` (a :class:`repro.cache.ProofCache`) is consulted before
+    any prover work per obligation; the qualifier definition's
+    normalized source text is folded into the environment key, so an
+    edited definition can never replay its old verdicts.
     """
     if quals is None:
         quals = QualifierSet([qdef])
@@ -171,7 +187,11 @@ def check_soundness(
         try:
             with recursion_guard():
                 result = prover.prove_with_retry(
-                    obligation.goal, retry=retry, deadline=deadline
+                    obligation.goal,
+                    retry=retry,
+                    deadline=deadline,
+                    cache=cache,
+                    cache_context=qdef.source,
                 )
             report.results.append(ObligationResult(obligation, result))
         except (RecursionError, MemoryError) as exc:

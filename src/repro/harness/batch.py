@@ -115,6 +115,10 @@ class UnitResult:
 class BatchReport:
     results: List[UnitResult] = field(default_factory=list)
     elapsed: float = 0.0
+    # Run-level facts that are not per-unit — e.g. proof-cache counters
+    # aggregated over every unit.  Keys land at the top level of the
+    # JSON report, next to "units"/"counts".
+    meta: Dict[str, object] = field(default_factory=dict)
 
     @property
     def exit_code(self) -> int:
@@ -126,12 +130,28 @@ class BatchReport:
             out[r.verdict] = out.get(r.verdict, 0) + 1
         return out
 
+    def sum_detail_counters(self, key: str) -> Dict[str, int]:
+        """Aggregate a per-unit ``detail[key]`` counter dict over all
+        units (units without it contribute nothing).  Works in pool
+        mode too: each child ships its counters home inside the
+        picklable :class:`UnitResult`."""
+        totals: Dict[str, int] = {}
+        for r in self.results:
+            counters = r.detail.get(key)
+            if not isinstance(counters, dict):
+                continue
+            for name, value in counters.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    totals[name] = totals.get(name, 0) + int(value)
+        return totals
+
     def to_dict(self) -> dict:
         return {
             "units": [r.to_dict() for r in self.results],
             "counts": self.counts(),
             "elapsed": round(self.elapsed, 6),
             "exit_code": self.exit_code,
+            **self.meta,
         }
 
     def summary(self) -> str:

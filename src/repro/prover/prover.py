@@ -70,6 +70,10 @@ class ProofResult:
     reason: str = ""
     verdict: str = GAVE_UP
     attempts: int = 1
+    # True when this result was replayed from the proof cache rather
+    # than searched for; rounds/instances/conflicts/attempts then
+    # describe the original (cold) proof, elapsed the cache lookup.
+    cached: bool = False
     # For NOT PROVEN: the theory literals of the final candidate
     # countermodel (a consistent scenario the rules fail to exclude).
     countermodel: List[str] = field(default_factory=list)
@@ -80,10 +84,40 @@ class ProofResult:
     def __str__(self) -> str:
         status = "PROVED" if self.proved else f"NOT PROVEN [{self.verdict}]"
         retried = f", attempts={self.attempts}" if self.attempts > 1 else ""
+        origin = ", cached" if self.cached else ""
         return (
             f"{status} (rounds={self.rounds}, instances={self.instances}, "
-            f"theory conflicts={self.conflicts}, {self.elapsed * 1000:.1f} ms{retried})"
+            f"theory conflicts={self.conflicts}, {self.elapsed * 1000:.1f} ms{retried}{origin})"
             + (f": {self.reason}" if self.reason else "")
+        )
+
+    def to_cache_payload(self) -> Dict:
+        """The JSON-safe slice of this result worth replaying later."""
+        return {
+            "proved": self.proved,
+            "rounds": self.rounds,
+            "instances": self.instances,
+            "conflicts": self.conflicts,
+            "elapsed": self.elapsed,
+            "reason": self.reason,
+            "verdict": self.verdict,
+            "attempts": self.attempts,
+            "countermodel": list(self.countermodel),
+        }
+
+    @classmethod
+    def from_cache_payload(cls, payload: Dict, elapsed: float = 0.0) -> "ProofResult":
+        return cls(
+            proved=bool(payload.get("proved")),
+            rounds=int(payload.get("rounds", 0)),
+            instances=int(payload.get("instances", 0)),
+            conflicts=int(payload.get("conflicts", 0)),
+            elapsed=elapsed,
+            reason=str(payload.get("reason", "")),
+            verdict=str(payload.get("verdict", GAVE_UP)),
+            attempts=int(payload.get("attempts", 1)),
+            cached=True,
+            countermodel=[str(f) for f in payload.get("countermodel", ())],
         )
 
 
@@ -114,13 +148,32 @@ class Prover:
         goal: Formula,
         extra_axioms: List[Formula] = (),
         deadline: Optional[Deadline] = None,
+        cache=None,
+        cache_context: str = "",
     ) -> ProofResult:
         """Attempt the goal once within ``self.time_limit`` (further
         capped by ``deadline`` when one is supplied).  The deadline is
         threaded into *every* loop — DPLL restarts, theory checks, and
         each E-matching pass inside an instantiation round — so a hard
-        obligation cannot overshoot its budget by a whole round."""
+        obligation cannot overshoot its budget by a whole round.
+
+        ``cache`` (a :class:`repro.cache.ProofCache`, duck-typed so the
+        prover stays dependency-free) is consulted before any search
+        work and updated afterwards with settled verdicts;
+        ``cache_context`` is folded into the cache's environment key
+        (the soundness checker passes the qualifier definition text).
+        """
         start = time.perf_counter()
+        cache_key = None
+        if cache is not None:
+            cache_key = cache.key(
+                goal, self.axioms, extra_axioms, context=cache_context
+            )
+            payload = cache.get(cache_key)
+            if payload is not None:
+                return ProofResult.from_cache_payload(
+                    payload, elapsed=time.perf_counter() - start
+                )
         deadline = (deadline or Deadline(None)).tightened(self.time_limit)
         db = ClauseDb()
         for ax in self.axioms:
@@ -148,7 +201,7 @@ class Prover:
                     result.proved = True
                     result.verdict = PROVED
                     result.elapsed = time.perf_counter() - start
-                    return result
+                    return _record(cache, cache_key, result)
                 if model == "budget":
                     result.reason = "search budget exhausted"
                     result.verdict = GAVE_UP
@@ -176,7 +229,7 @@ class Prover:
         if last_model is not None:
             result.countermodel = _describe_model(db, last_model)
         result.elapsed = time.perf_counter() - start
-        return result
+        return _record(cache, cache_key, result)
 
     def prove_with_retry(
         self,
@@ -184,6 +237,8 @@ class Prover:
         extra_axioms: List[Formula] = (),
         retry: RetryPolicy = NO_RETRY,
         deadline: Optional[Deadline] = None,
+        cache=None,
+        cache_context: str = "",
     ) -> ProofResult:
         """Like :meth:`prove`, but ``GAVE_UP`` outcomes are retried with
         escalating conflict/round budgets and exponential backoff, as
@@ -191,7 +246,22 @@ class Prover:
         ``TIMEOUT`` is never retried (more wall-clock is exactly what
         the unit does not have), and ``REFUTED`` is final: saturation
         found a stable countermodel that a bigger budget cannot remove.
+
+        The cache is consulted exactly once, before the first attempt
+        (a hit costs no prover work at all), and the final settled
+        verdict — whatever attempt produced it — is stored back.
         """
+        cache_key = None
+        if cache is not None:
+            probe_start = time.perf_counter()
+            cache_key = cache.key(
+                goal, self.axioms, extra_axioms, context=cache_context
+            )
+            payload = cache.get(cache_key)
+            if payload is not None:
+                return ProofResult.from_cache_payload(
+                    payload, elapsed=time.perf_counter() - probe_start
+                )
         deadline = (deadline or Deadline(None)).tightened(self.time_limit)
         result: Optional[ProofResult] = None
         attempts = 0
@@ -207,13 +277,13 @@ class Prover:
             result = attempt_prover.prove(goal, extra_axioms, deadline=deadline)
             result.attempts = attempts
             if result.verdict != GAVE_UP or deadline.expired():
-                return result
+                return _record(cache, cache_key, result)
         if result is None:  # deadline could not fund even one attempt
             result = ProofResult(
                 proved=False, reason="time limit", verdict=TIMEOUT
             )
         result.attempts = max(attempts, result.attempts)
-        return result
+        return _record(cache, cache_key, result)
 
     # -------------------------------------------------------------- internals
 
@@ -339,6 +409,15 @@ class Prover:
                 assert_formula(db, lemma)
 
 
+def _record(cache, cache_key, result: ProofResult) -> ProofResult:
+    """Store a settled verdict back into the proof cache.  The cache
+    itself refuses budget-dependent verdicts (TIMEOUT/GAVE_UP), so a
+    slow run never poisons a later, better-funded one."""
+    if cache is not None and cache_key is not None and not result.cached:
+        cache.put(cache_key, result.to_cache_payload())
+    return result
+
+
 def _atom_terms(atom):
     if isinstance(atom, (Eq, Le, Lt)):
         return (atom.left, atom.right)
@@ -364,11 +443,16 @@ def prove_valid(
     axioms: List[Formula] = (),
     retry: Optional[RetryPolicy] = None,
     deadline: Optional[Deadline] = None,
+    cache=None,
+    cache_context: str = "",
     **kwargs,
 ) -> ProofResult:
     """One-shot validity check: is ``goal`` entailed by ``axioms``?"""
     prover = Prover(**kwargs)
     prover.add_axioms(list(axioms))
     if retry is not None:
-        return prover.prove_with_retry(goal, retry=retry, deadline=deadline)
-    return prover.prove(goal, deadline=deadline)
+        return prover.prove_with_retry(
+            goal, retry=retry, deadline=deadline,
+            cache=cache, cache_context=cache_context,
+        )
+    return prover.prove(goal, deadline=deadline, cache=cache, cache_context=cache_context)

@@ -184,9 +184,12 @@ class TestBatchProve:
     def test_mixed_prove_batch_structured_verdicts(self, qual_trio, capsys):
         code = main(
             [
+                # --no-cache: the timeout is simulated via a tiny
+                # budget, so a warm proof cache would (correctly!)
+                # replay the settled verdict and defeat the simulation.
                 "prove", *qual_trio,
                 "--keep-going", "--time-limit", "0.001",
-                "--format", "json",
+                "--no-cache", "--format", "json",
             ]
         )
         data = json.loads(capsys.readouterr().out)
@@ -200,7 +203,7 @@ class TestBatchProve:
         main(
             [
                 "prove", qual_trio[1],
-                "--time-limit", "0.001", "--format", "json",
+                "--time-limit", "0.001", "--no-cache", "--format", "json",
             ]
         )
         data = json.loads(capsys.readouterr().out)

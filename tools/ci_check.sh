@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
 export PYTHONPATH
 
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
 echo "== tier-1 test suite"
 python -m pytest -x -q tests/
 
@@ -27,11 +30,49 @@ print(f"   {len(units)} unit(s) OK")
 '
 
 echo "== prove the standard qualifier library (expect exit 0)"
-python -m repro prove examples/posneg.qual --keep-going --time-limit 30
+python -m repro prove examples/posneg.qual --keep-going --time-limit 30 \
+    --cache-dir "$tmpdir/warmup-cache"
+
+echo "== proof cache: cold then warm run (expect hits, identical verdicts)"
+python -m repro prove examples/*.qual --keep-going --time-limit 30 \
+    --cache-dir "$tmpdir/proof-cache" --format json > "$tmpdir/cold.json"
+python -m repro prove examples/*.qual --keep-going --time-limit 30 \
+    --cache-dir "$tmpdir/proof-cache" --format json > "$tmpdir/warm.json"
+python -c '
+import json, sys
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+assert cold["cache"]["hits"] == 0, cold["cache"]
+assert warm["cache"]["hits"] > 0, warm["cache"]
+assert warm["cache"]["misses"] == 0, warm["cache"]
+
+
+def obligations(report):
+    return [
+        (u["unit"], q["qualifier"], o["rule"], o["verdict"], o["proved"],
+         o["reason"])
+        for u in report["units"]
+        for q in u["detail"]["qualifiers"]
+        for o in q["obligations"]
+    ]
+
+
+assert obligations(cold) == obligations(warm), "verdict drift between runs"
+unit_verdicts = [u["verdict"] for u in cold["units"]]
+assert unit_verdicts == [u["verdict"] for u in warm["units"]], unit_verdicts
+replayed = [
+    o for u in warm["units"] for q in u["detail"]["qualifiers"]
+    for o in q["obligations"] if o["verdict"] == "PROVED"
+]
+assert replayed and all(o["cached"] for o in replayed), (
+    "warm run did not replay every PROVED obligation from the cache"
+)
+hits = warm["cache"]["hits"]
+print(f"   {hits} hit(s), "
+      f"{len(replayed)} PROVED obligation(s) replayed, verdicts identical")
+' "$tmpdir/cold.json" "$tmpdir/warm.json"
 
 echo "== broken input is contained, not fatal (expect exit 2)"
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
 printf 'int f( {' > "$tmpdir/broken.c"
 status=0
 python -m repro check "$tmpdir/broken.c" examples/lcm.c \
