@@ -46,3 +46,166 @@ def test_flow_sensitive_extension(benchmark, program):
     assert result.errors == 0
     assert result.casts < baseline.casts
     assert result.annotations == baseline.annotations
+
+
+@pytest.mark.benchmark(group="flow-ablation")
+def test_worklist_engine_stats(benchmark, program):
+    """Aggregate solver work for one checker pass over the corpus.
+
+    The structured walks this engine replaced did not count their work;
+    the worklist solver does, so the ablation can report where analysis
+    time goes (and CI can spot superlinear blowups)."""
+    from repro.core.checker.typecheck import QualifierChecker
+    from repro.core.qualifiers.library import standard_qualifiers
+
+    quals = standard_qualifiers()
+
+    def check():
+        return QualifierChecker(program, quals, flow_sensitive=True).check()
+
+    report = benchmark.pedantic(check, iterations=1, rounds=3)
+    totals = {"blocks": 0, "edges": 0, "iterations": 0, "ms": 0.0}
+    for stats in report.dataflow.values():
+        for key in totals:
+            totals[key] += stats[key]
+    print(f"\n  worklist solver:  {len(report.dataflow)} function(s), "
+          f"{totals['blocks']} block(s), {totals['edges']} edge(s), "
+          f"{totals['iterations']} visit(s), {totals['ms']:.1f} ms")
+    # Every reachable block is visited at least once; a reducible CFG
+    # should settle well before the divergence budget.
+    assert totals["iterations"] >= totals["blocks"]
+
+
+# ----------------------------------------------------------------- smoke mode
+#
+# ``python benchmarks/bench_flow_ablation.py --smoke`` replays the
+# examples through the worklist engine and asserts the verdicts are
+# identical to the legacy structured walks' (captured before their
+# removal).  tools/ci_check.sh runs this as a regression gate.
+
+#: Per example file: checker verdict and diagnostic count (identical
+#: flow-insensitively and flow-sensitively on these inputs), run-time
+#: checks the instrumenter places, and the entities inference grants.
+LEGACY_GOLDEN = {
+    "lcm.c": {
+        "check": ("ok", 0),
+        "checks_placed": 1,
+        "infer": {
+            "nonnull": [],
+            "pos": [
+                ("formal", "lcm", "a"),
+                ("formal", "lcm", "b"),
+                ("local", "lcm", "d"),
+                ("local", "lcm", "prod"),
+            ],
+        },
+    },
+    "nonnull.c": {
+        "check": ("ok", 0),
+        "checks_placed": 0,
+        "infer": {
+            "nonnull": [
+                ("formal", "deref", "p"),
+                ("formal", "pick", "a"),
+                ("local", "pick", "q"),
+            ],
+            "pos": [],
+        },
+    },
+    "untainted.c": {
+        "check": ("ok", 0),
+        "checks_placed": 1,
+        "infer": {
+            "nonnull": [("formal", "greet", "name")],
+            "pos": [],
+        },
+    },
+}
+
+
+def _smoke_one(path):
+    from repro.cil import ir
+    from repro.cil.lower import lower_unit
+    from repro.core.checker.instrument import instrument_program
+    from repro.core.checker.typecheck import QualifierChecker
+    from repro.core.qualifiers.library import standard_qualifiers
+
+    quals = standard_qualifiers()
+    names = {d.name for d in quals}
+    with open(path) as handle:
+        source = handle.read()
+    program = lower_unit(
+        parse_c(source, qualifier_names=names, filename=path)
+    )
+    out = {}
+    for flow_sensitive in (False, True):
+        report = QualifierChecker(
+            program, quals, flow_sensitive=flow_sensitive
+        ).check()
+        verdict = ("ok" if report.ok else "warn", len(report.diagnostics))
+        # Both modes must agree with the single golden verdict.
+        out["check"] = verdict if "check" not in out else out["check"]
+        assert out["check"] == verdict, (
+            f"{path}: flow-sensitivity changed the verdict: "
+            f"{out['check']} vs {verdict}"
+        )
+    instrumented = instrument_program(program, quals)
+    out["checks_placed"] = sum(
+        1
+        for func in instrumented.functions
+        for instr in ir.walk_instructions(func.body)
+        if isinstance(instr, ir.Call)
+        and instr.func
+        and instr.func.startswith("__check_")
+    )
+    out["infer"] = {}
+    from repro.analysis.infer import infer_value_qualifier
+
+    for qual in ("nonnull", "pos"):
+        result = infer_value_qualifier(program, quals.get(qual), quals)
+        out["infer"][qual] = sorted(result.inferred)
+    return out
+
+
+def run_smoke():
+    import os
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    examples = os.path.join(os.path.dirname(here), "examples")
+    failures = []
+    for name, want in sorted(LEGACY_GOLDEN.items()):
+        path = os.path.join(examples, name)
+        got = _smoke_one(path)
+        want = dict(want, infer={
+            q: [tuple(e) for e in ents]
+            for q, ents in want["infer"].items()
+        })
+        if got == want:
+            print(f"  {name}: worklist verdicts match legacy golden")
+        else:
+            failures.append(name)
+            print(f"  {name}: MISMATCH\n    want {want}\n    got  {got}")
+    if failures:
+        print(f"smoke: {len(failures)} example(s) drifted from the legacy "
+              "structured-walk verdicts")
+        return 1
+    print(f"smoke: all {len(LEGACY_GOLDEN)} examples identical to the "
+          "legacy structured-walk verdicts")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    cli = argparse.ArgumentParser(description=__doc__)
+    cli.add_argument(
+        "--smoke",
+        action="store_true",
+        help="assert worklist-engine verdicts on examples/*.c are "
+        "identical to the recorded legacy structured-walk verdicts",
+    )
+    opts = cli.parse_args()
+    if opts.smoke:
+        sys.exit(run_smoke())
+    cli.error("benchmark mode runs under pytest; use --smoke standalone")

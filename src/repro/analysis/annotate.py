@@ -439,51 +439,34 @@ def _insert_deref_casts(
 def _rewrite_deref_bases_flow(
     func: ir.Function, checker: QualifierChecker, guards, fix
 ) -> None:
-    """Statement walk mirroring the flow-sensitive checker: guard facts
-    flow into branches so guarded dereference bases are not cast."""
-    from repro.core.checker.flow import GuardAnalysis
+    """Rewrite dereference bases under the same guard facts the
+    flow-sensitive checker computes: the CFG is solved once, then every
+    instruction is rewritten under the facts holding at its program
+    point, so guarded dereferences stay uncast.
 
-    fixers = _make_expr_fixers(fix)
-    fix_expr, fix_lvalue = fixers
+    CFG blocks reference the *same* mutable instruction and statement
+    objects as the function body, so in-place rewrites here are visible
+    through the statement tree the printer renders."""
+    from repro.cil.cfg import BRANCH, RETURN, build_cfg
+    from repro.core.checker.flow import solve_guard_facts
 
-    def walk(stmts: List[ir.Stmt]) -> None:
-        for stmt in stmts:
-            if isinstance(stmt, ir.Instr):
-                for instr in stmt.instrs:
-                    _fix_instr(instr, fix_expr, fix_lvalue)
-                    checker._facts = GuardAnalysis.kills_of_instruction(
-                        instr, checker._facts, checker._addr_taken
-                    )
-            elif isinstance(stmt, ir.If):
-                stmt.cond = fix_expr(stmt.cond)
-                then_facts, else_facts = guards.facts_of_condition(stmt.cond)
-                saved = set(checker._facts)
-                checker._facts = saved | then_facts
-                walk(stmt.then)
-                checker._facts = saved | else_facts
-                walk(stmt.otherwise)
-                checker._facts = saved
-            elif isinstance(stmt, ir.While):
-                for instr in stmt.cond_instrs:
-                    _fix_instr(instr, fix_expr, fix_lvalue)
-                    checker._facts = GuardAnalysis.kills_of_instruction(
-                        instr, checker._facts, checker._addr_taken
-                    )
-                stmt.cond = fix_expr(stmt.cond)
-                then_facts, _ = guards.facts_of_condition(stmt.cond)
-                assigned = GuardAnalysis.assigned_vars(stmt.body)
-                saved = set(checker._facts)
-                checker._facts = saved | {
-                    f
-                    for f in then_facts
-                    if not (f[0].is_plain_var and f[0].var_name in assigned)
-                }
-                walk(stmt.body)
-                checker._facts = saved
-            elif isinstance(stmt, ir.Return) and stmt.expr is not None:
-                stmt.expr = fix_expr(stmt.expr)
-
-    walk(func.body)
+    fix_expr, fix_lvalue = _make_expr_fixers(fix)
+    graph = build_cfg(func)
+    solution = solve_guard_facts(graph, guards, checker._addr_taken)
+    for block in graph.blocks:
+        for instr in block.instrs:
+            checker._facts = set(solution.point[id(instr)])
+            _fix_instr(instr, fix_expr, fix_lvalue)
+        term = block.terminator
+        if term.stmt is not None:
+            checker._facts = set(
+                solution.point.get(id(term.stmt), frozenset())
+            )
+        if term.kind == BRANCH:
+            term.stmt.cond = fix_expr(term.stmt.cond)
+        elif term.kind == RETURN and term.stmt.expr is not None:
+            term.stmt.expr = fix_expr(term.stmt.expr)
+    checker._facts = set()
 
 
 def _make_expr_fixers(fix):

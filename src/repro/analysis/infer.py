@@ -29,6 +29,7 @@ from repro.cil.typesof import TypeError_, TypingContext, type_of_lvalue
 from repro.core.checker.patterns import dtype_matches
 from repro.core.checker.typecheck import QualifierChecker
 from repro.core.qualifiers.ast import QualifierDef, QualifierSet
+from repro.dataflow.solver import SolverDivergence, kleene_fixpoint
 from repro.analysis.annotate import (
     Entity,
     _add_qual_to_entity,
@@ -44,6 +45,10 @@ class InferenceResult:
     inferred: Set[Entity] = field(default_factory=set)
     demoted: Set[Entity] = field(default_factory=set)
     iterations: int = 0
+    # Per-function solver work accumulated over every checker run the
+    # fixpoint performed (blocks/edges from the last run; iterations
+    # and ms summed across runs).
+    dataflow: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def count(self) -> int:
@@ -117,8 +122,9 @@ def _failing_entities(
     quals: QualifierSet,
     candidates: Set[Entity],
     flow_sensitive: bool,
-) -> Set[Entity]:
-    """Candidates with at least one assignment the rules cannot justify.
+) -> Tuple[Set[Entity], Dict[str, dict]]:
+    """Candidates with at least one assignment the rules cannot justify,
+    plus the checker's per-function solver stats for this run.
 
     Implemented by running the checker and mapping each value-qualifier
     assignment diagnostic back to the assigned entity."""
@@ -132,7 +138,7 @@ def _failing_entities(
         entity = _entity_from_diagnostic(program, func, diag.message, candidates)
         if entity is not None:
             failing.add(entity)
-    return failing
+    return failing, report.dataflow
 
 
 def _entity_from_diagnostic(
@@ -194,27 +200,47 @@ def infer_value_qualifier(
     elif qdef.name not in quals:
         quals = QualifierSet(list(quals) + [qdef])
 
-    candidates = _candidate_entities(program, qdef)
-    demoted: Set[Entity] = set()
-    iterations = 0
-    annotated = _apply_annotations(program, qdef.name, candidates)
+    all_candidates = frozenset(_candidate_entities(program, qdef))
+    # Shared-engine fixpoint: the state is the optimistic candidate set,
+    # one step re-annotates and demotes every entity the checker cannot
+    # justify.  Demotion is monotone (the set only shrinks), so the
+    # descending iteration over the powerset lattice terminates.
+    last: Dict[str, object] = {}
+    dataflow: Dict[str, dict] = {}
 
-    for _ in range(max_iterations):
-        iterations += 1
-        failing = _failing_entities(
-            annotated, qdef.name, quals, candidates, flow_sensitive
+    def step(candidates: frozenset) -> frozenset:
+        working = set(candidates)
+        annotated = _apply_annotations(program, qdef.name, working)
+        last["program"] = annotated
+        failing, run_stats = _failing_entities(
+            annotated, qdef.name, quals, working, flow_sensitive
         )
-        failing &= candidates
-        if not failing:
-            break
-        candidates -= failing
-        demoted |= failing
-        annotated = _apply_annotations(program, qdef.name, candidates)
+        for name, stats in run_stats.items():
+            into = dataflow.setdefault(
+                name, {"blocks": 0, "edges": 0, "iterations": 0, "ms": 0.0}
+            )
+            into["blocks"] = stats["blocks"]
+            into["edges"] = stats["edges"]
+            into["iterations"] += stats["iterations"]
+            into["ms"] = round(into["ms"] + stats["ms"], 3)
+        result = frozenset(candidates - failing)
+        last["candidates"] = result
+        return result
+
+    try:
+        inferred, iterations = kleene_fixpoint(
+            step, all_candidates, max_iterations=max_iterations
+        )
+    except SolverDivergence:
+        # Out of budget: keep the last (sound) demotion state, exactly
+        # as the pre-engine loop did.
+        inferred, iterations = last["candidates"], max_iterations
 
     return InferenceResult(
-        program=annotated,
+        program=last["program"],
         qualifier=qdef.name,
-        inferred=candidates,
-        demoted=demoted,
+        inferred=set(inferred),
+        demoted=set(all_candidates - inferred),
         iterations=iterations,
+        dataflow=dataflow,
     )

@@ -59,6 +59,17 @@ class UnknownQualifierError(ValueError):
     """The requested qualifier is not defined in the session's set."""
 
 
+def _tool_version() -> str:
+    """The package version (every JSON payload is stamped with it).
+
+    Imported lazily: ``repro.__init__`` imports this module, so a
+    top-level import would be circular.
+    """
+    from repro import __version__
+
+    return __version__
+
+
 # ----------------------------------------------------------------- requests
 
 
@@ -133,6 +144,7 @@ class Report:
         return {
             "schema_version": self.schema_version,
             "command": self.command,
+            "version": _tool_version(),
             **self.batch.to_dict(),
         }
 
@@ -158,6 +170,38 @@ def _read_source(path: str) -> str:
     # clean UnicodeDecodeError (input error) instead of a traceback.
     with open(path, "rb") as handle:
         return handle.read().decode("utf-8")
+
+
+def _sum_dataflow(per_function: Dict[str, dict]) -> dict:
+    """Fold per-function solver stats into one totals dict."""
+    totals = {
+        "functions": 0, "blocks": 0, "edges": 0, "iterations": 0, "ms": 0.0,
+    }
+    for stats in per_function.values():
+        totals["functions"] += 1
+        totals["blocks"] += stats.get("blocks", 0)
+        totals["edges"] += stats.get("edges", 0)
+        totals["iterations"] += stats.get("iterations", 0)
+        totals["ms"] += stats.get("ms", 0.0)
+    totals["ms"] = round(totals["ms"], 3)
+    return totals
+
+
+def _aggregate_dataflow_meta(batch_report: batch.BatchReport) -> None:
+    """Sum each unit's dataflow totals into run-level meta (additive
+    key; ``sum_detail_counters`` cannot reach the nested dict)."""
+    run = {"functions": 0, "blocks": 0, "edges": 0, "iterations": 0, "ms": 0.0}
+    seen = False
+    for result in batch_report.results:
+        totals = result.detail.get("dataflow", {}).get("totals")
+        if not isinstance(totals, dict):
+            continue
+        seen = True
+        for key in run:
+            run[key] += totals.get(key, 0)
+    if seen:
+        run["ms"] = round(run["ms"], 3)
+        batch_report.meta["dataflow"] = run
 
 
 def _parse_error_dict(err: Exception) -> dict:
@@ -205,7 +249,9 @@ class Session:
         """Parse and lower one translation unit under this session."""
         if quals is None:
             quals = self.qualifier_set()
-        unit = parse_c(_read_source(path), qualifier_names=quals.names)
+        unit = parse_c(
+            _read_source(path), qualifier_names=quals.names, filename=path
+        )
         return lower_unit(unit)
 
     # ----------------------------------------------------------- commands
@@ -216,7 +262,9 @@ class Session:
 
         def worker(path: str, deadline: Deadline) -> batch.UnitResult:
             source = _read_source(path)
-            unit = parse_c(source, qualifier_names=quals.names, recover=True)
+            unit = parse_c(
+                source, qualifier_names=quals.names, recover=True, filename=path
+            )
             diagnostics = [_parse_error_dict(e) for e in unit.errors]
             deadline.check("after parse")
             program = lower_unit(unit)
@@ -241,10 +289,16 @@ class Session:
                 detail={
                     "warnings": check_report.warning_count,
                     "runtime_checks": len(check_report.runtime_checks),
+                    "dataflow": {
+                        "functions": check_report.dataflow,
+                        "totals": _sum_dataflow(check_report.dataflow),
+                    },
                 },
             )
 
-        return Report("check", self._run(request, worker))
+        batch_report = self._run(request, worker)
+        _aggregate_dataflow_meta(batch_report)
+        return Report("check", batch_report)
 
     def prove(self, request: ProveRequest) -> Report:
         """Soundness-check every qualifier defined in each ``.qual``
@@ -337,10 +391,16 @@ class Session:
                 detail={
                     "summary": result.summary(),
                     "entities": sorted(str(e) for e in result.inferred),
+                    "dataflow": {
+                        "functions": result.dataflow,
+                        "totals": _sum_dataflow(result.dataflow),
+                    },
                 },
             )
 
-        return Report("infer", self._run(request, worker))
+        batch_report = self._run(request, worker)
+        _aggregate_dataflow_meta(batch_report)
+        return Report("infer", batch_report)
 
     def run(self, path: str, entry: str = "main", args=()) -> Tuple[int, List[str]]:
         """Execute one translation unit with run-time qualifier checks;
@@ -370,12 +430,32 @@ class Session:
 
 def cache_stats(cache_dir: str = DEFAULT_CACHE_DIR) -> dict:
     """Facts about the on-disk proof cache, JSON-ready (the payload of
-    ``python -m repro cache stats --format json``)."""
+    ``python -m repro cache stats --format json``).
+
+    A cache directory that was never created is reported as-is (zero
+    entries, zero counters) — asking for stats must not create it.
+    """
+    import os
+
+    from repro.cache.store import COUNTER_NAMES
+
+    if cache_dir is not None and not os.path.isdir(cache_dir):
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "command": "cache-stats",
+            "version": _tool_version(),
+            "path": os.path.join(cache_dir, "proofs.sqlite"),
+            "disk": False,
+            "entries": 0,
+            "size_bytes": 0,
+            "lifetime": {name: 0 for name in COUNTER_NAMES},
+        }
     with ProofCache(cache_dir=cache_dir) as cache:
         entries = cache.entry_count()
         return {
             "schema_version": SCHEMA_VERSION,
             "command": "cache-stats",
+            "version": _tool_version(),
             "path": cache.path,
             "disk": cache.disk_available,
             "entries": entries,

@@ -16,12 +16,20 @@ from repro.cfront.ctypes import CType
 
 @dataclass(frozen=True)
 class Loc:
-    """Source location, for diagnostics."""
+    """Source location, for diagnostics.
+
+    ``file`` is the original source path (empty when parsing from a
+    string); with it set, the location renders ``file:line:col`` so
+    diagnostics and CFG nodes point at real source lines.
+    """
 
     line: int = 0
     col: int = 0
+    file: str = ""
 
     def __str__(self) -> str:
+        if self.file:
+            return f"{self.file}:{self.line}:{self.col}"
         return f"line {self.line}"
 
 
@@ -187,6 +195,20 @@ class Break(Stmt):
 @dataclass
 class Continue(Stmt):
     pass
+
+
+@dataclass
+class Goto(Stmt):
+    """``goto label;`` — unstructured control flow."""
+
+    label: str = ""
+
+
+@dataclass
+class Label(Stmt):
+    """``name:`` — a goto target (labels have function scope)."""
+
+    name: str = ""
 
 
 @dataclass

@@ -62,12 +62,14 @@ class Parser:
         source: str,
         qualifier_names: Iterable[str] = (),
         recover: bool = False,
+        filename: str = "",
     ):
         self.tokens = tokenize(source, tolerant=recover)
         self.pos = 0
         self.qualifier_names: Set[str] = set(qualifier_names)
         self.typedefs: dict = {}
         self.recover = recover
+        self.filename = filename
         self.errors: List[ParseError] = []
 
     # ------------------------------------------------------------ utilities
@@ -98,9 +100,9 @@ class Parser:
             raise ParseError("expected identifier", tok)
         return self._advance()
 
-    def _loc(self) -> A.Loc:
-        tok = self._peek()
-        return A.Loc(tok.line, tok.col)
+    def _loc(self, offset: int = 0) -> A.Loc:
+        tok = self._peek(offset)
+        return A.Loc(tok.line, tok.col, self.filename)
 
     # ---------------------------------------------------------- entry point
 
@@ -439,6 +441,20 @@ class Parser:
             self._advance()
             self._expect(";")
             return A.Continue(loc=loc)
+        if tok.text == "goto":
+            self._advance()
+            label = self._expect_id().text
+            self._expect(";")
+            return A.Goto(label=label, loc=loc)
+        if (
+            tok.kind == "id"
+            and self._peek(1).text == ":"
+            and self._peek(1).kind == "punct"
+            and not self._starts_type()
+        ):
+            name = self._advance().text
+            self._advance()  # ':'
+            return A.Label(name=name, loc=loc)
         if self._starts_type():
             return self._parse_decl_statement()
         expr = self._parse_expr()
@@ -561,7 +577,7 @@ class Parser:
         left = self._parse_conditional()
         tok = self._peek()
         if tok.kind == "punct" and tok.text in _ASSIGN_OPS:
-            loc = A.Loc(tok.line, tok.col)
+            loc = A.Loc(tok.line, tok.col, self.filename)
             self._advance()
             right = self._parse_assignment_expr()
             return A.Assign(op=tok.text, target=left, value=right, loc=loc)
@@ -600,13 +616,13 @@ class Parser:
             tok = self._advance()
             right = self._parse_binary(level + 1)
             left = A.Binary(
-                op=tok.text, left=left, right=right, loc=A.Loc(tok.line, tok.col)
+                op=tok.text, left=left, right=right, loc=A.Loc(tok.line, tok.col, self.filename)
             )
         return left
 
     def _parse_unary(self) -> A.Expr:
         tok = self._peek()
-        loc = A.Loc(tok.line, tok.col)
+        loc = A.Loc(tok.line, tok.col, self.filename)
         if tok.kind == "punct" and tok.text in ("-", "!", "~", "*", "&", "+"):
             self._advance()
             operand = self._parse_unary()
@@ -642,7 +658,7 @@ class Parser:
         expr = self._parse_primary()
         while True:
             tok = self._peek()
-            loc = A.Loc(tok.line, tok.col)
+            loc = A.Loc(tok.line, tok.col, self.filename)
             if self._at("["):
                 self._advance()
                 index = self._parse_expr()
@@ -674,7 +690,7 @@ class Parser:
 
     def _parse_primary(self) -> A.Expr:
         tok = self._peek()
-        loc = A.Loc(tok.line, tok.col)
+        loc = A.Loc(tok.line, tok.col, self.filename)
         if tok.kind == "int":
             self._advance()
             return A.IntLit(value=tok.int_value, loc=loc)
@@ -704,6 +720,7 @@ def parse_c(
     qualifier_names: Iterable[str] = (),
     run_preprocessor: bool = True,
     recover: bool = False,
+    filename: str = "",
 ) -> A.TranslationUnit:
     """Parse C source into a :class:`TranslationUnit`.
 
@@ -718,5 +735,7 @@ def parse_c(
     """
     if run_preprocessor:
         source = preprocess(source).text
-    parser = Parser(source, qualifier_names=qualifier_names, recover=recover)
+    parser = Parser(
+        source, qualifier_names=qualifier_names, recover=recover, filename=filename
+    )
     return parser.parse_translation_unit()

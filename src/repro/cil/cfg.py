@@ -1,0 +1,317 @@
+"""Control-flow graphs over CIL functions.
+
+The structured statement tree of :mod:`repro.cil.ir` is flattened into
+basic blocks connected by guarded edges, so every dataflow client
+(guard refinement, inference, instrumentation) can share one worklist
+solver instead of re-implementing a structured walk — and so
+unstructured control flow (``goto``, desugared ``switch`` fallthrough,
+panic-recovery stubs) is analyzed soundly instead of being wished away.
+
+Design points:
+
+* Blocks are numbered in **creation order**, which the builder keeps
+  equal to syntactic order; clients that iterate ``cfg.blocks`` emit
+  diagnostics in the same order the legacy structured walks did.
+* Blocks hold **references** to the same mutable instruction objects
+  as the statement tree, so a client that rewrites instructions in
+  place (``analysis.annotate``) sees its rewrites through either view.
+* A branch terminator keeps the live ``If``/``While`` statement;
+  guarded edges record only a polarity and read the condition through
+  the terminator, so condition rewrites propagate to edges too.
+* ``goto`` to an undefined label (a panic-recovery stub) falls off to
+  the exit block rather than crashing the builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cil import ir
+from repro.cil.ir import Loc
+
+#: Terminator kinds.
+JUMP = "jump"  # fall through to the single unguarded successor
+BRANCH = "branch"  # two-way branch on ``stmt.cond`` (If or While)
+RETURN = "return"  # function return (``stmt`` is the ir.Return)
+GOTO = "goto"  # unconditional jump to a label (``stmt`` is the ir.Goto)
+EXIT = "exit"  # the unique synthetic exit block
+
+
+@dataclass
+class Terminator:
+    """How a basic block ends.  For ``BRANCH`` the originating
+    ``If``/``While`` statement is kept live so ``cond`` reflects any
+    in-place rewrite a client performs."""
+
+    kind: str = JUMP
+    stmt: Optional[object] = None  # ir.If | ir.While | ir.Return | ir.Goto
+
+    @property
+    def cond(self) -> Optional[ir.Expr]:
+        if self.kind == BRANCH and self.stmt is not None:
+            return self.stmt.cond
+        return None
+
+
+@dataclass
+class Edge:
+    """A CFG edge; ``guard`` is the polarity of the source block's
+    branch condition (True/False edge) or ``None`` when unconditional."""
+
+    src: "BasicBlock"
+    dst: "BasicBlock"
+    guard: Optional[bool] = None
+
+    @property
+    def cond(self) -> Optional[ir.Expr]:
+        """The branch condition guarding this edge (live view)."""
+        if self.guard is None:
+            return None
+        return self.src.terminator.cond
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "" if self.guard is None else f" [{self.guard}]"
+        return f"B{self.src.index}->B{self.dst.index}{tag}"
+
+
+@dataclass
+class BasicBlock:
+    index: int
+    instrs: List[ir.Instruction] = field(default_factory=list)
+    terminator: Terminator = field(default_factory=Terminator)
+    succs: List[Edge] = field(default_factory=list)
+    preds: List[Edge] = field(default_factory=list)
+    rpo: int = -1
+    loc: Loc = field(default_factory=Loc)
+
+    @property
+    def is_exit(self) -> bool:
+        return self.terminator.kind == EXIT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<B{self.index} rpo={self.rpo} {self.terminator.kind}>"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+
+@dataclass
+class CFG:
+    function: ir.Function
+    blocks: List[BasicBlock]
+    entry: BasicBlock
+    exit: BasicBlock
+    labels: Dict[str, BasicBlock] = field(default_factory=dict)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(b.succs) for b in self.blocks)
+
+    def reachable(self) -> List[BasicBlock]:
+        """Blocks reachable from entry, in RPO."""
+        return sorted(
+            (b for b in self.blocks if b.rpo >= 0 and b.rpo < self._n_reachable),
+            key=lambda b: b.rpo,
+        )
+
+    # set by the builder after RPO numbering
+    _n_reachable: int = 0
+
+    def pretty(self) -> str:
+        """A stable text rendering (for tests and debugging)."""
+        lines: List[str] = []
+        for b in self.blocks:
+            succs = ", ".join(
+                f"B{e.dst.index}"
+                + ("" if e.guard is None else f"({'T' if e.guard else 'F'})")
+                for e in b.succs
+            )
+            lines.append(
+                f"B{b.index} rpo={b.rpo} {b.terminator.kind}"
+                + (f" -> {succs}" if succs else "")
+            )
+            for instr in b.instrs:
+                lines.append(f"  {instr}")
+        return "\n".join(lines)
+
+
+class _Builder:
+    def __init__(self, func: ir.Function):
+        self.func = func
+        self.blocks: List[BasicBlock] = []
+        self.labels: Dict[str, BasicBlock] = {}
+        # (source block, label) pairs backpatched once every label is seen.
+        self.pending_gotos: List[Tuple[BasicBlock, str]] = []
+        # Blocks ending in ``return`` — all edge to the exit block.
+        self.returning: List[BasicBlock] = []
+
+    def new_block(self, loc: Optional[Loc] = None) -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks), loc=loc or Loc())
+        self.blocks.append(block)
+        return block
+
+    def edge(
+        self, src: BasicBlock, dst: BasicBlock, guard: Optional[bool] = None
+    ) -> None:
+        e = Edge(src, dst, guard)
+        src.succs.append(e)
+        dst.preds.append(e)
+
+    def walk(
+        self,
+        stmts: List[ir.Stmt],
+        cur: Optional[BasicBlock],
+        breaks: Optional[List[BasicBlock]],
+        continue_target: Optional[BasicBlock],
+    ) -> Optional[BasicBlock]:
+        """Flatten ``stmts`` starting in ``cur``; returns the block
+        control falls out of, or ``None`` when every path terminated.
+        Statements after a terminator land in a fresh block with no
+        predecessors — the unreachable blocks the satellite tests pin."""
+        for stmt in stmts:
+            if cur is None:
+                cur = self.new_block(getattr(stmt, "loc", None))
+            if isinstance(stmt, ir.Instr):
+                cur.instrs.extend(stmt.instrs)
+            elif isinstance(stmt, ir.If):
+                cur.terminator = Terminator(BRANCH, stmt)
+                then_b = self.new_block(stmt.loc)
+                self.edge(cur, then_b, True)
+                then_end = self.walk(stmt.then, then_b, breaks, continue_target)
+                if stmt.otherwise:
+                    else_b = self.new_block(stmt.loc)
+                    self.edge(cur, else_b, False)
+                    else_end = self.walk(
+                        stmt.otherwise, else_b, breaks, continue_target
+                    )
+                    join = self.new_block(stmt.loc)
+                    if then_end is not None:
+                        self.edge(then_end, join)
+                    if else_end is not None:
+                        self.edge(else_end, join)
+                else:
+                    join = self.new_block(stmt.loc)
+                    self.edge(cur, join, False)
+                    if then_end is not None:
+                        self.edge(then_end, join)
+                cur = join
+            elif isinstance(stmt, ir.While):
+                header = self.new_block(stmt.loc)
+                header.instrs.extend(stmt.cond_instrs)
+                header.terminator = Terminator(BRANCH, stmt)
+                self.edge(cur, header)
+                body_b = self.new_block(stmt.loc)
+                self.edge(header, body_b, True)
+                loop_breaks: List[BasicBlock] = []
+                body_end = self.walk(stmt.body, body_b, loop_breaks, header)
+                if body_end is not None:
+                    self.edge(body_end, header)
+                after = self.new_block(stmt.loc)
+                self.edge(header, after, False)
+                for b in loop_breaks:
+                    self.edge(b, after)
+                cur = after
+            elif isinstance(stmt, ir.Return):
+                cur.terminator = Terminator(RETURN, stmt)
+                self.returning.append(cur)
+                cur = None
+            elif isinstance(stmt, ir.Break):
+                if breaks is not None:
+                    breaks.append(cur)
+                else:
+                    # break outside a loop (panic-recovery stub):
+                    # treat as falling off the function.
+                    self.returning.append(cur)
+                cur = None
+            elif isinstance(stmt, ir.Continue):
+                if continue_target is not None:
+                    self.edge(cur, continue_target)
+                else:
+                    self.returning.append(cur)
+                cur = None
+            elif isinstance(stmt, ir.Goto):
+                cur.terminator = Terminator(GOTO, stmt)
+                self.pending_gotos.append((cur, stmt.label))
+                cur = None
+            elif isinstance(stmt, ir.Label):
+                target = self.labels.get(stmt.name)
+                if target is None:
+                    target = self.new_block(stmt.loc)
+                    self.labels[stmt.name] = target
+                if cur is not None:
+                    self.edge(cur, target)
+                cur = target
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown statement {stmt!r}")
+        return cur
+
+    def build(self) -> CFG:
+        entry = self.new_block(self.func.loc)
+        last = self.walk(self.func.body, entry, None, None)
+        exit_b = self.new_block(self.func.loc)
+        exit_b.terminator = Terminator(EXIT)
+        if last is not None:
+            self.edge(last, exit_b)
+        for block in self.returning:
+            self.edge(block, exit_b)
+        for block, label in self.pending_gotos:
+            # Unknown label: the function body was mangled and recovered
+            # in panic mode; falling off to exit keeps analysis sound
+            # for everything that *was* parsed.
+            self.edge(block, self.labels.get(label, exit_b))
+        cfg = CFG(
+            function=self.func,
+            blocks=self.blocks,
+            entry=entry,
+            exit=exit_b,
+            labels=self.labels,
+        )
+        _number_rpo(cfg)
+        return cfg
+
+
+def _number_rpo(cfg: CFG) -> None:
+    """Assign reverse-postorder numbers from entry; blocks unreachable
+    from entry are numbered afterwards in index order so every block
+    has a unique priority for the worklist."""
+    seen = set()
+    postorder: List[BasicBlock] = []
+    # Iterative DFS (parser recovery can produce deep chains).
+    stack: List[Tuple[BasicBlock, int]] = [(cfg.entry, 0)]
+    seen.add(cfg.entry)
+    while stack:
+        block, i = stack.pop()
+        if i < len(block.succs):
+            stack.append((block, i + 1))
+            nxt = block.succs[i].dst
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            postorder.append(block)
+    order = list(reversed(postorder))
+    for rpo, block in enumerate(order):
+        block.rpo = rpo
+    cfg._n_reachable = len(order)
+    nxt_rpo = len(order)
+    for block in cfg.blocks:
+        if block not in seen:
+            block.rpo = nxt_rpo
+            nxt_rpo += 1
+
+
+def build_cfg(func: ir.Function) -> CFG:
+    """Build the control-flow graph of one CIL function."""
+    return _Builder(func).build()
+
+
+def has_unstructured_flow(func: ir.Function) -> bool:
+    """Does the function use ``goto``/labels (i.e. control flow the
+    structured statement walkers cannot follow)?"""
+    return any(
+        isinstance(s, (ir.Goto, ir.Label)) for s in ir.walk_stmts(func.body)
+    )

@@ -248,6 +248,7 @@ Instruction = Set | Call
 @dataclass
 class Instr:
     instrs: List[Instruction] = field(default_factory=list)
+    loc: Loc = field(default_factory=Loc)
 
 
 @dataclass
@@ -286,7 +287,24 @@ class Continue:
     loc: Loc = field(default_factory=Loc)
 
 
-Stmt = Instr | If | While | Return | Break | Continue
+@dataclass
+class Goto:
+    """``goto label;`` — unstructured jump, resolved against the
+    function's :class:`Label` statements by the CFG builder."""
+
+    label: str = ""
+    loc: Loc = field(default_factory=Loc)
+
+
+@dataclass
+class Label:
+    """``name:`` — a goto target; labels have function scope."""
+
+    name: str = ""
+    loc: Loc = field(default_factory=Loc)
+
+
+Stmt = Instr | If | While | Return | Break | Continue | Goto | Label
 
 
 # ----------------------------------------------------------------- top level

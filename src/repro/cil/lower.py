@@ -185,7 +185,7 @@ class _Lowerer:
         if isinstance(stmt, A.ExprStmt):
             instrs: List[ir.Instruction] = []
             self._lower_expr(stmt.expr, instrs, self._context(), as_statement=True)
-            return [ir.Instr(instrs)] if instrs else []
+            return [ir.Instr(instrs, stmt.loc)] if instrs else []
         if isinstance(stmt, A.If):
             instrs = []
             cond = self._lower_expr(stmt.cond, instrs, self._context())
@@ -193,7 +193,7 @@ class _Lowerer:
             otherwise = self._lower_block(stmt.otherwise) if stmt.otherwise else []
             out: List[ir.Stmt] = []
             if instrs:
-                out.append(ir.Instr(instrs))
+                out.append(ir.Instr(instrs, stmt.loc))
             out.append(ir.If(cond, then, otherwise, stmt.loc))
             return out
         if isinstance(stmt, A.While):
@@ -213,15 +213,19 @@ class _Lowerer:
                 value = self._lower_expr(stmt.value, instrs, self._context())
             out = []
             if instrs:
-                out.append(ir.Instr(instrs))
+                out.append(ir.Instr(instrs, stmt.loc))
             out.append(ir.Return(value, stmt.loc))
             return out
         if isinstance(stmt, A.Break):
             return [ir.Break(stmt.loc)]
         if isinstance(stmt, A.Continue):
             if self.state.for_step is not None:
-                return [ir.Instr(list(self.state.for_step)), ir.Continue(stmt.loc)]
+                return [ir.Instr(list(self.state.for_step), stmt.loc), ir.Continue(stmt.loc)]
             return [ir.Continue(stmt.loc)]
+        if isinstance(stmt, A.Goto):
+            return [ir.Goto(stmt.label, stmt.loc)]
+        if isinstance(stmt, A.Label):
+            return [ir.Label(stmt.name, stmt.loc)]
         raise LowerError(f"cannot lower statement {stmt!r}", stmt.loc)
 
     def _lower_switch(self, stmt: A.Switch) -> List[ir.Stmt]:
@@ -266,7 +270,7 @@ class _Lowerer:
                 ir.If(cond, self._lower_stmt_list(body_from(i)), chain, stmt.loc)
             ]
         self.state.for_step = saved
-        return [ir.Instr(instrs)] + chain
+        return [ir.Instr(instrs, stmt.loc)] + chain
 
     def _lower_stmt_list(self, stmts: List[A.Stmt]) -> List[ir.Stmt]:
         self.state.scopes.append({})
@@ -283,7 +287,7 @@ class _Lowerer:
         instrs: List[ir.Instruction] = []
         lv = ir.Lvalue(ir.VarHost(name))
         self._lower_assignment(lv, stmt.init, instrs, stmt.loc)
-        return [ir.Instr(instrs)]
+        return [ir.Instr(instrs, stmt.loc)]
 
     def _lower_while(self, cond: A.Expr, body: A.Block, loc: A.Loc) -> ir.While:
         cond_instrs: List[ir.Instruction] = []
@@ -311,7 +315,7 @@ class _Lowerer:
         self.state.for_step = step_instrs
         body_stmts = self._lower_block(stmt.body)
         self.state.for_step = saved
-        body_stmts.append(ir.Instr(list(step_instrs)))
+        body_stmts.append(ir.Instr(list(step_instrs), stmt.loc))
         out.append(ir.While(cond_instrs, cond_expr, body_stmts, stmt.loc))
         self.state.scopes.pop()
         return out

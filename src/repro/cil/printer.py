@@ -77,6 +77,10 @@ def _stmts(stmts: List[ir.Stmt], indent: int) -> List[str]:
             out.append(f"{pad}break;")
         elif isinstance(stmt, ir.Continue):
             out.append(f"{pad}continue;")
+        elif isinstance(stmt, ir.Goto):
+            out.append(f"{pad}goto {stmt.label};")
+        elif isinstance(stmt, ir.Label):
+            out.append(f"{pad}{stmt.name}:")
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown statement {stmt!r}")
     return out

@@ -232,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Semantic type qualifiers: check, prove, run.",
     )
+    import repro
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p, with_flow=True):

@@ -93,6 +93,10 @@ class Report:
 
     diagnostics: List[Diagnostic] = field(default_factory=list)
     runtime_checks: List[RuntimeCheck] = field(default_factory=list)
+    # Per-function solver work counters (blocks, edges, iterations, ms)
+    # from the shared dataflow engine — additive report data, keyed by
+    # function name.
+    dataflow: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

@@ -220,27 +220,6 @@ class GuardAnalysis:
                 scan_expr(stmt.expr)
         return frozenset(taken)
 
-    @staticmethod
-    def assigned_vars(stmts: List[ir.Stmt]) -> FrozenSet[str]:
-        """Plain variables assigned anywhere in a statement list (used
-        to pre-kill loop-condition facts inside loop bodies)."""
-        out: Set[str] = set()
-        for stmt in ir.walk_stmts(stmts):
-            instrs: List[ir.Instruction] = []
-            if isinstance(stmt, ir.Instr):
-                instrs = stmt.instrs
-            elif isinstance(stmt, ir.While):
-                instrs = stmt.cond_instrs
-            for instr in instrs:
-                target = None
-                if isinstance(instr, ir.Set):
-                    target = instr.lvalue
-                elif isinstance(instr, ir.Call):
-                    target = instr.result
-                if target is not None and target.is_plain_var:
-                    out.add(target.var_name)
-        return frozenset(out)
-
 
 _FLIPPED = {"==": "==", "!=": "!=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}
 
@@ -251,3 +230,91 @@ def _const_int(expr: ir.Expr) -> Optional[int]:
     if isinstance(expr, ir.NullConst):
         return 0
     return None
+
+
+# --------------------------------------------------------- worklist client
+
+
+@dataclass
+class GuardSolution:
+    """The guard-fact fixpoint of one function.
+
+    ``block_entry`` maps block index → facts holding on entry
+    (unreachable blocks resolve to *no* facts, never to the solver's
+    UNIVERSE sentinel).  ``point`` maps ``id(instruction)`` → facts
+    holding immediately *before* that instruction, and
+    ``id(terminator statement)`` → facts at the block's terminator, so
+    clients that walk the structured statement tree (instrumentation,
+    annotation) can look facts up without re-running kills."""
+
+    block_entry: Dict[int, FrozenSet[Fact]] = field(default_factory=dict)
+    point: Dict[int, FrozenSet[Fact]] = field(default_factory=dict)
+    stats: "SolverStats" = None  # type: ignore[assignment]
+
+
+def solve_guard_facts(
+    cfg: "CFG",
+    guards: GuardAnalysis,
+    address_taken: FrozenSet[str] = frozenset(),
+) -> GuardSolution:
+    """Run the guard-refinement analysis over one function's CFG.
+
+    This is a forward *must* analysis: join is set intersection, so a
+    fact survives a merge only when every incoming path establishes
+    it.  Facts enter along guarded branch edges
+    (:meth:`GuardAnalysis.facts_of_condition`) and die at assignments
+    (:meth:`GuardAnalysis.kills_of_instruction`) — the same vocabulary
+    the structured walk used, now with sound treatment of ``goto``,
+    loops, and unreachable code for free."""
+    from repro.dataflow.lattice import UNIVERSE, MustSetLattice
+    from repro.dataflow.solver import ForwardSolver
+
+    cond_facts: Dict[int, Tuple[Set[Fact], Set[Fact]]] = {}
+
+    def facts_for(edge) -> Set[Fact]:
+        stmt = edge.src.terminator.stmt
+        key = id(stmt)
+        if key not in cond_facts:
+            cond_facts[key] = guards.facts_of_condition(edge.cond)
+        then_facts, else_facts = cond_facts[key]
+        return then_facts if edge.guard else else_facts
+
+    def transfer(block, facts):
+        if facts is UNIVERSE:
+            return UNIVERSE
+        live: Set[Fact] = set(facts)
+        for instr in block.instrs:
+            live = GuardAnalysis.kills_of_instruction(
+                instr, live, address_taken
+            )
+        return frozenset(live)
+
+    def edge_transfer(edge, out):
+        if edge.guard is None or out is UNIVERSE:
+            return out
+        return frozenset(out | facts_for(edge))
+
+    solver = ForwardSolver(
+        cfg,
+        MustSetLattice(),
+        transfer,
+        edge_transfer,
+        entry_value=frozenset(),
+    )
+    result = solver.solve()
+
+    solution = GuardSolution(stats=result.stats)
+    for block in cfg.blocks:
+        facts = result.block_in[block.index]
+        if facts is UNIVERSE:  # unreachable: assume nothing
+            facts = frozenset()
+        solution.block_entry[block.index] = facts
+        live = set(facts)
+        for instr in block.instrs:
+            solution.point[id(instr)] = frozenset(live)
+            live = GuardAnalysis.kills_of_instruction(
+                instr, live, address_taken
+            )
+        if block.terminator.stmt is not None:
+            solution.point[id(block.terminator.stmt)] = frozenset(live)
+    return solution

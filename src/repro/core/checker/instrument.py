@@ -8,15 +8,23 @@ calls inserted before the instruction containing the cast, so the
 printed program shows exactly what would run.  (The interpreter in
 :mod:`repro.semantics.csem` enforces the same checks natively.)
 
+Check *placement* is driven by the shared dataflow solver: the guard
+fixpoint of :func:`repro.core.checker.flow.solve_guard_facts` is
+computed per function, and with ``flow_sensitive=True`` a check whose
+operand is already covered by a dominating guard fact (e.g.
+``if (p != NULL) { ... (int nonnull*)p ... }``) is elided — the guard
+already performed the test the check would repeat.
+
 Casts involving *reference* qualifiers remain unchecked (section 2.2.3).
 """
 
 from __future__ import annotations
 
 import copy
-from typing import List
+from typing import FrozenSet, List
 
 from repro.cil import ir
+from repro.cil.cfg import build_cfg
 from repro.core.qualifiers.ast import QualifierSet
 
 
@@ -24,56 +32,95 @@ def check_function_name(qualifier: str) -> str:
     return f"__check_{qualifier}"
 
 
-def instrument_program(program: ir.Program, quals: QualifierSet) -> ir.Program:
+def instrument_program(
+    program: ir.Program,
+    quals: QualifierSet,
+    flow_sensitive: bool = False,
+) -> ir.Program:
     """Return a copy of ``program`` with run-time checks inserted for
-    every cast to a value-qualified type."""
+    every cast to a value-qualified type.
+
+    With ``flow_sensitive=True``, checks dominated by an established
+    guard fact are elided; the default inserts every check, exactly as
+    the paper's instrumentation does."""
+    from repro.core.checker.flow import GuardAnalysis, solve_guard_facts
+
     value_names = {d.name for d in quals.value_qualifiers()}
+    guards = GuardAnalysis(quals if flow_sensitive else QualifierSet([]))
     out = copy.deepcopy(program)
     for func in out.functions:
-        func.body = _instrument_stmts(func.body, value_names)
+        addr_taken = (
+            GuardAnalysis.address_taken(func)
+            if flow_sensitive
+            else frozenset()
+        )
+        # The CFG is built over the same instruction objects the
+        # statement tree holds, so fact lookup by object identity works
+        # during the structured splice below.
+        solution = solve_guard_facts(build_cfg(func), guards, addr_taken)
+        func.body = _instrument_stmts(func.body, value_names, solution)
     return out
 
 
-def _instrument_stmts(stmts: List[ir.Stmt], value_names: set) -> List[ir.Stmt]:
+def _instrument_stmts(
+    stmts: List[ir.Stmt], value_names: set, solution
+) -> List[ir.Stmt]:
     out: List[ir.Stmt] = []
     for stmt in stmts:
         if isinstance(stmt, ir.Instr):
             new_instrs: List[ir.Instruction] = []
             for instr in stmt.instrs:
-                pre, post = _checks_for_instruction(instr, value_names)
+                facts = solution.point.get(id(instr), frozenset())
+                pre, post = _checks_for_instruction(instr, value_names, facts)
                 new_instrs.extend(pre)
                 new_instrs.append(instr)
                 new_instrs.extend(post)
-            out.append(ir.Instr(new_instrs))
+            out.append(ir.Instr(new_instrs, stmt.loc))
         elif isinstance(stmt, ir.If):
-            out.extend(_checks_in_expr_stmt(stmt.cond, stmt.loc, value_names))
-            stmt.then = _instrument_stmts(stmt.then, value_names)
-            stmt.otherwise = _instrument_stmts(stmt.otherwise, value_names)
+            facts = solution.point.get(id(stmt), frozenset())
+            out.extend(
+                _checks_in_expr_stmt(stmt.cond, stmt.loc, value_names, facts)
+            )
+            stmt.then = _instrument_stmts(stmt.then, value_names, solution)
+            stmt.otherwise = _instrument_stmts(
+                stmt.otherwise, value_names, solution
+            )
             out.append(stmt)
         elif isinstance(stmt, ir.While):
             new_cond: List[ir.Instruction] = []
             for instr in stmt.cond_instrs:
-                pre, post = _checks_for_instruction(instr, value_names)
+                facts = solution.point.get(id(instr), frozenset())
+                pre, post = _checks_for_instruction(instr, value_names, facts)
                 new_cond.extend(pre)
                 new_cond.append(instr)
                 new_cond.extend(post)
+            facts = solution.point.get(id(stmt), frozenset())
             new_cond.extend(
                 c.instrs[0]
-                for c in _checks_in_expr_stmt(stmt.cond, stmt.loc, value_names)
+                for c in _checks_in_expr_stmt(
+                    stmt.cond, stmt.loc, value_names, facts
+                )
             )
             stmt.cond_instrs = new_cond
-            stmt.body = _instrument_stmts(stmt.body, value_names)
+            stmt.body = _instrument_stmts(stmt.body, value_names, solution)
             out.append(stmt)
         elif isinstance(stmt, ir.Return):
             if stmt.expr is not None:
-                out.extend(_checks_in_expr_stmt(stmt.expr, stmt.loc, value_names))
+                facts = solution.point.get(id(stmt), frozenset())
+                out.extend(
+                    _checks_in_expr_stmt(
+                        stmt.expr, stmt.loc, value_names, facts
+                    )
+                )
             out.append(stmt)
         else:
             out.append(stmt)
     return out
 
 
-def _checks_for_instruction(instr: ir.Instruction, value_names: set):
+def _checks_for_instruction(
+    instr: ir.Instruction, value_names: set, facts: FrozenSet
+):
     """Checks to run before and after one instruction.
 
     Casts inside argument/RHS expressions are checked *before* the
@@ -99,22 +146,38 @@ def _checks_for_instruction(instr: ir.Instruction, value_names: set):
                     )
                 )
     for expr in exprs:
-        pre.extend(_checks_in_expr(expr, instr.loc, value_names))
+        pre.extend(_checks_in_expr(expr, instr.loc, value_names, facts))
     return pre, post
 
 
-def _checks_in_expr(expr: ir.Expr, loc, value_names: set) -> List[ir.Call]:
-    """A check call for every cast-to-qualified-type inside ``expr``."""
+def _dominated(node: ir.CastE, qual: str, facts: FrozenSet) -> bool:
+    """Is the cast's operand already covered by a guard fact here?  If
+    so the run-time check would re-test what the guard just tested."""
+    return (
+        isinstance(node.operand, ir.Lval)
+        and (node.operand.lvalue, qual) in facts
+    )
+
+
+def _checks_in_expr(
+    expr: ir.Expr, loc, value_names: set, facts: FrozenSet = frozenset()
+) -> List[ir.Call]:
+    """A check call for every cast-to-qualified-type inside ``expr``
+    that is not dominated by an established guard fact."""
     checks: List[ir.Call] = []
     for node in ir.subexprs(expr):
         if isinstance(node, ir.CastE):
             for q in sorted(node.to_type.quals & value_names):
+                if _dominated(node, q, facts):
+                    continue
                 checks.append(
                     ir.Call(None, check_function_name(q), [node.operand], loc)
                 )
     return checks
 
 
-def _checks_in_expr_stmt(expr: ir.Expr, loc, value_names: set) -> List[ir.Instr]:
-    checks = _checks_in_expr(expr, loc, value_names)
-    return [ir.Instr([c]) for c in checks]
+def _checks_in_expr_stmt(
+    expr: ir.Expr, loc, value_names: set, facts: FrozenSet = frozenset()
+) -> List[ir.Instr]:
+    checks = _checks_in_expr(expr, loc, value_names, facts)
+    return [ir.Instr([c], loc) for c in checks]

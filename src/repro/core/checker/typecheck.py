@@ -33,8 +33,9 @@ from repro.cfront.ctypes import (
 )
 from repro.cil import ir
 from repro.cil.typesof import TypeError_, TypingContext, type_of_expr, type_of_lvalue
+from repro.cil.cfg import BRANCH, RETURN, build_cfg
 from repro.core.checker.diagnostics import Report, RuntimeCheck
-from repro.core.checker.flow import GuardAnalysis
+from repro.core.checker.flow import GuardAnalysis, solve_guard_facts
 from repro.core.checker.patterns import (
     match_assign_pattern,
     match_expr_pattern,
@@ -95,59 +96,34 @@ class QualifierChecker:
         self._memo = {}
         self._in_progress = set()
         self._facts = set()
-        if self.flow_sensitive:
-            self._addr_taken = GuardAnalysis.address_taken(func)
-        self._check_stmts(func.body)
-
-    def _check_stmts(self, stmts: List[ir.Stmt]) -> None:
-        for stmt in stmts:
-            if isinstance(stmt, ir.Instr):
-                for instr in stmt.instrs:
-                    self._check_instruction(instr)
-                    self._apply_kills(instr)
-            elif isinstance(stmt, ir.If):
-                self._scan_expr(stmt.cond, stmt.loc)
-                then_facts, else_facts = self._branch_facts(stmt.cond)
-                saved = set(self._facts)
-                self._facts = saved | then_facts
-                self._check_stmts(stmt.then)
-                self._facts = saved | else_facts
-                self._check_stmts(stmt.otherwise)
-                # Conservative join: only facts established before the
-                # branch survive it.
-                self._facts = saved
-            elif isinstance(stmt, ir.While):
-                for instr in stmt.cond_instrs:
-                    self._check_instruction(instr)
-                    self._apply_kills(instr)
-                self._scan_expr(stmt.cond, stmt.loc)
-                then_facts, _ = self._branch_facts(stmt.cond)
-                saved = set(self._facts)
-                if self.flow_sensitive:
-                    # The condition holds inside the body, except for
-                    # facts about variables the body reassigns.
-                    assigned = GuardAnalysis.assigned_vars(stmt.body)
-                    body_facts = {
-                        f
-                        for f in then_facts
-                        if not (f[0].is_plain_var and f[0].var_name in assigned)
-                    }
-                    self._facts = saved | body_facts
-                self._check_stmts(stmt.body)
-                self._facts = saved
-            elif isinstance(stmt, ir.Return):
-                self._check_return(stmt)
-
-    def _branch_facts(self, cond: ir.Expr):
-        if not self.flow_sensitive:
-            return set(), set()
-        return self._guards.facts_of_condition(cond)
-
-    def _apply_kills(self, instr: ir.Instruction) -> None:
-        if self.flow_sensitive and self._facts:
-            self._facts = GuardAnalysis.kills_of_instruction(
-                instr, self._facts, self._addr_taken
-            )
+        self._addr_taken = (
+            GuardAnalysis.address_taken(func)
+            if self.flow_sensitive
+            else frozenset()
+        )
+        # One CFG + worklist solve per function; with flow sensitivity
+        # off, the no-shape guard analysis contributes no facts but the
+        # per-function work stats are still collected.
+        guards = self._guards if self.flow_sensitive else _NO_GUARDS
+        graph = build_cfg(func)
+        solution = solve_guard_facts(graph, guards, self._addr_taken)
+        self.report.dataflow[func.name] = solution.stats.to_dict()
+        # Blocks are numbered in syntactic order, so iterating them in
+        # index order reports diagnostics in source order.
+        for block in graph.blocks:
+            facts: Set = set(solution.block_entry[block.index])
+            for instr in block.instrs:
+                self._facts = facts
+                self._check_instruction(instr)
+                facts = GuardAnalysis.kills_of_instruction(
+                    instr, facts, self._addr_taken
+                )
+            self._facts = facts
+            term = block.terminator
+            if term.kind == BRANCH:
+                self._scan_expr(term.stmt.cond, term.stmt.loc)
+            elif term.kind == RETURN:
+                self._check_return(term.stmt)
 
     # -------------------------------------------------------- instructions
 
@@ -621,6 +597,12 @@ class QualifierChecker:
                 loc,
                 self.func.name,
             )
+
+
+#: Guard analysis over the empty qualifier set: derives no facts.
+#: Used when flow sensitivity is off, so the same solver runs (and the
+#: same stats are collected) without refining anything.
+_NO_GUARDS = GuardAnalysis(QualifierSet([]))
 
 
 def _compare(op: str, left, right) -> bool:

@@ -1,0 +1,41 @@
+"""Generic dataflow engine: CFGs + lattices + a worklist solver.
+
+See docs/architecture.md for the pass pipeline and a guide to writing
+a new dataflow client.
+"""
+
+from repro.cil.cfg import CFG, BasicBlock, Edge, Terminator, build_cfg
+from repro.dataflow.lattice import (
+    UNIVERSE,
+    FlatLattice,
+    Lattice,
+    MapLattice,
+    MaySetLattice,
+    MustSetLattice,
+)
+from repro.dataflow.solver import (
+    ForwardSolver,
+    SolverDivergence,
+    SolverResult,
+    SolverStats,
+    kleene_fixpoint,
+)
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "Edge",
+    "Terminator",
+    "build_cfg",
+    "Lattice",
+    "MustSetLattice",
+    "MaySetLattice",
+    "MapLattice",
+    "FlatLattice",
+    "UNIVERSE",
+    "ForwardSolver",
+    "SolverResult",
+    "SolverStats",
+    "SolverDivergence",
+    "kleene_fixpoint",
+]

@@ -31,7 +31,9 @@ from repro.cfront.ctypes import (
     StructType,
     is_pointer_like,
 )
+from repro.cil import cfg as cfg_mod
 from repro.cil import ir
+from repro.cil.cfg import build_cfg, has_unstructured_flow
 from repro.core.qualifiers import ast as Q
 from repro.core.qualifiers.ast import QualifierSet
 
@@ -204,12 +206,42 @@ class CInterpreter:
             for name, ctype in func.locals:
                 frame.env[name] = self._alloc_stack(self._sizeof(ctype))
             try:
-                self._exec_stmts(func.body, func)
+                if has_unstructured_flow(func):
+                    # goto/labels: the structured walk cannot follow
+                    # them, so interpret the function's CFG instead.
+                    self._exec_cfg(func)
+                else:
+                    self._exec_stmts(func.body, func)
             except _ReturnSignal as ret:
                 return ret.value
             return 0
         finally:
             self.frames.pop()
+
+    def _exec_cfg(self, func: ir.Function) -> None:
+        """Execute a function by walking its control-flow graph: run a
+        block's instructions, evaluate its branch condition (if any),
+        and follow the matching edge until the exit block."""
+        graph = build_cfg(func)
+        block = graph.entry
+        while not block.is_exit:
+            self._tick()
+            for instr in block.instrs:
+                self._exec_instruction(instr, func)
+            term = block.terminator
+            if term.kind == cfg_mod.RETURN:
+                stmt = term.stmt
+                value = self._eval(stmt.expr, func) if stmt.expr else 0
+                raise _ReturnSignal(value)
+            if term.kind == cfg_mod.BRANCH:
+                taken = bool(self._truthy(self._eval(term.cond, func)))
+                block = next(
+                    e.dst for e in block.succs if e.guard == taken
+                )
+            else:  # jump / goto: the single unguarded successor
+                block = next(
+                    e.dst for e in block.succs if e.guard is None
+                )
 
     def _exec_stmts(self, stmts: List[ir.Stmt], func: ir.Function) -> None:
         for stmt in stmts:

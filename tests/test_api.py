@@ -131,7 +131,8 @@ class TestQualifierComposition:
 
 class TestSchemaContract:
     CHECK_TOP = {
-        "schema_version", "command", "units", "counts", "elapsed", "exit_code",
+        "schema_version", "command", "version", "units", "counts", "elapsed",
+        "exit_code",
     }
     UNIT = {"unit", "verdict", "elapsed", "diagnostics", "error", "detail"}
 
@@ -139,11 +140,17 @@ class TestSchemaContract:
         payload = repro.Session().check(
             api.CheckRequest(files=(c_file,))
         ).to_dict()
-        assert set(payload) == self.CHECK_TOP
+        assert set(payload) == self.CHECK_TOP | {"dataflow"}
         assert payload["schema_version"] == api.SCHEMA_VERSION == 1
         assert payload["command"] == "check"
         (unit,) = payload["units"]
         assert set(unit) == self.UNIT
+        # Per-function solver stats ride along in the unit detail and
+        # are aggregated at the top level.
+        per_function = unit["detail"]["dataflow"]["functions"]
+        for stats in per_function.values():
+            assert {"blocks", "edges", "iterations", "ms"} == set(stats)
+        assert payload["dataflow"]["functions"] == len(per_function)
         json.dumps(payload)  # JSON-ready, no dataclasses leaking through
 
     def test_prove_payload_fields(self, qual_file, tmp_path):
@@ -171,18 +178,20 @@ class TestSchemaContract:
         printed = json.loads(capsys.readouterr().out)
         assert code == 0
         assert printed["schema_version"] == 1
-        assert set(printed) == self.CHECK_TOP
+        assert set(printed) == self.CHECK_TOP | {"dataflow"}
 
     def test_cache_stats_payload_fields(self, tmp_path, capsys):
         where = str(tmp_path / "cache")
         assert main(["cache", "stats", "--cache-dir", where, "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert set(payload) == {
-            "schema_version", "command", "path", "disk", "entries",
+            "schema_version", "command", "version", "path", "disk", "entries",
             "size_bytes", "lifetime",
         }
         assert payload["command"] == "cache-stats"
         assert payload["entries"] == 0
+        # Asking for stats must not create the cache directory.
+        assert not (tmp_path / "cache").exists()
 
     def test_cache_clear_cli(self, qual_file, tmp_path, capsys):
         where = str(tmp_path / "cache")

@@ -1,0 +1,293 @@
+"""Tests for CFG construction over CIL (repro.cil.cfg).
+
+Pins the edge cases the structured walks could not represent: goto
+into and out of loops, switch fallthrough, unreachable code after a
+return, and empty function bodies — plus the diagnostic-order and
+live-object invariants the dataflow clients rely on.
+"""
+
+import pytest
+
+from repro.cfront.parser import parse_c
+from repro.cil import ir
+from repro.cil.cfg import (
+    BRANCH,
+    EXIT,
+    GOTO,
+    RETURN,
+    build_cfg,
+    has_unstructured_flow,
+)
+from repro.cil.lower import lower_unit
+from repro.cil.printer import program_to_c
+from repro.core.checker.typecheck import QualifierChecker
+from repro.core.qualifiers.library import standard_qualifiers
+from repro.semantics.csem import run_program
+
+QUALS = standard_qualifiers()
+NAMES = {"pos", "neg", "nonzero", "nonnull", "tainted", "untainted",
+         "unique", "unaliased"}
+
+
+def compile_c(src):
+    return lower_unit(parse_c(src, qualifier_names=NAMES))
+
+
+def cfg_of(src, name):
+    return build_cfg(compile_c(src).function(name))
+
+
+def run(src, entry, args=()):
+    return run_program(compile_c(src), quals=QUALS, entry=entry, args=args)
+
+
+# ------------------------------------------------------------- basic shapes
+
+
+def test_empty_body_is_entry_to_exit():
+    cfg = cfg_of("int f(void) { }", "f")
+    assert len(cfg.blocks) == 2
+    assert cfg.entry.succs[0].dst is cfg.exit
+    assert cfg.exit.terminator.kind == EXIT
+    assert cfg.n_edges == 1
+
+
+def test_straightline_is_one_block():
+    cfg = cfg_of("int f(int a) { int b = a + 1; return b; }", "f")
+    assert cfg.entry.terminator.kind == RETURN
+    assert [e.dst for e in cfg.entry.succs] == [cfg.exit]
+    assert len(cfg.entry.instrs) == 1
+
+
+def test_if_else_makes_a_diamond():
+    cfg = cfg_of(
+        "int f(int a) { int b; if (a) { b = 1; } else { b = 2; } return b; }",
+        "f",
+    )
+    assert cfg.entry.terminator.kind == BRANCH
+    guards = sorted(e.guard for e in cfg.entry.succs)
+    assert guards == [False, True]
+    then_b, else_b = (e.dst for e in cfg.entry.succs)
+    # Both arms rejoin at the same block.
+    assert then_b.succs[0].dst is else_b.succs[0].dst
+
+
+def test_while_has_back_edge():
+    cfg = cfg_of("int f(int n) { while (n) { n = n - 1; } return n; }", "f")
+    headers = [b for b in cfg.blocks if b.terminator.kind == BRANCH]
+    assert len(headers) == 1
+    header = headers[0]
+    back = [e for e in header.preds if e.src.rpo > header.rpo]
+    assert back, "loop body must edge back to the header"
+
+
+def test_blocks_numbered_in_syntactic_order():
+    # Diagnostic ordering depends on creation order == source order.
+    cfg = cfg_of(
+        """
+        int f(int a) {
+          if (a) { a = 1; }
+          while (a) { a = a - 1; }
+          return a;
+        }
+        """,
+        "f",
+    )
+    assert [b.index for b in cfg.blocks] == list(range(len(cfg.blocks)))
+    rpos = [b.rpo for b in cfg.blocks]
+    assert sorted(rpos) == list(range(len(cfg.blocks)))
+
+
+def test_blocks_reference_live_instructions():
+    # CFG blocks alias the tree's instruction objects: an in-place
+    # rewrite through one view is visible through the other.
+    prog = compile_c("int f(int a) { int b = a; return b; }")
+    func = prog.function("f")
+    cfg = build_cfg(func)
+    (instr,) = cfg.entry.instrs
+    tree_instrs = [
+        i for s in func.body if isinstance(s, ir.Instr) for i in s.instrs
+    ]
+    assert instr is tree_instrs[0]
+
+
+# ------------------------------------------------------- unreachable blocks
+
+
+def test_unreachable_after_return():
+    cfg = cfg_of(
+        "int f(void) { int x = 1; return x; x = 2; return x; }", "f"
+    )
+    dead = [b for b in cfg.blocks if not b.preds and b is not cfg.entry]
+    assert dead, "code after return must land in a predecessor-less block"
+    reachable = cfg.reachable()
+    assert all(b not in reachable for b in dead)
+    # Unreachable blocks still get unique priorities for the worklist.
+    assert sorted(b.rpo for b in cfg.blocks) == list(range(len(cfg.blocks)))
+
+
+# ------------------------------------------------------------------- gotos
+
+
+def test_goto_out_of_loop():
+    src = """
+    int f(int n) {
+      int total = 0;
+      while (1) {
+        if (n <= 0) goto out;
+        total = total + n;
+        n = n - 1;
+      }
+      out:
+      return total;
+    }
+    """
+    prog = compile_c(src)
+    assert has_unstructured_flow(prog.function("f"))
+    cfg = build_cfg(prog.function("f"))
+    gotos = [b for b in cfg.blocks if b.terminator.kind == GOTO]
+    assert len(gotos) == 1
+    assert gotos[0].succs[0].dst is cfg.labels["out"]
+    value, _ = run(src, "f", (4,))
+    assert value == 10
+
+
+def test_goto_into_loop():
+    src = """
+    int f(int n) {
+      int i = 0;
+      goto inside;
+      while (n > 0) {
+        inside:
+        i = i + 1;
+        n = n - 1;
+      }
+      return i;
+    }
+    """
+    prog = compile_c(src)
+    cfg = build_cfg(prog.function("f"))
+    # The labeled block sits inside the loop: it reaches the header.
+    inside = cfg.labels["inside"]
+    header = next(b for b in cfg.blocks if b.terminator.kind == BRANCH)
+    assert any(e.dst is header for e in inside.succs)
+    # Entry jumps straight into the loop body, bypassing the first test.
+    value, _ = run(src, "f", (3,))
+    assert value == 3
+
+
+def test_goto_based_loop_executes():
+    src = """
+    int f(int n) {
+      int total = 0;
+      loop:
+      if (n <= 0) goto done;
+      total = total + n;
+      n = n - 1;
+      goto loop;
+      done:
+      return total;
+    }
+    """
+    value, _ = run(src, "f", (5,))
+    assert value == 15
+
+
+def test_goto_to_unknown_label_falls_off_to_exit():
+    # Panic-recovery stub: the label never materialized.  The builder
+    # must stay total and route the jump to the exit block.
+    prog = compile_c("int f(void) { return 0; }")
+    func = prog.function("f")
+    func.body.append(ir.Goto("nowhere"))
+    cfg = build_cfg(func)
+    goto_blocks = [b for b in cfg.blocks if b.terminator.kind == GOTO]
+    assert goto_blocks[0].succs[0].dst is cfg.exit
+
+
+def test_goto_prints_and_reparses():
+    src = """
+    int f(int n) {
+      again:
+      if (n > 0) { n = n - 1; goto again; }
+      return n;
+    }
+    """
+    text = program_to_c(compile_c(src))
+    assert "goto again;" in text
+    assert "again:" in text
+
+
+# ------------------------------------------------------ switch fallthrough
+
+
+def test_switch_fallthrough_shape_and_semantics():
+    src = """
+    int f(int x) {
+      int r = 0;
+      switch (x) {
+        case 1: r = r + 1;
+        case 2: r = r + 10; break;
+        default: r = 99;
+      }
+      return r;
+    }
+    """
+    # case 1 falls through into case 2.
+    assert run(src, "f", (1,))[0] == 11
+    assert run(src, "f", (2,))[0] == 10
+    assert run(src, "f", (7,))[0] == 99
+    cfg = cfg_of(src, "f")
+    # The desugared dispatch chain is all branch blocks; every path
+    # reaches the single return block.
+    branches = [b for b in cfg.blocks if b.terminator.kind == BRANCH]
+    assert len(branches) >= 2
+    returns = [b for b in cfg.blocks if b.terminator.kind == RETURN]
+    assert len(returns) == 1
+
+
+# ----------------------------------------- the old walk's blind spot, fixed
+
+
+def check(src, flow_sensitive):
+    prog = compile_c(src)
+    return QualifierChecker(prog, QUALS, flow_sensitive=flow_sensitive).check()
+
+
+def test_goto_loop_guard_refinement():
+    # A linked-list walk written with goto instead of while.  The old
+    # structured walk had no representation for this loop at all; the
+    # CFG solver refines the guard exactly as for a while loop.
+    src = """
+    int* next_node(int* p);
+    int sum(int* p) {
+      int total = 0;
+      loop:
+      if (p == NULL) goto done;
+      total = total + *p;
+      p = next_node(p);
+      goto loop;
+      done:
+      return total;
+    }
+    """
+    assert not check(src, flow_sensitive=False).ok
+    assert check(src, flow_sensitive=True).ok
+
+
+def test_goto_loop_reassignment_still_warns():
+    # ... but the refinement must die at the reassignment: moving the
+    # deref after next_node() has to warn even flow-sensitively.
+    src = """
+    int* next_node(int* p);
+    int sum(int* p) {
+      int total = 0;
+      loop:
+      if (p == NULL) goto done;
+      p = next_node(p);
+      total = total + *p;
+      goto loop;
+      done:
+      return total;
+    }
+    """
+    assert not check(src, flow_sensitive=True).ok

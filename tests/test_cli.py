@@ -142,3 +142,22 @@ def test_parse_error_is_reported(tmp_path, capsys):
     path.write_text("int f( { }")
     assert main(["check", str(path)]) == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_json_reports_carry_tool_version(lcm_file, capsys):
+    import json
+
+    import repro
+
+    assert main(["check", lcm_file, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == repro.__version__

@@ -1,0 +1,248 @@
+"""Tests for the shared dataflow engine (repro.dataflow): lattice
+laws, the priority worklist solver, and the kleene fixpoint driver."""
+
+import types
+
+import pytest
+
+from repro.cfront.parser import parse_c
+from repro.cil.cfg import (
+    CFG,
+    BRANCH,
+    EXIT,
+    BasicBlock,
+    Edge,
+    Terminator,
+    build_cfg,
+)
+from repro.cil.lower import lower_unit
+from repro.core.checker.flow import GuardAnalysis, solve_guard_facts
+from repro.core.qualifiers.library import standard_qualifiers
+from repro.dataflow import (
+    UNIVERSE,
+    FlatLattice,
+    ForwardSolver,
+    MapLattice,
+    MustSetLattice,
+    SolverDivergence,
+    kleene_fixpoint,
+)
+
+QUALS = standard_qualifiers()
+NAMES = {"pos", "neg", "nonzero", "nonnull", "tainted", "untainted",
+         "unique", "unaliased"}
+
+
+def compile_c(src):
+    return lower_unit(parse_c(src, qualifier_names=NAMES))
+
+
+# ---------------------------------------------------------------- lattices
+
+
+def test_must_set_lattice_laws():
+    lat = MustSetLattice()
+    a = frozenset({"x", "y"})
+    b = frozenset({"y", "z"})
+    assert lat.bottom() is UNIVERSE
+    assert lat.top() == frozenset()
+    # UNIVERSE is the identity of intersection.
+    assert lat.join(UNIVERSE, a) == a
+    assert lat.join(a, UNIVERSE) == a
+    assert lat.join(a, b) == {"y"}
+    # Must-analysis order is reverse inclusion: more facts = lower.
+    assert lat.leq(UNIVERSE, a)
+    assert lat.leq(a, frozenset({"y"}))
+    assert not lat.leq(frozenset({"y"}), a)
+    assert lat.eq(a, frozenset({"x", "y"}))
+
+
+def test_flat_lattice_laws():
+    lat = FlatLattice()
+    assert lat.join(lat.BOTTOM, 3) == 3
+    assert lat.join(3, 3) == 3
+    assert lat.join(3, 4) is lat.TOP
+    assert lat.leq(lat.BOTTOM, 3) and lat.leq(3, lat.TOP)
+    assert not lat.leq(lat.TOP, 3)
+
+
+def test_map_lattice_pointwise_join():
+    lat = MapLattice(FlatLattice())
+    left = {"a": 1, "b": 2}
+    right = {"a": 1, "b": 3, "c": 4}
+    joined = lat.join(left, right)
+    assert joined["a"] == 1
+    assert joined["b"] is FlatLattice.TOP
+    assert joined["c"] == 4
+
+
+# ------------------------------------------------------------------ solver
+
+
+def diamond_cfg():
+    """A hand-built diamond:  B0 -(T)-> B1 -> B3 -> B4(exit)
+                              B0 -(F)-> B2 -> B3"""
+    blocks = [BasicBlock(index=i) for i in range(5)]
+    b0, b1, b2, b3, b4 = blocks
+    b0.terminator = Terminator(BRANCH, None)
+    b4.terminator = Terminator(EXIT)
+
+    def connect(src, dst, guard=None):
+        e = Edge(src, dst, guard)
+        src.succs.append(e)
+        dst.preds.append(e)
+
+    connect(b0, b1, True)
+    connect(b0, b2, False)
+    connect(b1, b3)
+    connect(b2, b3)
+    connect(b3, b4)
+    for i, b in enumerate(blocks):
+        b.rpo = i
+    func = types.SimpleNamespace(name="diamond")
+    cfg = CFG(function=func, blocks=blocks, entry=b0, exit=b4)
+    cfg._n_reachable = len(blocks)
+    return cfg
+
+
+def test_diamond_join_is_intersection():
+    # Conflicting facts on the two arms: only the agreement survives
+    # the merge, and the solver converges in one visit per block.
+    cfg = diamond_cfg()
+
+    def edge_transfer(edge, out):
+        if edge.guard is True:
+            return frozenset(out | {"p_nonnull", "q_pos"})
+        if edge.guard is False:
+            return frozenset(out | {"q_pos", "r_neg"})
+        return out
+
+    solver = ForwardSolver(
+        cfg,
+        MustSetLattice(),
+        lambda block, facts: facts,
+        edge_transfer,
+        entry_value=frozenset(),
+    )
+    result = solver.solve()
+    assert result.block_in[1] == {"p_nonnull", "q_pos"}
+    assert result.block_in[2] == {"q_pos", "r_neg"}
+    assert result.block_in[3] == {"q_pos"}
+    stats = result.stats
+    assert stats.blocks == 5
+    assert stats.edges == 5
+    # RPO priority means a diamond settles with one visit per block.
+    assert stats.iterations == 5
+    assert stats.ms >= 0
+
+
+def test_solver_converges_on_loop():
+    cfg = build_cfg(
+        compile_c(
+            "int f(int n) { int t = 0; while (n) { t = t + n; n = n - 1; }"
+            " return t; }"
+        ).function("f")
+    )
+    guards = GuardAnalysis(QUALS)
+    solution = solve_guard_facts(cfg, guards)
+    stats = solution.stats
+    assert stats.blocks == len(cfg.blocks)
+    assert stats.iterations >= len(cfg.blocks)
+    # Every block got an entry fact set (unreachable included).
+    assert set(solution.block_entry) == {b.index for b in cfg.blocks}
+
+
+def test_solver_divergence_budget():
+    # A transfer that never stabilizes must hit the visit budget, not
+    # spin forever.
+    cfg = diamond_cfg()
+    # Loop the diamond back on itself so the worklist can cycle.
+    e = Edge(cfg.blocks[3], cfg.blocks[0])
+    cfg.blocks[3].succs.append(e)
+    cfg.blocks[0].preds.append(e)
+    counter = {"n": 0}
+
+    class Unstable:
+        """Deliberately non-monotone 'lattice' to defeat convergence."""
+
+        def bottom(self):
+            return -1
+
+        def top(self):
+            return 0
+
+        def join(self, a, b):
+            counter["n"] += 1
+            return counter["n"]
+
+        def leq(self, a, b):
+            return False
+
+        def eq(self, a, b):
+            return False
+
+        def widen(self, old, new):
+            return self.join(old, new)
+
+    solver = ForwardSolver(
+        cfg,
+        Unstable(),
+        lambda block, value: value,
+        max_visits_per_block=8,
+    )
+    with pytest.raises(SolverDivergence):
+        solver.solve()
+
+
+# --------------------------------------------------------- kleene fixpoint
+
+
+def test_kleene_fixpoint_counts_iterations():
+    # Shrink a set by one element per step: |initial| demotion steps
+    # plus the final confirming pass.
+    def step(s):
+        return frozenset(sorted(s)[1:]) if s else s
+
+    fix, iterations = kleene_fixpoint(step, frozenset({"a", "b", "c"}))
+    assert fix == frozenset()
+    assert iterations == 4
+
+
+def test_kleene_fixpoint_immediate():
+    fix, iterations = kleene_fixpoint(lambda s: s, frozenset({"a"}))
+    assert fix == {"a"}
+    assert iterations == 1
+
+
+def test_kleene_fixpoint_divergence():
+    flip = {0: 1, 1: 0}
+    with pytest.raises(SolverDivergence):
+        kleene_fixpoint(lambda s: flip[s], 0, max_iterations=10)
+
+
+# ----------------------------------------------- guard-fact point solution
+
+
+def test_point_facts_at_each_instruction():
+    src = """
+    int g(int* p);
+    int f(int* p) {
+      int x = 0;
+      if (p != NULL) {
+        x = g(p);
+        p = NULL;
+        x = g(p);
+      }
+      return x;
+    }
+    """
+    prog = compile_c(src)
+    func = prog.function("f")
+    cfg = build_cfg(func)
+    guards = GuardAnalysis(QUALS)
+    solution = solve_guard_facts(cfg, guards)
+    then_block = next(e.dst for e in cfg.entry.succs if e.guard is True)
+    instr_facts = [solution.point[id(i)] for i in then_block.instrs]
+    # The first call sees the nonnull fact; after ``p = 0`` it is gone.
+    assert any(instr_facts[0])
+    assert not instr_facts[-1]

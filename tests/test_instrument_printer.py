@@ -177,3 +177,25 @@ def test_instrumented_program_prints_and_reparses():
     assert "__check_pos" in text
     reparsed = parse_c(text, qualifier_names=NAMES)
     assert reparsed.function("f") is not None
+
+
+def test_dominating_guard_elides_check():
+    # Inside ``if (p != NULL)`` the nonnull check would re-test what
+    # the guard just established; flow-sensitive placement drops it.
+    src = """
+    void f(int* p) {
+      int* nonnull q;
+      if (p != NULL) { q = (int* nonnull)p; }
+    }
+    """
+    prog = compile_c(src)
+    default = instrument_program(prog, QUALS)
+    assert len(calls_in(default, check_function_name("nonnull"))) == 1
+    refined = instrument_program(prog, QUALS, flow_sensitive=True)
+    assert len(calls_in(refined, check_function_name("nonnull"))) == 0
+
+
+def test_unguarded_cast_keeps_check_flow_sensitively():
+    src = "void f(int* p) { int* nonnull q = (int* nonnull)p; }"
+    refined = instrument_program(compile_c(src), QUALS, flow_sensitive=True)
+    assert len(calls_in(refined, check_function_name("nonnull"))) == 1

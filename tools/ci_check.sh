@@ -17,6 +17,9 @@ trap 'rm -rf "$tmpdir"' EXIT
 echo "== tier-1 test suite"
 python -m pytest -x -q tests/
 
+echo "== worklist engine matches legacy structured-walk verdicts"
+python benchmarks/bench_flow_ablation.py --smoke
+
 echo "== batch check over examples/ (expect exit 0, JSON report)"
 python -m repro check examples/*.c --keep-going --format json \
     | python -c '
