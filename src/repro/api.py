@@ -111,6 +111,25 @@ class InferRequest(BatchOptions):
     flow_sensitive: bool = False
 
 
+@dataclass(frozen=True)
+class DifftestRequest(BatchOptions):
+    """One ``difftest`` invocation: differential testing of the
+    pipeline on generated cases (see docs/testing.md).
+
+    Each case is one batch unit named ``case-NNNNN`` and is a pure
+    function of ``(seed, index)``; ``budget`` caps the whole run in
+    seconds (cases past the budget are skipped and counted, not
+    failed).  ``replay`` switches to re-running stored failure
+    artifacts instead of generating new cases."""
+
+    seed: int = 0
+    count: int = 100
+    budget: Optional[float] = None
+    time_limit: float = 6.0
+    out_dir: str = ""  # empty: repro.difftest.runner.ARTIFACT_DIR
+    replay: Tuple[str, ...] = ()
+
+
 # ------------------------------------------------------------------- report
 
 
@@ -401,6 +420,109 @@ class Session:
         batch_report = self._run(request, worker)
         _aggregate_dataflow_meta(batch_report)
         return Report("infer", batch_report)
+
+    def difftest(self, request: DifftestRequest) -> Report:
+        """Differentially test the pipeline on generated cases.
+
+        Every case runs through three oracles (prover vs. brute-force
+        enumeration, native vs. instrumented execution, metamorphic
+        prover invariance); any disagreement makes the unit
+        ``WARNINGS`` (exit 1) and drops a minimized, replayable
+        artifact under ``request.out_dir``.
+        """
+        from repro.difftest import runner as difftest_runner
+        from repro.difftest.generator import generate_case
+
+        out_dir = request.out_dir or difftest_runner.ARTIFACT_DIR
+        budget = Deadline.after(request.budget)
+
+        def run_outcome(unit: str, outcome) -> batch.UnitResult:
+            artifacts = []
+            for finding in outcome.findings:
+                minimized = difftest_runner.minimize_finding(
+                    outcome.case, finding, time_limit=request.time_limit
+                )
+                artifacts.append(
+                    difftest_runner.write_artifact(
+                        out_dir, outcome.case, finding, minimized
+                    )
+                )
+            return batch.UnitResult(
+                unit=unit,
+                verdict=batch.WARNINGS if outcome.findings else batch.OK,
+                diagnostics=[
+                    {
+                        **f.to_dict(),
+                        "text": f"{f.oracle}: {f.kind} in {f.case}",
+                    }
+                    for f in outcome.findings
+                ],
+                detail={
+                    "findings": len(outcome.findings),
+                    "artifacts": artifacts,
+                    "counters": outcome.counters,
+                },
+            )
+
+        if request.replay:
+            units: Tuple[str, ...] = request.replay
+
+            def worker(path: str, deadline: Deadline) -> batch.UnitResult:
+                outcome = difftest_runner.replay_artifact(
+                    path, time_limit=request.time_limit
+                )
+                return run_outcome(path, outcome)
+
+        else:
+            units = tuple(
+                f"case-{index:05d}" for index in range(request.count)
+            )
+
+            def worker(name: str, deadline: Deadline) -> batch.UnitResult:
+                if budget.expired():
+                    return batch.UnitResult(
+                        unit=name,
+                        verdict=batch.OK,
+                        detail={"skipped": "budget exhausted"},
+                    )
+                index = int(name.rsplit("-", 1)[1])
+                case = generate_case(request.seed, index)
+                outcome = difftest_runner.run_case(
+                    case, time_limit=request.time_limit
+                )
+                return run_outcome(name, outcome)
+
+        batch_report = batch.run_units(
+            units,
+            worker,
+            keep_going=request.keep_going,
+            jobs=request.jobs,
+            unit_timeout=request.unit_timeout,
+        )
+        counters: Dict[str, int] = {}
+        artifacts: List[str] = []
+        skipped = 0
+        findings = 0
+        for result in batch_report.results:
+            findings += result.detail.get("findings", 0)
+            artifacts.extend(result.detail.get("artifacts", ()))
+            if "skipped" in result.detail:
+                skipped += 1
+            for key, value in result.detail.get("counters", {}).items():
+                counters[key] = counters.get(key, 0) + value
+        batch_report.meta["difftest"] = {
+            "seed": request.seed,
+            "count": len(units),
+            "budget": request.budget,
+            "time_limit": request.time_limit,
+            "out_dir": out_dir,
+            "replay": bool(request.replay),
+            "findings": findings,
+            "artifacts": artifacts,
+            "cases_skipped_budget": skipped,
+            "counters": counters,
+        }
+        return Report("difftest", batch_report)
 
     def run(self, path: str, entry: str = "main", args=()) -> Tuple[int, List[str]]:
         """Execute one translation unit with run-time qualifier checks;

@@ -408,6 +408,29 @@ def subexprs(expr: Expr):
         yield from subexprs(expr.otherwise)
 
 
+def subexprs_postorder(expr: Expr):
+    """Yield ``expr`` and all of its sub-expressions in *evaluation*
+    order — children before parents, left operand before right — which
+    is the order :mod:`repro.semantics.csem` evaluates them.  Check
+    instrumentation walks this order so inserted ``__check_*`` calls
+    fire in the same sequence the interpreter's native checks would."""
+    if isinstance(expr, (Lval, AddrOf)):
+        for sub in _lvalue_exprs(expr.lvalue):
+            yield from subexprs_postorder(sub)
+    elif isinstance(expr, UnOp):
+        yield from subexprs_postorder(expr.operand)
+    elif isinstance(expr, BinOp):
+        yield from subexprs_postorder(expr.left)
+        yield from subexprs_postorder(expr.right)
+    elif isinstance(expr, CastE):
+        yield from subexprs_postorder(expr.operand)
+    elif isinstance(expr, CondE):
+        yield from subexprs_postorder(expr.cond)
+        yield from subexprs_postorder(expr.then)
+        yield from subexprs_postorder(expr.otherwise)
+    yield expr
+
+
 def _lvalue_exprs(lv: Lvalue):
     if isinstance(lv.host, MemHost):
         yield from subexprs(lv.host.addr)

@@ -204,6 +204,44 @@ def cmd_infer(args) -> int:
     return report.exit_code
 
 
+def cmd_difftest(args) -> int:
+    report = _session(args).difftest(
+        api.DifftestRequest(
+            seed=args.seed,
+            count=args.count,
+            budget=args.budget,
+            time_limit=args.time_limit,
+            out_dir=args.out_dir or "",
+            replay=tuple(args.replay),
+            keep_going=args.keep_going,
+            jobs=args.jobs,
+            unit_timeout=args.unit_timeout,
+        )
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code
+    meta = report.batch.meta["difftest"]
+    errored = 0
+    for result in report.results:
+        if result.error:
+            errored += 1
+            print(f"error: {result.unit}: {result.error}", file=sys.stderr)
+        for diag in result.diagnostics:
+            print(diag["text"])
+    for artifact in meta["artifacts"]:
+        print(f"artifact: {artifact}")
+    skipped = meta["cases_skipped_budget"]
+    ran = meta["count"] - skipped - errored
+    print(
+        f"difftest: {ran} case(s) run (seed {meta['seed']}), "
+        f"{meta['findings']} disagreement(s)"
+        + (f", {skipped} skipped on budget" if skipped else "")
+        + (f", {errored} unit error(s)" if errored else "")
+    )
+    return report.exit_code
+
+
 def cmd_cache(args) -> int:
     if args.cache_command == "clear":
         removed = api.cache_clear(cache_dir=args.cache_dir)
@@ -353,6 +391,58 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_infer)
     batch_flags(p_infer)
     p_infer.set_defaults(fn=cmd_infer)
+
+    p_diff = sub.add_parser(
+        "difftest",
+        help="differentially test the pipeline on generated cases",
+        description=(
+            "Generate seed-deterministic C programs and qualifier files, "
+            "then cross-check the prover against brute-force enumeration, "
+            "native against instrumented execution, and the prover against "
+            "metamorphic variants of its own goals.  Disagreements exit 1 "
+            "and drop minimized, replayable artifacts (see docs/testing.md)."
+        ),
+    )
+    p_diff.add_argument(
+        "--seed", type=int, default=0, help="corpus seed (default 0)"
+    )
+    p_diff.add_argument(
+        "--count",
+        type=int,
+        default=100,
+        metavar="N",
+        help="number of generated cases (default 100)",
+    )
+    p_diff.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole run; remaining cases are "
+        "skipped, not failed",
+    )
+    p_diff.add_argument(
+        "--time-limit",
+        type=float,
+        default=6.0,
+        metavar="SECONDS",
+        help="per-proof prover budget within each case (default 6)",
+    )
+    p_diff.add_argument(
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help="failure artifact directory (default .repro-difftest)",
+    )
+    p_diff.add_argument(
+        "--replay",
+        nargs="+",
+        default=(),
+        metavar="ARTIFACT",
+        help="re-run stored failure artifacts instead of generating cases",
+    )
+    batch_flags(p_diff)
+    p_diff.set_defaults(fn=cmd_difftest)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the persistent proof cache"

@@ -131,8 +131,12 @@ def _checks_for_instruction(
     post: List[ir.Instruction] = []
     exprs: List[ir.Expr] = []
     if isinstance(instr, ir.Set):
-        exprs.append(instr.expr)
+        # Pinned evaluation order (docs/architecture.md): the
+        # interpreter resolves the destination l-value *before*
+        # evaluating the right-hand side, so checks for casts inside
+        # the l-value must run first.
         exprs.extend(ir._lvalue_exprs(instr.lvalue))
+        exprs.append(instr.expr)
     elif isinstance(instr, ir.Call):
         exprs.extend(instr.args)
         if instr.result_cast is not None and instr.result is not None:
@@ -163,9 +167,13 @@ def _checks_in_expr(
     expr: ir.Expr, loc, value_names: set, facts: FrozenSet = frozenset()
 ) -> List[ir.Call]:
     """A check call for every cast-to-qualified-type inside ``expr``
-    that is not dominated by an established guard fact."""
+    that is not dominated by an established guard fact.
+
+    Checks are emitted in *evaluation* order (inner casts before outer,
+    left operands before right) so the first failing check names the
+    same qualifier the interpreter's native cast check would."""
     checks: List[ir.Call] = []
-    for node in ir.subexprs(expr):
+    for node in ir.subexprs_postorder(expr):
         if isinstance(node, ir.CastE):
             for q in sorted(node.to_type.quals & value_names):
                 if _dominated(node, q, facts):

@@ -52,9 +52,14 @@ class ObligationResult:
             return f"{self.obligation}: trivially sound (no invariant)"
         return f"{self.obligation}: {self.result}"
 
-    def explain_failure(self, max_facts: int = 12) -> str:
+    def explain_failure(self, max_facts: Optional[int] = None) -> str:
         """A readable account of why the rule was rejected, from the
-        prover's candidate countermodel."""
+        prover's candidate countermodel.
+
+        Every fact is shown by default — a scenario with bindings
+        missing (e.g. for variables introduced only by ``extra``
+        axioms) is not replayable.  Passing ``max_facts`` truncates,
+        but then says how many facts were left out."""
         if self.proved:
             return "obligation proved; nothing to explain"
         lines = [f"rule not proven: {self.obligation.rule}"]
@@ -62,11 +67,13 @@ class ObligationResult:
         facts = self.result.countermodel if self.result is not None else []
         if facts:
             lines.append("a scenario the rule fails to exclude:")
-            shown = [f for f in facts if not f.startswith("¬")][:max_facts]
-            shown += [f for f in facts if f.startswith("¬")][
-                : max(0, max_facts - len(shown))
-            ]
+            ordered = [f for f in facts if not f.startswith("¬")]
+            ordered += [f for f in facts if f.startswith("¬")]
+            shown = ordered if max_facts is None else ordered[:max_facts]
             lines.extend(f"  {fact}" for fact in shown)
+            omitted = len(ordered) - len(shown)
+            if omitted > 0:
+                lines.append(f"  ... ({omitted} more fact(s) omitted)")
         return "\n".join(lines)
 
 
@@ -124,6 +131,17 @@ class SoundnessReport:
                     ),
                     "elapsed": r.result.elapsed if r.result is not None else 0.0,
                     "cached": r.result.cached if r.result is not None else False,
+                    # Complete countermodel for unproved obligations
+                    # (additive; absent when there is nothing to show).
+                    **(
+                        {"countermodel": list(r.result.countermodel)}
+                        if (
+                            not r.proved
+                            and r.result is not None
+                            and r.result.countermodel
+                        )
+                        else {}
+                    ),
                 }
                 for r in self.results
             ],

@@ -1,0 +1,38 @@
+"""Differential and metamorphic testing of the qualifier pipeline.
+
+The pipeline carries three independent implementations of "what a
+qualifier means": the soundness *prover* (logic + axioms), the static
+*checker/instrumenter* (dataflow over CIL), and the *interpreter*
+(``csem``'s native invariant evaluation).  The paper's preservation
+theorem (5.1) says they must agree on every program; this package makes
+that claim executable over generated corpora.
+
+Modules:
+
+* :mod:`generator` — deterministic, seed-driven generation of
+  well-formed C-subset programs and ``.qual`` definition files.
+* :mod:`shadow`    — an independent "shadow" semantics for generated
+  value-qualifier rules: brute-force evaluation over a bounded integer
+  box, used as ground truth against prover verdicts.
+* :mod:`audit`     — an interpreter subclass that re-checks declared
+  qualifier invariants after every store (dynamic Thm. 5.1).
+* :mod:`oracles`   — the three differential oracles (prover vs.
+  enumeration, static vs. dynamic preservation, metamorphic prover
+  invariance).
+* :mod:`minimize`  — ddmin-style shrinking of failing cases.
+* :mod:`runner`    — per-case orchestration, artifact files, and the
+  batch worker the CLI rides.
+"""
+
+from repro.difftest.generator import GenConfig, GeneratedCase, generate_case
+from repro.difftest.oracles import Finding
+from repro.difftest.runner import ARTIFACT_DIR, run_case
+
+__all__ = [
+    "ARTIFACT_DIR",
+    "Finding",
+    "GenConfig",
+    "GeneratedCase",
+    "generate_case",
+    "run_case",
+]

@@ -1,0 +1,109 @@
+"""Dynamic preservation audit: Theorem 5.1, executed.
+
+The paper's preservation theorem says that in a checker-accepted
+program, every expression of qualified type satisfies the qualifier's
+invariant at run time.  :class:`AuditInterpreter` makes that claim
+observable: after every store into a variable *declared* with a
+value-qualified type, it re-evaluates the declared invariants on the
+value just stored.  In a program the checker accepted without
+diagnostics, a failed audit is a pipeline bug — the static layer
+admitted a write the dynamic semantics refutes.
+
+The audit is strictly read-only with respect to program semantics: it
+never changes evaluation order, memory, or output, so an audited run
+and a plain run behave identically up to the audit's own exception.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cil import ir
+from repro.core.qualifiers.ast import QualifierDef, QualifierSet
+from repro.semantics.csem import CInterpreter, CRuntimeError
+
+
+class PreservationViolation(CRuntimeError):
+    """A declared qualifier's invariant failed after a store the static
+    checker accepted — the differential harness's smoking gun."""
+
+    def __init__(self, qualifier: str, variable: str, value):
+        super().__init__(
+            f"preservation violated: {variable} declared "
+            f"{qualifier} but holds {value!r}"
+        )
+        self.qualifier = qualifier
+        self.variable = variable
+        self.value = value
+
+
+class AuditInterpreter(CInterpreter):
+    """A :class:`CInterpreter` that audits declared value-qualifier
+    invariants after every store to a directly-named variable."""
+
+    def __init__(self, program: ir.Program, quals: QualifierSet, **kwargs):
+        # The tables must exist before super().__init__, which already
+        # executes the synthetic global-initializer function (and hence
+        # re-enters our _exec_instruction override).
+        # variable name -> [(qualifier name, definition)] per scope;
+        # globals and per-function locals/formals are precomputed.
+        self._audited_globals = self._audited_of(
+            [(g.name, g.ctype) for g in program.globals], quals
+        )
+        self._audited_locals: Dict[str, Dict[str, List[Tuple[str, QualifierDef]]]] = {
+            func.name: self._audited_of(func.formals + func.locals, quals)
+            for func in program.functions
+        }
+        # A local (audited or not) shadows any same-named global: the
+        # global's audit entries must not apply inside that function.
+        self._local_names = {
+            func.name: {n for n, _ in func.formals + func.locals}
+            for func in program.functions
+        }
+        super().__init__(program, quals=quals, **kwargs)
+
+    @staticmethod
+    def _audited_of(decls, quals) -> Dict[str, List[Tuple[str, QualifierDef]]]:
+        out: Dict[str, List[Tuple[str, QualifierDef]]] = {}
+        for name, ctype in decls:
+            if ctype is None:
+                continue
+            entries = []
+            for qual in sorted(getattr(ctype, "quals", ())):
+                qdef = quals.get(qual) if quals else None
+                if (
+                    qdef is not None
+                    and qdef.is_value
+                    and qdef.invariant is not None
+                ):
+                    entries.append((qual, qdef))
+            if entries:
+                out[name] = entries
+        return out
+
+    def _exec_instruction(self, instr: ir.Instruction, func: ir.Function) -> None:
+        super()._exec_instruction(instr, func)
+        target = None
+        if isinstance(instr, ir.Set):
+            target = instr.lvalue
+        elif isinstance(instr, ir.Call) and instr.result is not None:
+            target = instr.result
+        if (
+            target is None
+            or not isinstance(target.host, ir.VarHost)
+            or not isinstance(target.offset, ir.NoOffset)
+        ):
+            return
+        name = target.host.name
+        audited = self._audited_locals.get(func.name, {}).get(name)
+        if audited is None and name not in self._local_names.get(
+            func.name, ()
+        ):
+            audited = self._audited_globals.get(name)
+        if not audited:
+            return
+        addr = self._lvalue_address(target, func)
+        value = self.memory.get(addr, 0)
+        for qual, qdef in audited:
+            if not self._invariant_holds(qdef.invariant, value):
+                raise PreservationViolation(qual, name, value)

@@ -1,0 +1,562 @@
+"""Deterministic, seed-driven generation of C-subset programs and
+qualifier definitions.
+
+Every case is a pure function of ``(seed, index, GenConfig)``: the same
+triple always yields byte-identical sources, so a failure artifact that
+records them is replayable forever.
+
+Two generators live here:
+
+* :class:`QualGenerator` emits ``.qual`` definition files in the
+  paper's rule language.  Rules are drawn from the fragment the
+  soundness prover *decides* (validated empirically: linear clauses
+  with arbitrary thresholds; multiplication clauses restricted to
+  sign-form invariants, where the prover's product sign lemmas are
+  complete) — so for every generated obligation, PROVED/REFUTED can be
+  cross-checked against brute-force enumeration
+  (:mod:`repro.difftest.shadow`).  Generated rules are *deliberately*
+  a mix of sound and unsound: unsound rules must be REFUTED with a
+  countermodel, and the refutation must be witnessed in the box.
+
+* :class:`ProgramGenerator` emits well-formed, terminating C programs
+  exercising the checker/instrumenter/interpreter: qualified
+  declarations through casts, guard-refined declarations (the
+  flow-sensitive acceptance path), casts after control-flow merges
+  (the join-correctness path), side-effecting call arguments (the
+  evaluation-order path), bounded loops, and — gated by knobs —
+  goto, switch, pointers, and malloc.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+# --------------------------------------------------------------- config
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Feature knobs for one generated case."""
+
+    size: int = 10           # statement templates per program
+    n_qualifiers: int = 2    # generated qualifier definitions per case
+    const_bound: int = 2     # |thresholds| in generated rules
+    allow_goto: bool = True
+    allow_switch: bool = True
+    allow_pointers: bool = True
+    allow_malloc: bool = True
+    allow_ref_quals: bool = True  # unique/unaliased decls in programs
+
+    def to_dict(self) -> dict:
+        return {
+            "size": self.size,
+            "n_qualifiers": self.n_qualifiers,
+            "const_bound": self.const_bound,
+            "allow_goto": self.allow_goto,
+            "allow_switch": self.allow_switch,
+            "allow_pointers": self.allow_pointers,
+            "allow_malloc": self.allow_malloc,
+            "allow_ref_quals": self.allow_ref_quals,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "GenConfig":
+        return GenConfig(**{
+            key: data[key]
+            for key in GenConfig().to_dict()
+            if key in data
+        })
+
+
+@dataclass(frozen=True)
+class GeneratedCase:
+    name: str
+    seed: int
+    index: int
+    config: GenConfig
+    c_source: str
+    qual_source: str
+
+
+# ----------------------------------------------------- .qual generation
+
+#: Comparison operators the invariant/threshold language uses.
+_CMP_OPS = (">", "<", ">=", "<=", "==", "!=")
+
+#: Standard-library value qualifiers with arithmetic invariants, as
+#: (name, op, threshold) — usable as premises in generated rules.
+_STD_SHAPES: Tuple[Tuple[str, str, int], ...] = (
+    ("pos", ">", 0),
+    ("neg", "<", 0),
+    ("nonneg", ">=", 0),
+    ("nonzero", "!=", 0),
+)
+
+
+@dataclass
+class _QualShape:
+    name: str
+    op: str
+    threshold: int
+
+    @property
+    def sign_form(self) -> bool:
+        return self.threshold == 0
+
+
+class QualGenerator:
+    """Emits one ``.qual`` file with ``n_qualifiers`` definitions named
+    ``g0``, ``g1``, ...; later definitions may reference earlier ones
+    (and the standard library) in their premises."""
+
+    def __init__(self, rng: random.Random, config: GenConfig):
+        self.rng = rng
+        self.config = config
+        self.shapes: List[_QualShape] = [
+            _QualShape(*s) for s in _STD_SHAPES
+        ]
+
+    def generate(self) -> Tuple[str, List[str]]:
+        """(source text, names of the generated qualifiers)."""
+        blocks: List[str] = []
+        names: List[str] = []
+        for i in range(self.config.n_qualifiers):
+            shape = _QualShape(
+                name=f"g{i}",
+                op=self.rng.choice(_CMP_OPS),
+                threshold=self.rng.randint(
+                    -self.config.const_bound, self.config.const_bound
+                ),
+            )
+            blocks.append(self._definition(shape))
+            self.shapes.append(shape)
+            names.append(shape.name)
+        return "\n".join(blocks), names
+
+    # ------------------------------------------------------------ rules
+
+    def _definition(self, shape: _QualShape) -> str:
+        n_clauses = self.rng.randint(1, 3)
+        clauses = [self._clause(shape) for _ in range(n_clauses)]
+        body = "\n    | ".join(clauses)
+        return (
+            f"value qualifier {shape.name}(int Expr E)\n"
+            f"  case E of\n"
+            f"      {body}\n"
+            f"  invariant value(E) {shape.op} {shape.threshold}\n"
+        )
+
+    def _clause(self, shape: _QualShape) -> str:
+        kinds = ["const", "const", "pvar", "uminus", "addsub"]
+        if shape.sign_form and any(
+            s.sign_form for s in self.shapes
+        ):
+            kinds.append("mult")
+        kind = self.rng.choice(kinds)
+        if kind == "const":
+            conds = [self._const_cond()]
+            if self.rng.random() < 0.3:
+                conds.append(self._const_cond())
+            return (
+                "decl int Const C:\n"
+                f"        C, where {' && '.join(conds)}"
+            )
+        if kind == "pvar":
+            q = self.rng.choice(self.shapes).name
+            return f"decl int Expr E1:\n        E1, where {q}(E1)"
+        if kind == "uminus":
+            q = self.rng.choice(self.shapes).name
+            return f"decl int Expr E1:\n        -E1, where {q}(E1)"
+        if kind == "addsub":
+            op = self.rng.choice("+-")
+            qa = self.rng.choice(self.shapes).name
+            qb = self.rng.choice(self.shapes).name
+            return (
+                "decl int Expr E1, E2:\n"
+                f"        E1 {op} E2, where {qa}(E1) && {qb}(E2)"
+            )
+        # mult: sign-form premises only (the fragment the prover's
+        # product sign lemmas decide — see the 216-combo sweep in
+        # tests/test_difftest_oracles.py).
+        sign_pool = [s.name for s in self.shapes if s.sign_form]
+        qa = self.rng.choice(sign_pool)
+        qb = self.rng.choice(sign_pool)
+        return (
+            "decl int Expr E1, E2:\n"
+            f"        E1 * E2, where {qa}(E1) && {qb}(E2)"
+        )
+
+    def _const_cond(self) -> str:
+        op = self.rng.choice(_CMP_OPS)
+        k = self.rng.randint(
+            -self.config.const_bound, self.config.const_bound
+        )
+        return f"C {op} {k}"
+
+
+# -------------------------------------------------------- C generation
+
+
+@dataclass
+class _ProgCtx:
+    """Mutable program-generation state."""
+
+    lines: List[str] = field(default_factory=list)
+    # Every declared plain-int variable, with its statically-known value
+    # (None once control flow makes it unknown).
+    ints: Dict[str, Optional[int]] = field(default_factory=dict)
+    counter: int = 0
+    used_tick: bool = False
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def emit(self, line: str, depth: int = 1) -> None:
+        self.lines.append("  " * depth + line)
+
+
+class ProgramGenerator:
+    """Emits one C translation unit as text."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        config: GenConfig,
+        qual_shapes: List[_QualShape],
+    ):
+        self.rng = rng
+        self.config = config
+        # Casts and qualified declarations draw from both the generated
+        # qualifiers and the standard arithmetic ones.
+        self.shapes = [_QualShape(*s) for s in _STD_SHAPES] + list(
+            qual_shapes
+        )
+
+    # ----------------------------------------------------------- helpers
+
+    def _inv_holds(self, shape: _QualShape, value: int) -> bool:
+        return {
+            ">": value > shape.threshold,
+            "<": value < shape.threshold,
+            ">=": value >= shape.threshold,
+            "<=": value <= shape.threshold,
+            "==": value == shape.threshold,
+            "!=": value != shape.threshold,
+        }[shape.op]
+
+    def _satisfier(self, shape: _QualShape) -> int:
+        candidates = [
+            v for v in range(-6, 7) if self._inv_holds(shape, v)
+        ]
+        return self.rng.choice(candidates) if candidates else 0
+
+    def _violator(self, shape: _QualShape) -> int:
+        candidates = [
+            v for v in range(-6, 7) if not self._inv_holds(shape, v)
+        ]
+        return self.rng.choice(candidates) if candidates else 0
+
+    def _known_var(self, ctx: _ProgCtx) -> Optional[Tuple[str, int]]:
+        known = [
+            (name, value)
+            for name, value in ctx.ints.items()
+            if value is not None
+        ]
+        return self.rng.choice(known) if known else None
+
+    def _any_var(self, ctx: _ProgCtx) -> str:
+        return self.rng.choice(list(ctx.ints))
+
+    def _expr_with_value(self, ctx: _ProgCtx, target: int) -> str:
+        """A side-effect-free int expression evaluating to ``target``."""
+        forms = ["const"]
+        if self._known_var(ctx) is not None:
+            forms += ["var_plus", "var_plus"]
+        form = self.rng.choice(forms)
+        if form == "const":
+            return str(target)
+        name, value = self._known_var(ctx)
+        delta = target - value
+        if delta >= 0:
+            return f"{name} + {delta}"
+        return f"{name} - {-delta}"
+
+    def _rand_expr(self, ctx: _ProgCtx) -> Tuple[str, Optional[int]]:
+        """A small arithmetic expression and its value if computable."""
+        kind = self.rng.choice(["const", "var", "binop", "binop"])
+        if kind == "const":
+            k = self.rng.randint(-5, 5)
+            return str(k), k
+        if kind == "var":
+            name = self._any_var(ctx)
+            return name, ctx.ints[name]
+        op = self.rng.choice("+-*")
+        left, lval = self._rand_expr_leaf(ctx)
+        right, rval = self._rand_expr_leaf(ctx)
+        value = None
+        if lval is not None and rval is not None:
+            value = {
+                "+": lval + rval, "-": lval - rval, "*": lval * rval
+            }[op]
+        return f"{left} {op} {right}", value
+
+    def _rand_expr_leaf(self, ctx: _ProgCtx) -> Tuple[str, Optional[int]]:
+        if self.rng.random() < 0.5:
+            k = self.rng.randint(-4, 4)
+            return str(k), k
+        name = self._any_var(ctx)
+        return name, ctx.ints[name]
+
+    # --------------------------------------------------------- templates
+
+    def generate(self) -> str:
+        ctx = _ProgCtx()
+        # Seed variables with known constants.
+        for _ in range(self.rng.randint(2, 3)):
+            name = ctx.fresh("v")
+            value = self.rng.randint(-5, 5)
+            ctx.emit(f"int {name} = {value};")
+            ctx.ints[name] = value
+
+        templates = [
+            (self._stmt_decl_plain, 2.0),
+            (self._stmt_assign, 2.0),
+            (self._stmt_qual_cast, 2.0),
+            (self._stmt_guarded_decl, 1.5),
+            (self._stmt_merge_cast, 1.5),
+            (self._stmt_tick_call, 1.0),
+            (self._stmt_loop, 1.0),
+            (self._stmt_print, 1.0),
+            (self._stmt_nested_cast, 0.7),
+        ]
+        if self.config.allow_switch:
+            templates.append((self._stmt_switch, 0.8))
+        if self.config.allow_goto:
+            templates.append((self._stmt_goto, 0.8))
+        if self.config.allow_pointers:
+            templates.append((self._stmt_pointer, 1.0))
+        if self.config.allow_malloc and self.config.allow_pointers:
+            templates.append((self._stmt_malloc, 0.8))
+        if self.config.allow_ref_quals and self.config.allow_pointers:
+            templates.append((self._stmt_ref_qual, 0.5))
+
+        funcs, weights = zip(*templates)
+        for _ in range(self.config.size):
+            self.rng.choices(funcs, weights=weights)[0](ctx)
+
+        # Observe final state: the tick trace and every plain int.
+        if ctx.used_tick:
+            ctx.emit('printf("%d\\n", t);')
+        for name in ctx.ints:
+            ctx.emit(f'printf("%d\\n", {name});')
+        ctx.emit("return 0;")
+
+        header = [
+            "int t = 0;",
+            "",
+            "int tick(int k) {",
+            "  t = t * 10 + k;",
+            "  return k;",
+            "}",
+            "",
+            "int use2(int a, int b) {",
+            "  return a - 2 * b;",
+            "}",
+            "",
+            "int main() {",
+        ]
+        return "\n".join(header + ctx.lines + ["}", ""])
+
+    def _stmt_decl_plain(self, ctx: _ProgCtx) -> None:
+        name = ctx.fresh("v")
+        expr, value = self._rand_expr(ctx)
+        ctx.emit(f"int {name} = {expr};")
+        ctx.ints[name] = value
+
+    def _stmt_assign(self, ctx: _ProgCtx) -> None:
+        name = self._any_var(ctx)
+        expr, value = self._rand_expr(ctx)
+        ctx.emit(f"{name} = {expr};")
+        ctx.ints[name] = value
+
+    def _stmt_qual_cast(self, ctx: _ProgCtx) -> None:
+        """``int q qN = (int q)(expr);`` — always accepted statically,
+        enforced at run time.  Biased toward satisfying values so runs
+        usually survive; violating casts are legitimate test fodder
+        (both executions must report the same violation)."""
+        shape = self.rng.choice(self.shapes)
+        name = ctx.fresh("q")
+        if self.rng.random() < 0.75:
+            target = self._satisfier(shape)
+        else:
+            target = self._violator(shape)
+        expr = self._expr_with_value(ctx, target)
+        ctx.emit(f"int {shape.name} {name} = (int {shape.name})({expr});")
+
+    def _stmt_nested_cast(self, ctx: _ProgCtx) -> None:
+        """Nested casts in one expression: exercises check *ordering*
+        (inner cast is evaluated — and must be checked — first)."""
+        outer = self.rng.choice(self.shapes)
+        inner = self.rng.choice(self.shapes)
+        target = (
+            self._satisfier(inner)
+            if self.rng.random() < 0.6
+            else self._violator(inner)
+        )
+        expr = self._expr_with_value(ctx, target)
+        offset = self.rng.randint(0, 3)
+        name = ctx.fresh("v")
+        ctx.emit(
+            f"int {name} = (int {outer.name})"
+            f"((int {inner.name})({expr}) + {offset});"
+        )
+        ctx.ints[name] = None
+
+    def _stmt_guarded_decl(self, ctx: _ProgCtx) -> None:
+        """Flow-sensitive acceptance: inside ``if (x op k)`` the checker
+        accepts ``int q g = x;`` with *no* run-time check."""
+        shape = self.rng.choice(self.shapes)
+        x = self._any_var(ctx)
+        g = ctx.fresh("g")
+        ctx.emit(f"if ({x} {shape.op} {shape.threshold}) {{")
+        ctx.emit(f"  int {shape.name} {g} = {x};")
+        ctx.emit(f'  printf("%d\\n", {g});')
+        ctx.emit("}")
+
+    def _stmt_merge_cast(self, ctx: _ProgCtx) -> None:
+        """A guard fact must die at the join: the cast after the
+        if/else still needs its run-time check.  (A broken must-join —
+        e.g. union instead of intersection — elides it, and the
+        differential run catches the missed violation.)"""
+        shape = self.rng.choice(self.shapes)
+        x = ctx.fresh("m")
+        if self.rng.random() < 0.6:
+            value = self._satisfier(shape)
+        else:
+            value = self._violator(shape)
+        w = self._any_var(ctx)
+        y = ctx.fresh("v")
+        ctx.emit(f"int {x} = {value};")
+        ctx.emit(f"if ({x} {shape.op} {shape.threshold}) {{")
+        ctx.emit(f"  {w} = {w} + 1;")
+        ctx.emit("} else {")
+        ctx.emit(f"  {w} = {w} - 1;")
+        ctx.emit("}")
+        ctx.emit(f"int {y} = (int {shape.name}){x};")
+        ctx.ints[w] = None
+        ctx.ints[x] = value
+        ctx.ints[y] = None
+
+    def _stmt_tick_call(self, ctx: _ProgCtx) -> None:
+        """Side-effecting call arguments: the global trace ``t`` records
+        the order the arguments were evaluated in."""
+        ctx.used_tick = True
+        k1 = self.rng.randint(1, 4)
+        k2 = self.rng.randint(5, 9)
+        name = ctx.fresh("v")
+        ctx.emit(f"int {name} = use2(tick({k1}), tick({k2}));")
+        ctx.ints[name] = k1 - 2 * k2
+
+    def _stmt_loop(self, ctx: _ProgCtx) -> None:
+        i = ctx.fresh("i")
+        n = self.rng.randint(2, 6)
+        target = self._any_var(ctx)
+        step = self.rng.randint(-3, 3)
+        ctx.emit(f"int {i} = 0;")
+        ctx.emit(f"while ({i} < {n}) {{")
+        ctx.emit(f"  {i} = {i} + 1;")
+        ctx.emit(f"  {target} = {target} + {step};")
+        ctx.emit("}")
+        ctx.ints[i] = n
+        base = ctx.ints[target]
+        ctx.ints[target] = base + n * step if base is not None else None
+
+    def _stmt_print(self, ctx: _ProgCtx) -> None:
+        ctx.emit(f'printf("%d\\n", {self._any_var(ctx)});')
+
+    def _stmt_switch(self, ctx: _ProgCtx) -> None:
+        x = self._any_var(ctx)
+        v = self._any_var(ctx)
+        fallthrough = self.rng.random() < 0.4
+        ctx.emit(f"switch ({x}) {{")
+        ctx.emit(f"  case 0: {v} = {v} + 1; break;")
+        if fallthrough:
+            ctx.emit(f"  case 1: {v} = {v} + 2;")
+        else:
+            ctx.emit(f"  case 1: {v} = {v} + 2; break;")
+        ctx.emit(f"  default: {v} = {v} - 1; break;")
+        ctx.emit("}")
+        ctx.ints[v] = None
+
+    def _stmt_goto(self, ctx: _ProgCtx) -> None:
+        """A forward goto skipping one assignment."""
+        label = ctx.fresh("L")
+        v = self._any_var(ctx)
+        ctx.emit(f"goto {label};")
+        ctx.emit(f"{v} = {v} * 7;")
+        ctx.emit(f"{label}: {v} = {v} + 0;")
+
+    def _stmt_pointer(self, ctx: _ProgCtx) -> None:
+        v = self._any_var(ctx)
+        p = ctx.fresh("p")
+        expr, value = self._rand_expr(ctx)
+        ctx.emit(f"int* {p} = &{v};")
+        ctx.emit(f"*{p} = {expr};")
+        ctx.ints[v] = value
+
+    def _stmt_malloc(self, ctx: _ProgCtx) -> None:
+        m = ctx.fresh("h")
+        w = ctx.fresh("v")
+        expr, value = self._rand_expr(ctx)
+        ctx.emit(f"int* {m} = malloc(1);")
+        ctx.emit(f"*{m} = {expr};")
+        ctx.emit(f"int {w} = *{m};")
+        ctx.ints[w] = value
+
+    def _stmt_ref_qual(self, ctx: _ProgCtx) -> None:
+        """A unique pointer: NULL or fresh heap memory only (ref
+        qualifiers are checked statically, never at run time)."""
+        u = ctx.fresh("u")
+        if self.rng.random() < 0.5:
+            ctx.emit(f"int* unique {u} = NULL;")
+        else:
+            ctx.emit(f"int* unique {u} = malloc(1);")
+
+
+# ------------------------------------------------------------ entry point
+
+
+def generate_case(
+    seed: int, index: int, config: Optional[GenConfig] = None
+) -> GeneratedCase:
+    """The ``index``-th case of the run seeded with ``seed``."""
+    config = config or GenConfig()
+    rng = random.Random(f"difftest:{seed}:{index}")
+    # Vary feature knobs deterministically across the corpus so every
+    # combination gets exercised.
+    config = replace(
+        config,
+        allow_goto=config.allow_goto and rng.random() < 0.7,
+        allow_switch=config.allow_switch and rng.random() < 0.7,
+        allow_pointers=config.allow_pointers and rng.random() < 0.8,
+        allow_malloc=config.allow_malloc and rng.random() < 0.7,
+        allow_ref_quals=config.allow_ref_quals and rng.random() < 0.5,
+    )
+    qual_gen = QualGenerator(rng, config)
+    qual_source, names = qual_gen.generate()
+    generated_shapes = [
+        s for s in qual_gen.shapes if s.name in names
+    ]
+    prog_gen = ProgramGenerator(rng, config, generated_shapes)
+    c_source = prog_gen.generate()
+    return GeneratedCase(
+        name=f"case-{index:05d}",
+        seed=seed,
+        index=index,
+        config=config,
+        c_source=c_source,
+        qual_source=qual_source,
+    )

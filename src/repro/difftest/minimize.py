@@ -1,0 +1,113 @@
+"""ddmin-style shrinking of failing difftest cases.
+
+A failure artifact is only useful if a human can read it; a generated
+program is ~40 lines of noise around a 3-line bug.  :func:`ddmin`
+implements the classic delta-debugging loop over an item list with a
+bounded probe budget; wrappers shrink C sources line-wise and qualifier
+files clause-wise while preserving "the same failure still happens"
+(the predicate — not mere crashing — so minimization can never morph
+one bug into a different one).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Set
+
+from repro.core.qualifiers.ast import QualifierDef
+
+
+def ddmin(
+    items: Sequence,
+    still_fails: Callable[[List], bool],
+    max_probes: int = 150,
+) -> List:
+    """Zeller's ddmin: a 1-minimal sublist of ``items`` on which
+    ``still_fails`` holds.  Assumes ``still_fails(items)`` is True;
+    stops early (returning the best-so-far) once ``max_probes``
+    predicate evaluations are spent."""
+    current = list(items)
+    granularity = 2
+    probes = 0
+    while len(current) >= 2 and probes < max_probes:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current) and probes < max_probes:
+            candidate = current[:start] + current[start + chunk:]
+            if not candidate:
+                start += chunk
+                continue
+            probes += 1
+            if still_fails(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # restart scan at same position (list shrank under us)
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def minimize_lines(
+    source: str,
+    still_fails: Callable[[str], bool],
+    max_probes: int = 150,
+) -> str:
+    """Line-wise ddmin over a source file."""
+    lines = source.splitlines()
+    kept = ddmin(
+        lines,
+        lambda candidate: still_fails("\n".join(candidate) + "\n"),
+        max_probes=max_probes,
+    )
+    return "\n".join(kept) + "\n"
+
+
+def render_value_qualifier(
+    qdef: QualifierDef, case_indices: Sequence[int]
+) -> str:
+    """Re-render a value-qualifier definition keeping only the given
+    case clauses (the AST's ``str`` forms round-trip the grammar)."""
+    clauses = [str(qdef.cases[i]) for i in case_indices]
+    lines = [f"value qualifier {qdef.name}(int Expr E)"]
+    if clauses:
+        lines.append("  case E of")
+        lines.append("      " + "\n    | ".join(clauses))
+    if qdef.invariant is not None:
+        lines.append(f"  invariant {qdef.invariant}")
+    return "\n".join(lines) + "\n"
+
+
+def minimal_qual_source(
+    defs: List[QualifierDef],
+    target: str,
+    clause_index: int,
+) -> str:
+    """The smallest ``.qual`` source exhibiting one clause of one
+    generated qualifier: the target definition reduced to that single
+    clause, plus (whole) definitions of every generated qualifier it
+    transitively references in premises."""
+    by_name = {d.name: d for d in defs}
+    qdef = by_name[target]
+    needed: Set[str] = set()
+    frontier = [qdef.cases[clause_index]] if qdef.cases else []
+    while frontier:
+        clause = frontier.pop()
+        probe = QualifierDef(
+            name="_probe", kind="value", dtype=qdef.dtype,
+            classifier=qdef.classifier, var=qdef.var, cases=[clause],
+        )
+        for ref in probe.referenced_qualifiers():
+            if ref in by_name and ref not in needed and ref != target:
+                needed.add(ref)
+                frontier.extend(by_name[ref].cases)
+    blocks = [
+        render_value_qualifier(by_name[name], range(len(by_name[name].cases)))
+        for name in sorted(needed)
+    ]
+    blocks.append(render_value_qualifier(qdef, [clause_index]))
+    return "\n".join(blocks)

@@ -1,0 +1,236 @@
+"""Per-case orchestration, failure artifacts, and replay.
+
+:func:`run_case` takes one generated case through all three oracles and
+returns the findings plus namespaced counters.  When a finding
+survives, :func:`minimize_finding` shrinks the triggering source with
+:mod:`repro.difftest.minimize` and :func:`write_artifact` records a
+self-contained JSON file under :data:`ARTIFACT_DIR` — seed, config,
+exact sources, the finding, the minimized reproducer, and the command
+that replays it.  :func:`replay_artifact` reruns an artifact from its
+*stored* sources (not by regenerating), so artifacts stay valid even
+if the generator's output drifts between versions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.qualifiers.ast import QualifierSet
+from repro.core.qualifiers.library import standard_qualifiers
+from repro.core.qualifiers.parser import parse_qualifiers
+from repro.difftest import minimize, oracles, shadow
+from repro.difftest.generator import GenConfig, GeneratedCase, generate_case
+from repro.difftest.oracles import Finding
+
+#: Where failure artifacts land, relative to the working directory.
+ARTIFACT_DIR = ".repro-difftest"
+
+ORACLES = ("prover-vs-enum", "preservation", "metamorphic")
+
+
+@dataclass
+class CaseOutcome:
+    case: GeneratedCase
+    findings: List[Finding] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+def build_qualifier_set(
+    case: GeneratedCase,
+) -> Tuple[QualifierSet, List[str]]:
+    """Compose the standard library with the case's generated
+    qualifiers; returns the set plus the generated names."""
+    gen_defs = parse_qualifiers(case.qual_source)
+    composed = QualifierSet(list(standard_qualifiers()) + list(gen_defs))
+    return composed, [d.name for d in gen_defs]
+
+
+def run_case(
+    case: GeneratedCase,
+    time_limit: float = 8.0,
+    bound: int = shadow.DEFAULT_BOUND,
+    which: Tuple[str, ...] = ORACLES,
+    max_obligations: int = 1,
+) -> CaseOutcome:
+    """Run the selected oracles over one case."""
+    quals, gen_names = build_qualifier_set(case)
+    outcome = CaseOutcome(case=case)
+
+    def merge(tag: str, findings: List[Finding], counters: Dict[str, int]):
+        outcome.findings.extend(findings)
+        for key, value in counters.items():
+            outcome.counters[f"{tag}.{key}"] = (
+                outcome.counters.get(f"{tag}.{key}", 0) + value
+            )
+
+    if "prover-vs-enum" in which:
+        merge(
+            "prover_vs_enum",
+            *oracles.prover_vs_enum(
+                case, quals, gen_names, time_limit=time_limit, bound=bound
+            ),
+        )
+    if "preservation" in which:
+        merge("preservation", *oracles.preservation(case, quals))
+    if "metamorphic" in which:
+        with tempfile.TemporaryDirectory(prefix="difftest-cache-") as tmp:
+            merge(
+                "metamorphic",
+                *oracles.metamorphic(
+                    case,
+                    quals,
+                    gen_names,
+                    time_limit=time_limit,
+                    max_obligations=max_obligations,
+                    cache_dir=tmp,
+                ),
+            )
+    return outcome
+
+
+# ------------------------------------------------------------ minimization
+
+
+def _same_failure(findings: List[Finding], reference: Finding) -> bool:
+    want_qual = reference.detail.get("qualifier")
+    for f in findings:
+        if f.oracle != reference.oracle or f.kind != reference.kind:
+            continue
+        if want_qual is not None and f.detail.get("qualifier") != want_qual:
+            continue
+        return True
+    return False
+
+
+def minimize_finding(
+    case: GeneratedCase,
+    finding: Finding,
+    time_limit: float = 8.0,
+    max_probes: int = 80,
+) -> Optional[dict]:
+    """Shrink the sources that triggered ``finding``; None when the
+    reduced reproducer does not reproduce (the original artifact still
+    carries the full sources)."""
+    try:
+        if finding.oracle == "preservation":
+            quals, _ = build_qualifier_set(case)
+
+            def still_fails(candidate: str) -> bool:
+                trial = dataclasses.replace(case, c_source=candidate)
+                try:
+                    found, _ = oracles.preservation(trial, quals)
+                except Exception:
+                    # the candidate broke the harness itself (e.g. ddmin
+                    # deleted main) — that is not the same failure
+                    return False
+                return _same_failure(found, finding)
+
+            if not still_fails(case.c_source):
+                return None
+            reduced = minimize.minimize_lines(
+                case.c_source, still_fails, max_probes=max_probes
+            )
+            return {"c_source": reduced, "qual_source": case.qual_source}
+
+        # Prover-side findings: cut the qualifier file down to the one
+        # clause named by the obligation's "case i: ..." rule.
+        rule = finding.detail.get("rule", "")
+        target = finding.detail.get("qualifier")
+        if target is None or not rule.startswith("case "):
+            return None
+        index = int(rule.split(":", 1)[0][len("case "):]) - 1  # 1-based
+        gen_defs = parse_qualifiers(case.qual_source)
+        reduced_qual = minimize.minimal_qual_source(
+            list(gen_defs), target, index
+        )
+        trial = dataclasses.replace(case, qual_source=reduced_qual)
+        quals, gen_names = build_qualifier_set(trial)
+        if finding.oracle == "prover-vs-enum":
+            found, _ = oracles.prover_vs_enum(
+                trial, quals, [target], time_limit=time_limit
+            )
+        else:
+            found, _ = oracles.metamorphic(
+                trial, quals, [target],
+                time_limit=time_limit, max_obligations=4,
+            )
+        if not _same_failure(found, finding):
+            return None
+        return {"qual_source": reduced_qual}
+    except Exception:
+        return None  # minimization is best-effort; never mask the finding
+
+
+# -------------------------------------------------------------- artifacts
+
+
+def write_artifact(
+    out_dir: str,
+    case: GeneratedCase,
+    finding: Finding,
+    minimized: Optional[dict] = None,
+) -> str:
+    """Persist a self-contained, replayable failure record; returns the
+    artifact path."""
+    os.makedirs(out_dir, exist_ok=True)
+    stem = f"{case.name}-{finding.kind}"
+    path = os.path.join(out_dir, f"{stem}.json")
+    ordinal = 1
+    while os.path.exists(path):
+        ordinal += 1
+        path = os.path.join(out_dir, f"{stem}-{ordinal}.json")
+    payload = {
+        "schema_version": 1,
+        "case": {
+            "name": case.name,
+            "seed": case.seed,
+            "index": case.index,
+            "config": case.config.to_dict(),
+        },
+        "c_source": case.c_source,
+        "qual_source": case.qual_source,
+        "finding": finding.to_dict(),
+        "minimized": minimized,
+        "repro": f"python -m repro difftest --replay {path}",
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def replay_artifact(
+    path: str, time_limit: float = 8.0
+) -> CaseOutcome:
+    """Re-run the oracles on an artifact's stored sources.
+
+    The case is rebuilt from the recorded sources rather than by
+    re-generating from the seed, so the replay exercises exactly the
+    inputs that failed."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    meta = data["case"]
+    case = GeneratedCase(
+        name=meta["name"],
+        seed=meta["seed"],
+        index=meta["index"],
+        config=GenConfig.from_dict(meta["config"]),
+        c_source=data["c_source"],
+        qual_source=data["qual_source"],
+    )
+    return run_case(case, time_limit=time_limit)
+
+
+def regenerate(path: str) -> GeneratedCase:
+    """Regenerate an artifact's case from its seed/config (useful for
+    checking generator determinism against the stored sources)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        meta = json.load(handle)["case"]
+    return generate_case(
+        meta["seed"], meta["index"], GenConfig.from_dict(meta["config"])
+    )

@@ -1,0 +1,302 @@
+"""Shadow semantics for value-qualifier rules: brute-force ground truth.
+
+A value qualifier's case clause ``decl int Expr E1, E2: E1 * E2, where
+q1(E1) && q2(E2)`` is sound iff for all integers v1, v2::
+
+    inv_q1(v1) and inv_q2(v2)  implies  inv_self(v1 * v2)
+
+This module evaluates that statement directly — no reified syntax, no
+axioms, no prover — by enumerating leaf values over a bounded integer
+box.  It is a deliberately *independent* implementation of what the
+rules mean, so a bug in the obligation generator, the axioms, or the
+prover shows up as a disagreement rather than being faithfully
+reproduced on both sides.
+
+Scope: clauses whose pattern is built from Const/Expr leaves with
+integer arithmetic (``C``, ``E1``, ``-E1``, ``E1 op E2``, ``NULL``)
+and whose invariants (including those of every qualifier referenced in
+the ``where`` predicate) are arithmetic over ``value(E)``.  Clauses
+about locations, dereferences, or allocation are reported as
+:data:`NOT_REPRESENTABLE` and skipped by the oracle.
+
+The box bound is chosen so that a counterexample, when one exists over
+the integers, exists inside the box for every rule the generator in
+:mod:`repro.difftest.generator` can emit: patterns are at most one
+binary operation over leaves, invariant/predicate thresholds are
+bounded by ``GenConfig.const_bound``, so boundary witnesses lie within
+a few units of the thresholds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.qualifiers import ast as Q
+
+#: Sentinel: the clause (or a referenced invariant) falls outside the
+#: arithmetic fragment this module can evaluate.
+NOT_REPRESENTABLE = "not-representable"
+
+#: Default half-width of the enumeration box.
+DEFAULT_BOUND = 9
+
+
+# ------------------------------------------------------- C-style arithmetic
+
+
+def _arith(op: str, left: int, right: int) -> int:
+    """Integer arithmetic with C's truncation-toward-zero semantics
+    (kept local: the whole point is independence from csem)."""
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op in ("/", "%"):
+        if right == 0:
+            raise ZeroDivisionError
+        quotient = abs(left) // abs(right)
+        if (left < 0) != (right < 0):
+            quotient = -quotient
+        if op == "/":
+            return quotient
+        return left - right * quotient
+    raise ValueError(f"shadow semantics: unknown operator {op!r}")
+
+
+_CMP: Dict[str, Callable[[int, int], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+# ----------------------------------------------------- invariant predicates
+
+
+def invariant_predicate(
+    qdef: Q.QualifierDef,
+) -> Optional[Callable[[int], bool]]:
+    """Compile a value qualifier's invariant to a predicate on one
+    integer, or None when it falls outside the arithmetic fragment.
+
+    A qualifier *without* an invariant (e.g. ``tainted``) compiles to
+    the constantly-true predicate: it constrains nothing."""
+    if qdef.invariant is None:
+        return lambda value: True
+    if not qdef.is_value:
+        return None
+
+    def term(t: Q.ITerm, value: int) -> int:
+        if isinstance(t, Q.IValue):
+            return value
+        if isinstance(t, Q.INum):
+            return t.value
+        if isinstance(t, Q.INull):
+            return 0
+        if isinstance(t, Q.IBin):
+            return _arith(t.op, term(t.left, value), term(t.right, value))
+        raise _Unrepresentable
+
+    def formula(g: Q.IFormula, value: int) -> bool:
+        if isinstance(g, Q.ICmp):
+            return _CMP[g.op](term(g.left, value), term(g.right, value))
+        if isinstance(g, Q.IAnd):
+            return formula(g.left, value) and formula(g.right, value)
+        if isinstance(g, Q.IOr):
+            return formula(g.left, value) or formula(g.right, value)
+        if isinstance(g, Q.INot):
+            return not formula(g.operand, value)
+        if isinstance(g, Q.IImplies):
+            return (not formula(g.left, value)) or formula(g.right, value)
+        raise _Unrepresentable
+
+    inv = qdef.invariant
+
+    def predicate(value: int) -> bool:
+        return formula(inv, value)
+
+    try:  # probe once so unrepresentable invariants fail fast
+        predicate(0)
+    except (_Unrepresentable, ZeroDivisionError, KeyError):
+        return None
+    return predicate
+
+
+class _Unrepresentable(Exception):
+    pass
+
+
+# ------------------------------------------------------ clause compilation
+
+
+@dataclass
+class ShadowClause:
+    """A case clause compiled to executable form: leaf names, a premise
+    over leaf values, and the subject value the pattern constructs."""
+
+    leaves: Tuple[str, ...]
+    premise: Callable[[Dict[str, int]], bool]
+    subject: Callable[[Dict[str, int]], int]
+
+
+def compile_clause(
+    qdef: Q.QualifierDef,
+    clause: Q.CaseClause,
+    quals: Q.QualifierSet,
+) -> Optional[ShadowClause]:
+    """Compile one case clause, or None if not representable."""
+    pattern = clause.pattern
+
+    if isinstance(pattern, Q.PNull):
+        leaves: Tuple[str, ...] = ()
+
+        def subject(env: Dict[str, int]) -> int:
+            return 0
+
+    elif isinstance(pattern, Q.PVar):
+        leaves = (pattern.name,)
+
+        def subject(env: Dict[str, int]) -> int:
+            return env[pattern.name]
+
+    elif isinstance(pattern, Q.PUnop) and pattern.op == "-":
+        leaves = (pattern.name,)
+
+        def subject(env: Dict[str, int]) -> int:
+            return -env[pattern.name]
+
+    elif isinstance(pattern, Q.PBinop) and pattern.op in "+-*":
+        leaves = (pattern.left, pattern.right)
+
+        def subject(env: Dict[str, int]) -> int:
+            return _arith(pattern.op, env[pattern.left], env[pattern.right])
+
+    else:  # PDeref/PAddrOf/PNew, or division patterns: out of fragment
+        return None
+
+    # Leaves must be declared Const or Expr over int.
+    for name in leaves:
+        try:
+            decl = clause.decl_of(name)
+        except KeyError:
+            return None
+        if decl.classifier not in (Q.Classifier.CONST, Q.Classifier.EXPR):
+            return None
+
+    def aexpr(a, env: Dict[str, int]) -> int:
+        if isinstance(a, Q.AVar):
+            if a.name not in env:
+                raise _Unrepresentable
+            return env[a.name]
+        if isinstance(a, Q.ANum):
+            return a.value
+        if isinstance(a, Q.ANull):
+            return 0
+        if isinstance(a, Q.ABin):
+            return _arith(a.op, aexpr(a.left, env), aexpr(a.right, env))
+        raise _Unrepresentable
+
+    # Resolve referenced qualifier invariants up front; a reference to
+    # an unrepresentable qualifier makes the whole clause unshadowable.
+    ref_preds: Dict[str, Callable[[int], bool]] = {}
+
+    def resolve(pred: Q.Pred) -> bool:
+        if isinstance(pred, Q.PredQual):
+            target = quals.get(pred.qualifier)
+            if target is None:
+                return False
+            compiled = invariant_predicate(target)
+            if compiled is None:
+                return False
+            ref_preds[pred.qualifier] = compiled
+            return True
+        if isinstance(pred, (Q.PredAnd, Q.PredOr)):
+            return resolve(pred.left) and resolve(pred.right)
+        if isinstance(pred, Q.PredNot):
+            return resolve(pred.operand)
+        return True  # PredTrue / PredCmp
+
+    if not resolve(clause.predicate):
+        return None
+
+    def premise(env: Dict[str, int]) -> bool:
+        def pred(p: Q.Pred) -> bool:
+            if isinstance(p, Q.PredTrue):
+                return True
+            if isinstance(p, Q.PredQual):
+                if p.var not in env:
+                    raise _Unrepresentable
+                return ref_preds[p.qualifier](env[p.var])
+            if isinstance(p, Q.PredCmp):
+                return _CMP[p.op](aexpr(p.left, env), aexpr(p.right, env))
+            if isinstance(p, Q.PredAnd):
+                return pred(p.left) and pred(p.right)
+            if isinstance(p, Q.PredOr):
+                return pred(p.left) or pred(p.right)
+            if isinstance(p, Q.PredNot):
+                return not pred(p.operand)
+            raise _Unrepresentable
+
+        return pred(clause.predicate)
+
+    return ShadowClause(leaves=leaves, premise=premise, subject=subject)
+
+
+# ----------------------------------------------------------- enumeration
+
+
+def counterexample(
+    qdef: Q.QualifierDef,
+    clause: Q.CaseClause,
+    quals: Q.QualifierSet,
+    bound: int = DEFAULT_BOUND,
+):
+    """Search the box ``[-bound, bound]^k`` for leaf values where the
+    clause's premise holds but the qualifier's invariant fails on the
+    constructed value.
+
+    Returns a ``{leaf: value}`` dict for the first counterexample,
+    ``None`` when the box is clean, or :data:`NOT_REPRESENTABLE`."""
+    conclusion = invariant_predicate(qdef)
+    if conclusion is None:
+        return NOT_REPRESENTABLE
+    compiled = compile_clause(qdef, clause, quals)
+    if compiled is None:
+        return NOT_REPRESENTABLE
+    if len(compiled.leaves) > 3:
+        return NOT_REPRESENTABLE  # keep enumeration tractable
+
+    values = range(-bound, bound + 1)
+    for combo in itertools.product(values, repeat=len(compiled.leaves)):
+        env = dict(zip(compiled.leaves, combo))
+        try:
+            if compiled.premise(env) and not conclusion(
+                compiled.subject(env)
+            ):
+                return env
+        except (_Unrepresentable, ZeroDivisionError):
+            return NOT_REPRESENTABLE
+    return None
+
+
+def clause_verdicts(
+    qdef: Q.QualifierDef,
+    quals: Q.QualifierSet,
+    bound: int = DEFAULT_BOUND,
+) -> List[Tuple[Q.CaseClause, object]]:
+    """(clause, counterexample-or-None-or-NOT_REPRESENTABLE) for every
+    case clause of a value qualifier, in definition order (the same
+    order ``generate_obligations`` emits)."""
+    if not qdef.is_value:
+        return []
+    return [
+        (clause, counterexample(qdef, clause, quals, bound))
+        for clause in qdef.cases
+    ]

@@ -427,15 +427,22 @@ def _atom_terms(atom):
 
 
 def _describe_model(db: ClauseDb, model) -> List[str]:
-    """Human-readable theory literals of a candidate countermodel,
-    ordered with positive facts first and auxiliary noise dropped."""
+    """Human-readable theory literals of a candidate countermodel.
+
+    Every registered theory atom is accounted for: atoms the SAT model
+    assigns appear as literals, and atoms the search never constrained
+    (e.g. variables introduced only by ``extra`` axioms whose clauses
+    simplified away) are still listed — tagged — so a failure artifact
+    records a complete binding for every variable in play."""
     lines: List[str] = []
+    unconstrained: List[str] = []
     for var, atom in sorted(db.theory_atoms(), key=lambda p: str(p[1])):
         value = model.get(var)
         if value is None:
+            unconstrained.append(f"{atom} [unconstrained]")
             continue
         lines.append(str(atom) if value else f"¬({atom})")
-    return lines
+    return lines + unconstrained
 
 
 def prove_valid(

@@ -99,9 +99,16 @@ class CInterpreter:
         program: ir.Program,
         quals: Optional[QualifierSet] = None,
         max_steps: int = 2_000_000,
+        native_checks: bool = True,
     ):
         self.program = program
         self.quals = quals
+        # With native_checks=False, casts are silent even when ``quals``
+        # is set; only explicit ``__check_<qual>`` calls (the materialized
+        # instrumentation of repro.core.checker.instrument) enforce
+        # invariants.  Differential testing runs this configuration to
+        # verify the inserted checks alone provide full coverage.
+        self.native_checks = native_checks
         self.memory: Dict[int, object] = {}
         self.next_stack = 1
         self.next_heap = self.HEAP_BASE
@@ -457,7 +464,7 @@ class CInterpreter:
     # ------------------------------------------------------ runtime checks
 
     def _apply_cast(self, to_type: CType, value):
-        if self.quals is None:
+        if self.quals is None or not self.native_checks:
             return value
         for qname in sorted(to_type.quals):
             qdef = self.quals.get(qname)
@@ -628,8 +635,9 @@ def run_program(
     quals: Optional[QualifierSet] = None,
     entry: str = "main",
     args: List[int] = (),
+    native_checks: bool = True,
 ) -> Tuple[object, List[str]]:
     """Run ``program`` and return (exit value, captured printf output)."""
-    interp = CInterpreter(program, quals=quals)
+    interp = CInterpreter(program, quals=quals, native_checks=native_checks)
     result = interp.run(entry, list(args))
     return result, interp.output

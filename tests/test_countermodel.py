@@ -36,3 +36,58 @@ def test_proved_obligation_has_no_countermodel():
     for result in report.results:
         assert result.proved
         assert "nothing to explain" in result.explain_failure()
+
+
+# -------------------------- completeness of the printed countermodel
+
+
+def test_extra_axiom_atoms_survive_into_countermodel():
+    """Atoms contributed only by extra axioms must appear in the
+    countermodel — assigned as literals, or tagged [unconstrained] —
+    never silently dropped."""
+    from repro.prover.prover import Prover
+    from repro.prover.terms import Eq, Implies, Int, Pr, TVar, fn
+
+    x = TVar("x")
+    # Unprovable goal; the extra axiom mentions a function the goal
+    # never uses, so its atoms exist only through the extra axiom.
+    goal = Eq(fn("f", Int(1)), Int(2))
+    extra = Implies(Pr("ghost", (Int(0),)), Eq(fn("g", Int(3)), Int(4)))
+    result = Prover(time_limit=10).prove(goal, extra_axioms=[extra])
+    assert result.verdict == "REFUTED"
+    text = "\n".join(result.countermodel)
+    assert "ghost" in text or "g(3)" in text
+
+
+def test_explain_failure_shows_all_facts_by_default():
+    bad = parse_qualifier(POS_SOURCE.replace("E1 * E2", "E1 - E2"))
+    report = check_soundness(bad, QUALS, time_limit=20)
+    failure = report.failures[0]
+    full = failure.explain_failure()
+    facts = failure.result.countermodel
+    assert len(facts) > 0
+    for fact in facts:
+        assert fact in full
+    assert "omitted" not in full
+
+
+def test_explain_failure_truncation_is_announced():
+    bad = parse_qualifier(POS_SOURCE.replace("E1 * E2", "E1 - E2"))
+    report = check_soundness(bad, QUALS, time_limit=20)
+    failure = report.failures[0]
+    n = len(failure.result.countermodel)
+    assert n >= 2
+    truncated = failure.explain_failure(max_facts=1)
+    assert f"({n - 1} more fact(s) omitted)" in truncated
+
+
+def test_json_report_carries_countermodel():
+    bad = parse_qualifier(POS_SOURCE.replace("E1 * E2", "E1 - E2"))
+    report = check_soundness(bad, QUALS, time_limit=20)
+    payload = report.to_dict()
+    unproved = [o for o in payload["obligations"] if not o["proved"]]
+    assert unproved
+    assert unproved[0]["countermodel"]  # complete, non-empty list
+    proved = [o for o in payload["obligations"] if o["proved"]]
+    for entry in proved:
+        assert "countermodel" not in entry  # additive: absent when clean

@@ -1,0 +1,162 @@
+"""Regression tests pinning the evaluation order contract between the
+interpreter and the instrumenter (docs/architecture.md, "Pinned
+evaluation order").
+
+The contract under test: a native run (interpreter-enforced casts) and
+an instrumented run (inserted ``__check_*`` calls only) of the same
+program observe side effects in the same order and trip the same
+qualifier first.  Before the order was pinned, an assignment evaluated
+its right-hand side before resolving the l-value in one world and
+after in the other, and nested casts were checked outer-first by the
+instrumenter while the interpreter produced the inner value first.
+"""
+
+import pytest
+
+from repro.cfront.parser import parse_c
+from repro.cil import ir
+from repro.cil.lower import lower_unit
+from repro.core.checker.instrument import instrument_program
+from repro.core.qualifiers.library import standard_qualifiers
+from repro.semantics.csem import CInterpreter, QualifierViolation
+
+QUALS = standard_qualifiers()
+
+
+def _program(src: str) -> ir.Program:
+    unit = parse_c(src, qualifier_names=QUALS.names)
+    assert not unit.errors, [str(e) for e in unit.errors]
+    return lower_unit(unit)
+
+
+def _outcome(interp: CInterpreter):
+    """(exit-or-violated-qualifier, printf output) of one run."""
+    try:
+        value = interp.run("main", [])
+        return ("exit", value), "".join(interp.output)
+    except QualifierViolation as exc:
+        return ("violation", exc.qualifier), "".join(interp.output)
+
+
+def both_runs(src: str):
+    """Native outcome and instrumented outcome of the same source."""
+    program = _program(src)
+    native = _outcome(CInterpreter(program, quals=QUALS))
+    instrumented_prog = instrument_program(
+        _program(src), QUALS, flow_sensitive=True
+    )
+    instrumented = _outcome(
+        CInterpreter(instrumented_prog, quals=QUALS, native_checks=False)
+    )
+    return native, instrumented
+
+
+SIDE_EFFECT_HEADER = """
+int t = 0;
+int tick(int k) { t = t * 10 + k; return k; }
+"""
+
+
+# ------------------------------------------------- call-argument order
+
+
+def test_call_arguments_left_to_right():
+    src = SIDE_EFFECT_HEADER + """
+    int use3(int a, int b, int c) { return a + b + c; }
+    int main() {
+      int v = use3(tick(1), tick(2), tick(3));
+      printf("%d\\n", t);
+      return v;
+    }
+    """
+    native, instrumented = both_runs(src)
+    assert native == instrumented
+    assert native[1] == "123\n"  # left to right, pinned
+
+
+def test_failing_cast_in_argument_sees_earlier_effects():
+    # tick(1) runs before the failing cast of the second argument:
+    # both worlds must agree the effect of the first argument landed.
+    src = SIDE_EFFECT_HEADER + """
+    int use2(int pos a, int pos b) { return a + b; }
+    int main() {
+      int v = use2((int pos)tick(1), (int pos)(tick(2) - 9));
+      printf("%d\\n", t);
+      return v;
+    }
+    """
+    native, instrumented = both_runs(src)
+    assert native == instrumented
+    assert native[0] == ("violation", "pos")
+
+
+# -------------------------------------------------- assignment order
+
+
+def test_lvalue_address_before_rhs():
+    # *p = e resolves p before evaluating e; a failing cast inside e
+    # must trip identically in both worlds, after the address resolve.
+    src = """
+    int main() {
+      int x = 5;
+      int* p = &x;
+      *p = (int pos)(0 - 3);
+      return x;
+    }
+    """
+    native, instrumented = both_runs(src)
+    assert native == instrumented
+    assert native[0] == ("violation", "pos")
+
+
+# ------------------------------------------------------- nested casts
+
+
+def test_nested_casts_checked_inner_first():
+    # (int pos)((int neg)(5)): inner neg check fires first in the
+    # interpreter (the value is produced inner-first); instrumentation
+    # must agree, not report the outer qualifier.
+    src = """
+    int main() {
+      int v = (int pos)((int neg)(5) + 10);
+      return v;
+    }
+    """
+    native, instrumented = both_runs(src)
+    assert native == instrumented
+    assert native[0] == ("violation", "neg")
+
+
+def test_nested_casts_passing_then_failing_outer():
+    src = """
+    int main() {
+      int v = (int neg)((int neg)(0 - 5) + 100);
+      return v;
+    }
+    """
+    native, instrumented = both_runs(src)
+    assert native == instrumented
+    assert native[0] == ("violation", "neg")
+
+
+# --------------------------------------------- subexprs_postorder unit
+
+
+def test_subexprs_postorder_is_evaluation_order():
+    src = "int f(int a, int b) { return (a + b) * (0 - b); }"
+    program = _program(src)
+    func = program.function("f")
+    exprs = []
+    for block in [func.body]:
+        for stmt in block:
+            if isinstance(stmt, ir.Return) and stmt.expr is not None:
+                exprs = list(ir.subexprs_postorder(stmt.expr))
+    assert exprs, "return expression not found"
+    rendered = [str(e) for e in exprs]
+    # children strictly precede parents; left subtree fully precedes
+    # the right subtree of the same parent
+    root = rendered[-1]
+    assert "*" in root
+    assert rendered.index("a") < rendered.index("b")
+    for child in rendered[:-1]:
+        assert rendered.index(child) < len(rendered) - 1

@@ -1,0 +1,170 @@
+"""Algebraic laws of the dataflow lattices.
+
+The worklist solver's termination and monotonicity arguments assume
+``join`` is a least upper bound: commutative, associative, idempotent,
+an upper bound of both arguments, and ``bottom`` its identity.  These
+tests enumerate element samples per lattice (small enough to check
+every pair/triple exhaustively) and verify the laws, plus that
+``widen`` is an upper bound of both arguments — the property the
+solver's convergence relies on.
+
+A flipped join (e.g. union where intersection belongs, the classic
+must/may confusion) fails the upper-bound law here immediately, before
+it would silently weaken guard refinement downstream.
+"""
+
+import itertools
+
+import pytest
+
+from repro.dataflow.lattice import (
+    UNIVERSE,
+    FlatLattice,
+    Lattice,
+    MapLattice,
+    MaySetLattice,
+    MustSetLattice,
+)
+
+
+def _must_samples():
+    return [
+        UNIVERSE,
+        frozenset(),
+        frozenset({"a"}),
+        frozenset({"b"}),
+        frozenset({"a", "b"}),
+        frozenset({"b", "c"}),
+    ]
+
+
+def _may_samples():
+    return [
+        frozenset(),
+        frozenset({"a"}),
+        frozenset({"b"}),
+        frozenset({"a", "b"}),
+        frozenset({"b", "c"}),
+    ]
+
+
+def _flat_samples():
+    return [FlatLattice.BOTTOM, "x", "y", 3, FlatLattice.TOP]
+
+
+def _map_samples():
+    f = FlatLattice
+    return [
+        {},
+        {"v": "x"},
+        {"v": "y"},
+        {"w": 3},
+        {"v": "x", "w": 3},
+        {"v": f.TOP},
+    ]
+
+
+LATTICES = [
+    pytest.param(MustSetLattice(), _must_samples(), id="must-set"),
+    pytest.param(
+        MaySetLattice(universe=frozenset({"a", "b", "c"})),
+        _may_samples(),
+        id="may-set",
+    ),
+    pytest.param(FlatLattice(), _flat_samples(), id="flat"),
+    pytest.param(
+        MapLattice(FlatLattice()), _map_samples(), id="map-of-flat"
+    ),
+]
+
+
+@pytest.mark.parametrize("lat,samples", LATTICES)
+def test_join_commutative(lat: Lattice, samples):
+    for a, b in itertools.product(samples, repeat=2):
+        assert lat.eq(lat.join(a, b), lat.join(b, a))
+
+
+@pytest.mark.parametrize("lat,samples", LATTICES)
+def test_join_associative(lat: Lattice, samples):
+    for a, b, c in itertools.product(samples, repeat=3):
+        left = lat.join(lat.join(a, b), c)
+        right = lat.join(a, lat.join(b, c))
+        assert lat.eq(left, right)
+
+
+@pytest.mark.parametrize("lat,samples", LATTICES)
+def test_join_idempotent(lat: Lattice, samples):
+    for a in samples:
+        assert lat.eq(lat.join(a, a), a)
+
+
+@pytest.mark.parametrize("lat,samples", LATTICES)
+def test_join_is_upper_bound(lat: Lattice, samples):
+    for a, b in itertools.product(samples, repeat=2):
+        j = lat.join(a, b)
+        assert lat.leq(a, j) and lat.leq(b, j)
+
+
+@pytest.mark.parametrize("lat,samples", LATTICES)
+def test_join_is_least_upper_bound(lat: Lattice, samples):
+    for a, b in itertools.product(samples, repeat=2):
+        j = lat.join(a, b)
+        for u in samples:
+            if lat.leq(a, u) and lat.leq(b, u):
+                assert lat.leq(j, u)
+
+
+@pytest.mark.parametrize("lat,samples", LATTICES)
+def test_bottom_is_join_identity(lat: Lattice, samples):
+    bot = lat.bottom()
+    for a in samples:
+        assert lat.eq(lat.join(bot, a), a)
+        assert lat.eq(lat.join(a, bot), a)
+        assert lat.leq(bot, a)
+
+
+@pytest.mark.parametrize("lat,samples", LATTICES)
+def test_leq_is_a_partial_order(lat: Lattice, samples):
+    for a in samples:
+        assert lat.leq(a, a)
+    for a, b, c in itertools.product(samples, repeat=3):
+        if lat.leq(a, b) and lat.leq(b, c):
+            assert lat.leq(a, c)
+
+
+@pytest.mark.parametrize("lat,samples", LATTICES)
+def test_widen_is_upper_bound(lat: Lattice, samples):
+    """``widen(old, new)`` must cover both arguments — the solver
+    replaces the old value with it and requires the chain to ascend."""
+    for old, new in itertools.product(samples, repeat=2):
+        w = lat.widen(old, new)
+        assert lat.leq(old, w) and lat.leq(new, w)
+
+
+@pytest.mark.parametrize("lat,samples", LATTICES)
+def test_widen_monotone_in_new(lat: Lattice, samples):
+    """Growing the incoming value never shrinks the widened result."""
+    for old, n1, n2 in itertools.product(samples, repeat=3):
+        if lat.leq(n1, n2):
+            assert lat.leq(lat.widen(old, n1), lat.widen(old, n2))
+
+
+def test_must_set_join_is_intersection_not_union():
+    """The regression the difftest harness hunts dynamically, pinned
+    statically: a must-join keeps only facts common to both paths."""
+    lat = MustSetLattice()
+    a, b = frozenset({"p", "q"}), frozenset({"q", "r"})
+    assert lat.join(a, b) == frozenset({"q"})
+    assert lat.join(UNIVERSE, a) is a
+
+
+def test_flat_join_of_distinct_constants_is_top():
+    lat = FlatLattice()
+    assert lat.join("x", "y") is FlatLattice.TOP
+    assert lat.join("x", "x") == "x"
+
+
+def test_map_join_drops_bottom_entries():
+    lat = MapLattice(FlatLattice())
+    joined = lat.join({"v": "x"}, {"v": "x", "w": FlatLattice.BOTTOM})
+    assert joined == {"v": "x"}

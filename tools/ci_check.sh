@@ -75,6 +75,25 @@ print(f"   {hits} hit(s), "
       f"{len(replayed)} PROVED obligation(s) replayed, verdicts identical")
 ' "$tmpdir/cold.json" "$tmpdir/warm.json"
 
+echo "== differential testing smoke run (expect exit 0, no disagreements)"
+python -m repro difftest --seed 0 --count 50 --budget 60 \
+    --out-dir "$tmpdir/difftest-artifacts" --format json \
+    > "$tmpdir/difftest.json"
+python -c '
+import json, sys
+report = json.load(open(sys.argv[1]))
+meta = report["difftest"]
+assert meta["findings"] == 0, f"difftest disagreements: {meta}"
+counters = meta["counters"]
+assert counters.get("prover_vs_enum.compared", 0) > 0, counters
+assert counters.get("preservation.compared_runs", 0) > 0, counters
+ran = meta["count"] - meta["cases_skipped_budget"]
+assert ran > 0, meta
+compared = counters["prover_vs_enum.compared"]
+print(f"   {ran} case(s), {compared} verdict(s) cross-checked, "
+      "0 disagreements")
+' "$tmpdir/difftest.json"
+
 echo "== broken input is contained, not fatal (expect exit 2)"
 printf 'int f( {' > "$tmpdir/broken.c"
 status=0
