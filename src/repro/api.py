@@ -31,9 +31,11 @@ Example::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.cache.store import DEFAULT_CACHE_DIR, ProofCache
 from repro.cfront.parser import parse_c
 from repro.cil.lower import lower_unit
@@ -75,11 +77,18 @@ def _tool_version() -> str:
 
 @dataclass(frozen=True)
 class BatchOptions:
-    """Flags shared by every batch command (see docs/robustness.md)."""
+    """Flags shared by every batch command (see docs/robustness.md).
+
+    ``profile=True`` collects phase/prover/cache timings for the
+    invocation and attaches them as the additive ``timings`` key of the
+    JSON report (see docs/observability.md).  Off by default and free
+    when off.
+    """
 
     keep_going: bool = False
     jobs: int = 1
     unit_timeout: Optional[float] = None
+    profile: bool = False
 
 
 @dataclass(frozen=True)
@@ -223,6 +232,41 @@ def _aggregate_dataflow_meta(batch_report: batch.BatchReport) -> None:
         batch_report.meta["dataflow"] = run
 
 
+def _start_profile(request: BatchOptions) -> Optional[dict]:
+    """Begin profiling one invocation if asked to (``request.profile``)
+    or if the collector is already on (``--profile`` at the CLI, or a
+    surrounding bench run).  Returns the token ``_finish_profile``
+    needs, or ``None`` when profiling stays off."""
+    if not (request.profile or obs.enabled()):
+        return None
+    owner = not obs.enabled()
+    if owner:
+        obs.enable()
+    return {"mark": obs.mark(), "start": time.perf_counter(), "owner": owner}
+
+
+def _abort_profile(prof: Optional[dict]) -> None:
+    """Error-path cleanup: never leave the collector enabled behind an
+    exception if this invocation turned it on."""
+    if prof is not None and prof["owner"]:
+        obs.disable()
+
+
+def _finish_profile(
+    prof: Optional[dict], batch_report: batch.BatchReport
+) -> None:
+    """Attach the invocation's slice as ``meta["timings"]`` (an
+    additive schema-v1 key) and restore the collector state."""
+    if prof is None:
+        return
+    total_ms = (time.perf_counter() - prof["start"]) * 1000.0
+    batch_report.meta["timings"] = obs.build_timings(
+        obs.since(prof["mark"]), total_ms=total_ms
+    )
+    if prof["owner"]:
+        obs.disable()
+
+
 def _parse_error_dict(err: Exception) -> dict:
     return {
         "code": code_for("parse"),
@@ -268,10 +312,12 @@ class Session:
         """Parse and lower one translation unit under this session."""
         if quals is None:
             quals = self.qualifier_set()
-        unit = parse_c(
-            _read_source(path), qualifier_names=quals.names, filename=path
-        )
-        return lower_unit(unit)
+        with obs.span("parse", unit=path):
+            unit = parse_c(
+                _read_source(path), qualifier_names=quals.names, filename=path
+            )
+        with obs.span("lower", unit=path):
+            return lower_unit(unit)
 
     # ----------------------------------------------------------- commands
 
@@ -281,16 +327,22 @@ class Session:
 
         def worker(path: str, deadline: Deadline) -> batch.UnitResult:
             source = _read_source(path)
-            unit = parse_c(
-                source, qualifier_names=quals.names, recover=True, filename=path
-            )
+            with obs.span("parse", unit=path):
+                unit = parse_c(
+                    source,
+                    qualifier_names=quals.names,
+                    recover=True,
+                    filename=path,
+                )
             diagnostics = [_parse_error_dict(e) for e in unit.errors]
             deadline.check("after parse")
-            program = lower_unit(unit)
+            with obs.span("lower", unit=path):
+                program = lower_unit(unit)
             checker = QualifierChecker(
                 program, quals, flow_sensitive=request.flow_sensitive
             )
-            check_report = checker.check()
+            with obs.span("typecheck", unit=path):
+                check_report = checker.check()
             diagnostics.extend(
                 {**d.to_dict(), "text": str(d)} for d in check_report.diagnostics
             )
@@ -315,9 +367,39 @@ class Session:
                 },
             )
 
-        batch_report = self._run(request, worker)
+        batch_report = self._run(
+            request, worker, calibrate=lambda: self._prover_calibration(quals)
+        )
         _aggregate_dataflow_meta(batch_report)
         return Report("check", batch_report)
+
+    def _prover_calibration(self, quals: QualifierSet) -> None:
+        """Profiling-only prover pass for ``check`` invocations.
+
+        ``check`` itself never runs the prover (soundness of the rules
+        is ``prove``'s job), so a profiled check of a C file would show
+        empty prover numbers even when the session loads custom
+        qualifier definitions whose proof burden the user cares about.
+        When profiling is active and custom ``--quals`` files are
+        loaded, this times one soundness pass over those definitions so
+        the ``timings.prover`` block reflects their real cost.  Results
+        are discarded; verdicts, diagnostics, and exit codes are
+        untouched, and nothing runs when profiling is off.
+        """
+        defs: List[QualifierDef] = []
+        for path in self.quals:
+            try:
+                defs.extend(parse_qualifiers(_read_source(path)))
+            except Exception:
+                return
+        if not defs:
+            return
+        with obs.span("prove", calibration=True):
+            for qdef in defs:
+                try:
+                    check_soundness(qdef, quals, time_limit=5.0, cache=None)
+                except Exception:
+                    continue
 
     def prove(self, request: ProveRequest) -> Report:
         """Soundness-check every qualifier defined in each ``.qual``
@@ -330,7 +412,8 @@ class Session:
 
         def worker(path: str, deadline: Deadline) -> batch.UnitResult:
             before = cache.snapshot() if cache is not None else None
-            defs = parse_qualifiers(_read_source(path))
+            with obs.span("parse_quals", unit=path):
+                defs = parse_qualifiers(_read_source(path))
             quals = QualifierSet(
                 list(standard_qualifiers())
                 + [d for d in defs if d.name not in standard_qualifiers().names]
@@ -340,14 +423,15 @@ class Session:
             for qdef in defs:
                 if request.qualifier and qdef.name != request.qualifier:
                     continue
-                report = check_soundness(
-                    qdef,
-                    quals,
-                    time_limit=request.time_limit,
-                    retry=retry,
-                    deadline=deadline,
-                    cache=cache,
-                )
+                with obs.span("prove", qualifier=qdef.name):
+                    report = check_soundness(
+                        qdef,
+                        quals,
+                        time_limit=request.time_limit,
+                        retry=retry,
+                        deadline=deadline,
+                        cache=cache,
+                    )
                 entry = report.to_dict()
                 entry["summary"] = report.summary()
                 summaries.append(entry)
@@ -401,9 +485,10 @@ class Session:
             from repro.analysis.infer import infer_value_qualifier
 
             program = self.load_program(path, quals)
-            result = infer_value_qualifier(
-                program, qdef, quals, flow_sensitive=request.flow_sensitive
-            )
+            with obs.span("infer", unit=path, qualifier=request.qualifier):
+                result = infer_value_qualifier(
+                    program, qdef, quals, flow_sensitive=request.flow_sensitive
+                )
             return batch.UnitResult(
                 unit=path,
                 verdict=batch.OK,
@@ -439,9 +524,10 @@ class Session:
         def run_outcome(unit: str, outcome) -> batch.UnitResult:
             artifacts = []
             for finding in outcome.findings:
-                minimized = difftest_runner.minimize_finding(
-                    outcome.case, finding, time_limit=request.time_limit
-                )
+                with obs.span("minimize", case=str(outcome.case)):
+                    minimized = difftest_runner.minimize_finding(
+                        outcome.case, finding, time_limit=request.time_limit
+                    )
                 artifacts.append(
                     difftest_runner.write_artifact(
                         out_dir, outcome.case, finding, minimized
@@ -492,13 +578,7 @@ class Session:
                 )
                 return run_outcome(name, outcome)
 
-        batch_report = batch.run_units(
-            units,
-            worker,
-            keep_going=request.keep_going,
-            jobs=request.jobs,
-            unit_timeout=request.unit_timeout,
-        )
+        batch_report = self._run(request, worker, units=units)
         counters: Dict[str, int] = {}
         artifacts: List[str] = []
         skipped = 0
@@ -537,14 +617,32 @@ class Session:
 
     # ----------------------------------------------------------- internals
 
-    def _run(self, request: BatchOptions, worker) -> batch.BatchReport:
-        return batch.run_units(
-            request.files,
-            worker,
-            keep_going=request.keep_going,
-            jobs=request.jobs,
-            unit_timeout=request.unit_timeout,
-        )
+    def _run(
+        self,
+        request: BatchOptions,
+        worker,
+        units: Optional[Sequence[str]] = None,
+        calibrate=None,
+    ) -> batch.BatchReport:
+        """Run the batch, bracketed by the profiling lifecycle: start a
+        slice, run (and optionally calibrate), attach ``timings`` meta,
+        restore collector state — including on the error path."""
+        prof = _start_profile(request)
+        try:
+            report = batch.run_units(
+                request.files if units is None else units,
+                worker,
+                keep_going=request.keep_going,
+                jobs=request.jobs,
+                unit_timeout=request.unit_timeout,
+            )
+            if calibrate is not None and prof is not None:
+                calibrate()
+        except BaseException:
+            _abort_profile(prof)
+            raise
+        _finish_profile(prof, report)
+        return report
 
 
 # -------------------------------------------------------- cache management

@@ -32,10 +32,10 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
-import time
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional
 
+from repro import obs
 from repro.cache.fingerprint import PROVER_SALT, ProofKey, proof_key
 
 #: Verdicts that are facts about the obligation (cacheable), as opposed
@@ -178,6 +178,7 @@ class ProofCache:
         if entry is not None:
             self._memory.move_to_end(key)
             self.counters["hits"] += 1
+            obs.incr("cache.hits")
             return dict(entry)
         conn = self._connection()
         if conn is not None:
@@ -200,37 +201,56 @@ class ProofCache:
                 if isinstance(entry, dict):
                     self._remember(key, entry)
                     self.counters["hits"] += 1
+                    obs.incr("cache.hits")
                     return dict(entry)
         self._sweep_stale(key)
         self.counters["misses"] += 1
+        obs.incr("cache.misses")
         return None
 
     def put(self, key: ProofKey, payload: dict) -> bool:
         """Store one settled result; returns ``False`` (and stores
-        nothing) for non-cacheable verdicts."""
+        nothing) for non-cacheable verdicts.
+
+        The ``stores`` counter counts entries that actually reached the
+        persistent tier — a failed disk write (the tier is then
+        abandoned) bumps ``errors``, not ``stores``, so cache stats
+        never over-report what a later run can replay.  A deliberately
+        memory-only cache (``cache_dir=None``) counts memory stores,
+        since the memory tier is all it has.
+
+        The ``created`` column is an *insertion sequence* (monotonic,
+        assigned inside the INSERT itself so concurrent writers cannot
+        race), not a wall-clock stamp: ordering by it is stable under
+        clock adjustments, which a ``time.time()`` stamp was not.
+        """
         if payload.get("verdict") not in CACHEABLE_VERDICTS:
             return False
         entry = dict(payload)
         self._remember(key, entry)
+        persisted = self.cache_dir is None  # memory-only: always "stored"
         conn = self._connection()
         if conn is not None:
             try:
                 conn.execute(
                     "INSERT OR REPLACE INTO proofs"
                     " (obl_key, env_key, verdict, payload, created)"
-                    " VALUES (?, ?, ?, ?, ?)",
+                    " VALUES (?, ?, ?, ?,"
+                    "  (SELECT COALESCE(MAX(created), 0) + 1 FROM proofs))",
                     (
                         key.obligation,
                         key.environment,
                         entry["verdict"],
                         json.dumps(entry, sort_keys=True),
-                        time.time(),
                     ),
                 )
                 conn.commit()
+                persisted = True
             except (sqlite3.Error, OSError, TypeError):
                 self._disk_abandon()
-        self.counters["stores"] += 1
+        if persisted:
+            self.counters["stores"] += 1
+            obs.incr("cache.stores")
         return True
 
     def _remember(self, key: ProofKey, entry: dict) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.cfront import ast as A
 from repro.cfront.ctypes import (
     ArrayType,
@@ -115,8 +116,13 @@ class Parser:
                 if not self.recover:
                     raise
                 self.errors.append(err)
+                obs.incr("parse.recoveries")
                 self._synchronize_top_level()
         unit.errors = list(self.errors)
+        if obs.enabled():
+            obs.incr("parse.units")
+            obs.incr("parse.tokens", len(self.tokens))
+            obs.incr("parse.functions", len(unit.functions))
         return unit
 
     def _parse_top_level(self, unit: A.TranslationUnit) -> None:

@@ -43,9 +43,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
-from repro import api
+from repro import api, obs
 from repro.cache.store import DEFAULT_CACHE_DIR
 from repro.cfront.lexer import LexError
 from repro.cfront.parser import ParseError
@@ -242,6 +243,12 @@ def cmd_difftest(args) -> int:
     return report.exit_code
 
 
+def cmd_bench(args) -> int:
+    from repro.obs import bench
+
+    return bench.main(args)
+
+
 def cmd_cache(args) -> int:
     if args.cache_command == "clear":
         removed = api.cache_clear(cache_dir=args.cache_dir)
@@ -304,6 +311,21 @@ def build_parser() -> argparse.ArgumentParser:
                 help="enable guard refinement (section 8 extension)",
             )
 
+    def profile_flags(p):
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="collect phase/prover/cache timings: summary on stderr, "
+            "additive `timings` key in --format json reports",
+        )
+        p.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            default=None,
+            help="write the full span/counter trace to FILE as JSON "
+            "(implies profiling)",
+        )
+
     def batch_flags(p):
         p.add_argument(
             "--keep-going",
@@ -335,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("files", nargs="+", metavar="file")
     common(p_check)
     batch_flags(p_check)
+    profile_flags(p_check)
     p_check.set_defaults(fn=cmd_check)
 
     p_prove = sub.add_parser(
@@ -371,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"proof cache directory (default: {DEFAULT_CACHE_DIR})",
     )
     batch_flags(p_prove)
+    profile_flags(p_prove)
     p_prove.set_defaults(fn=cmd_prove)
 
     p_run = sub.add_parser("run", help="execute a C file with runtime checks")
@@ -378,11 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--entry", default="main")
     p_run.add_argument("args", nargs="*", type=int)
     common(p_run, with_flow=False)
+    profile_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_ir = sub.add_parser("show-ir", help="print the lowered CIL-style IR")
     p_ir.add_argument("file")
     common(p_ir, with_flow=False)
+    profile_flags(p_ir)
     p_ir.set_defaults(fn=cmd_show_ir)
 
     p_infer = sub.add_parser("infer", help="infer annotations for a qualifier")
@@ -390,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_infer.add_argument("--qualifier", required=True)
     common(p_infer)
     batch_flags(p_infer)
+    profile_flags(p_infer)
     p_infer.set_defaults(fn=cmd_infer)
 
     p_diff = sub.add_parser(
@@ -442,7 +469,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run stored failure artifacts instead of generating cases",
     )
     batch_flags(p_diff)
+    profile_flags(p_diff)
     p_diff.set_defaults(fn=cmd_difftest)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the benchmark suites and write BENCH_<name>.json",
+        description=(
+            "Unified benchmark runner: executes the benchmarks/bench_*.py "
+            "suites (no pytest needed) with warmup and repeat control, "
+            "profiling enabled, and writes one BENCH_<name>.json with "
+            "per-suite wall times, the prover-theory breakdown, cache "
+            "counters, and machine info (see docs/observability.md)."
+        ),
+    )
+    p_bench.add_argument(
+        "--suite",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this suite (a benchmarks/bench_<NAME>.py file); "
+        "may be repeated",
+    )
+    p_bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick well-formedness run: the smallest suites, one round "
+        "each, written as BENCH_smoke.json",
+    )
+    p_bench.add_argument(
+        "--warmup", type=int, default=1, metavar="N",
+        help="warmup rounds per case before timing (default 1)",
+    )
+    p_bench.add_argument(
+        "--repeat", type=int, default=3, metavar="N",
+        help="timed rounds per case (default 3; min is kept)",
+    )
+    p_bench.add_argument(
+        "--name",
+        default=None,
+        metavar="NAME",
+        help="output stem: BENCH_<NAME>.json (default: 'all', or "
+        "'smoke' with --smoke)",
+    )
+    p_bench.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="directory for BENCH_<name>.json (default: cwd)",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", help="list suites and exit"
+    )
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the persistent proof cache"
@@ -472,23 +549,46 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # --profile / --trace-out turn the collector on for this invocation
+    # only; the summary goes to stderr so --format json stays parseable.
+    profiling = bool(
+        getattr(args, "profile", False) or getattr(args, "trace_out", None)
+    )
+    if profiling:
+        obs.enable()
+        marker = obs.mark()
+        started = time.perf_counter()
     try:
-        return args.fn(args)
-    except (ParseError, LexError, LowerError, QualParseError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except UnicodeDecodeError as exc:
-        print(f"error: input is not valid UTF-8: {exc}", file=sys.stderr)
-        return 2
-    except OSError as exc:  # unreadable file, missing file, EACCES, ...
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except RecursionError:
-        print(
-            "error: input too deeply nested (recursion limit exceeded)",
-            file=sys.stderr,
-        )
-        return 2
+        try:
+            return args.fn(args)
+        except (ParseError, LexError, LowerError, QualParseError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except UnicodeDecodeError as exc:
+            print(f"error: input is not valid UTF-8: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:  # unreadable file, missing file, EACCES, ...
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except RecursionError:
+            print(
+                "error: input too deeply nested (recursion limit exceeded)",
+                file=sys.stderr,
+            )
+            return 2
+    finally:
+        if profiling:
+            total_ms = (time.perf_counter() - started) * 1000.0
+            if getattr(args, "profile", False):
+                timings = obs.build_timings(
+                    obs.since(marker), total_ms=total_ms
+                )
+                print(obs.format_timings(timings), file=sys.stderr)
+            trace_out = getattr(args, "trace_out", None)
+            if trace_out:
+                obs.write_trace(trace_out, command=getattr(args, "command", ""))
+            obs.disable()
+            obs.reset()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,6 +7,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.core.qualifiers.ast import QualifierDef, QualifierSet
 from repro.core.soundness.axioms import semantics_axioms
 from repro.core.soundness.obligations import Obligation, generate_obligations
@@ -186,7 +187,10 @@ def check_soundness(
 
     report.lint = validate_definition(qdef, quals)
     axioms = semantics_axioms()
-    for obligation in generate_obligations(qdef, quals):
+    with obs.span("obligations", qualifier=qdef.name):
+        obligations = list(generate_obligations(qdef, quals))
+    obs.incr("soundness.obligations", len(obligations))
+    for obligation in obligations:
         if obligation.trivial:
             report.results.append(ObligationResult(obligation, None))
             continue

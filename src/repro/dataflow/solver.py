@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro import obs
 from repro.cil.cfg import CFG, BasicBlock, Edge
 from repro.dataflow.lattice import Lattice
 
@@ -149,6 +150,10 @@ class ForwardSolver:
                         heapq.heappush(heap, (edge.dst.rpo, dst))
 
         stats.ms = (time.perf_counter() - started) * 1000.0
+        if obs.enabled():
+            obs.incr("dataflow.solves")
+            obs.incr("dataflow.iterations", stats.iterations)
+            obs.add_time("dataflow.ms", stats.ms)
         return SolverResult(
             block_in=block_in, block_out=block_out, stats=stats
         )

@@ -113,9 +113,13 @@ def minimize_finding(
     time_limit: float = 8.0,
     max_probes: int = 80,
 ) -> Optional[dict]:
-    """Shrink the sources that triggered ``finding``; None when the
-    reduced reproducer does not reproduce (the original artifact still
-    carries the full sources)."""
+    """Shrink the sources that triggered ``finding``.
+
+    ``None`` when the reduced reproducer does not reproduce (the
+    original artifact still carries the full sources).  A crash *of the
+    minimizer itself* instead returns ``{"minimize_error": ...}`` so
+    the artifact records why no reduction is present — a silent None
+    here cost real debugging time once."""
     try:
         if finding.oracle == "preservation":
             quals, _ = build_qualifier_set(case)
@@ -162,8 +166,10 @@ def minimize_finding(
         if not _same_failure(found, finding):
             return None
         return {"qual_source": reduced_qual}
-    except Exception:
-        return None  # minimization is best-effort; never mask the finding
+    except Exception as exc:
+        # Minimization is best-effort and must never mask the finding —
+        # but the *reason* it failed belongs in the artifact.
+        return {"minimize_error": repr(exc)}
 
 
 # -------------------------------------------------------------- artifacts

@@ -27,11 +27,13 @@ out — including when the parent is interrupted — so no orphans linger.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import obs as _obs
 from repro.harness.watchdog import Deadline, DeadlineExceeded, recursion_guard
 
 OK = "OK"
@@ -95,6 +97,9 @@ class UnitResult:
     diagnostics: List[dict] = field(default_factory=list)
     error: str = ""  # exception text for ERROR/CRASH/TIMEOUT verdicts
     detail: dict = field(default_factory=dict)  # command-specific extras
+    # Observability snapshot from the (child) collector — merged into
+    # the parent collector by the pool, then cleared; never serialized.
+    obs: Optional[dict] = None
 
     @property
     def severity(self) -> int:
@@ -180,7 +185,8 @@ def run_one(
     deadline = Deadline.after(unit_timeout)
     try:
         with recursion_guard(recursion_limit):
-            result = worker(unit, deadline)
+            with _obs.span("unit", unit=unit):
+                result = worker(unit, deadline)
         result.elapsed = time.perf_counter() - start
         return result
     except DeadlineExceeded as exc:
@@ -263,9 +269,15 @@ def run_units(
 
 
 def _child_entry(worker, unit, conn, unit_timeout, recursion_limit):
-    """Child process body: run the unit, ship the result, exit."""
+    """Child process body: run the unit, ship the result, exit.
+
+    When profiling is on, the child's collector snapshot (spans +
+    counters; the fork-inherited parent data is discarded by the
+    collector's pid check) rides home inside the UnitResult."""
     try:
         result = run_one(unit, worker, unit_timeout, recursion_limit)
+        if _obs.enabled():
+            result.obs = _obs.snapshot()
         conn.send(result)
     except Exception as exc:  # pragma: no cover - belt and braces
         try:
@@ -321,7 +333,20 @@ def _run_pool(
                 break
             if not running:
                 continue
-            time.sleep(0.005)
+            # Block until a result pipe has data, a child exits, or the
+            # nearest per-unit deadline expires — no polling loop.
+            if unit_timeout is None:
+                wait_timeout = None
+            else:
+                now = time.perf_counter()
+                next_expiry = min(
+                    started + unit_timeout
+                    for _, _, _, started in running.values()
+                )
+                wait_timeout = max(0.0, next_expiry - now)
+            waitables = [info[2] for info in running.values()]
+            waitables += [proc.sentinel for proc in running]
+            multiprocessing.connection.wait(waitables, timeout=wait_timeout)
             for proc in list(running):
                 index, unit, recv, started = running[proc]
                 outcome: Optional[UnitResult] = None
@@ -358,12 +383,21 @@ def _run_pool(
                 recv.close()
                 if not outcome.elapsed:
                     outcome.elapsed = time.perf_counter() - started
+                if outcome.obs is not None:
+                    _obs.merge(outcome.obs)
+                    outcome.obs = None
                 results[index] = outcome
                 if not keep_going and outcome.severity >= _SEVERITY[ERROR]:
                     stop = True
     finally:
-        for proc in list(running):
+        # Reap *and* close the read ends of anything still running —
+        # an early stop or an interrupt must not leak pipe fds.
+        for proc, (_, _, recv, _) in list(running.items()):
             _reap(proc)
+            try:
+                recv.close()
+            except OSError:
+                pass
         running.clear()
     report = BatchReport()
     for index, unit in enumerate(units):

@@ -1,0 +1,380 @@
+"""Unified benchmark runner: ``python -m repro bench``.
+
+The repo's benchmark suites (``benchmarks/bench_*.py``) are written
+against the pytest-benchmark fixture API so they double as CI tests.
+This runner executes them *without* pytest: it imports each suite by
+path, resolves the small slice of pytest machinery they actually use
+(the ``benchmark`` fixture, module-scoped fixtures, ``parametrize``,
+``monkeypatch.setattr``), runs every case with warmup/repeat control,
+and writes one ``BENCH_<name>.json`` holding per-suite wall times, the
+prover's per-theory breakdown, cache counters, and machine info.
+
+The collector (:mod:`repro.obs`) is enabled for the whole run, so the
+per-suite ``timings`` blocks carry real SAT/EUF/linarith/quant splits
+— the numbers a prover regression shows up in first.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import inspect
+import json
+import os
+import platform
+import time
+import traceback
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+
+#: Suites run by ``--smoke``: the cheapest two, chosen for wall time —
+#: the smoke stage proves the runner and the report shape, not perf.
+SMOKE_SUITES = ("typecheck_time", "flow_ablation")
+
+
+class UnknownFixture(Exception):
+    """A test case requests a fixture the runner cannot supply."""
+
+
+class BenchmarkShim:
+    """The slice of pytest-benchmark's ``benchmark`` fixture the suites
+    use: ``benchmark(fn)``, ``benchmark.pedantic(...)``,
+    ``benchmark.stats["mean"]``, ``benchmark.extra_info``.
+
+    The runner's ``--warmup``/``--repeat`` override the per-call
+    ``warmup_rounds``/``rounds`` so one flag scales every suite (and
+    ``--smoke`` can pin everything to a single round).
+    """
+
+    def __init__(self, warmup: int, repeat: int):
+        self.warmup = warmup
+        self.repeat = repeat
+        self.extra_info: Dict[str, object] = {}
+        self.stats: Dict[str, float] = {"mean": 0.0, "min": 0.0, "rounds": 0}
+
+    def _measure(self, fn, args, kwargs, iterations: int):
+        iterations = max(1, iterations)
+        result = None
+        for _ in range(self.warmup):
+            result = fn(*args, **kwargs)
+        times: List[float] = []
+        for _ in range(max(1, self.repeat)):
+            start = time.perf_counter()
+            for _ in range(iterations):
+                result = fn(*args, **kwargs)
+            times.append((time.perf_counter() - start) / iterations)
+        self.stats = {
+            "mean": sum(times) / len(times),
+            "min": min(times),
+            "max": max(times),
+            "rounds": len(times),
+        }
+        return result
+
+    def __call__(self, fn, *args, **kwargs):
+        return self._measure(fn, args, kwargs, iterations=1)
+
+    def pedantic(
+        self,
+        fn,
+        args=(),
+        kwargs=None,
+        iterations: int = 1,
+        rounds: int = 1,
+        warmup_rounds: int = 0,
+    ):
+        return self._measure(fn, args, kwargs or {}, iterations=iterations)
+
+
+class MonkeypatchShim:
+    """``monkeypatch.setattr(obj, name, value)`` with undo — the only
+    monkeypatch method the suites use."""
+
+    def __init__(self) -> None:
+        self._undo: List[Tuple[object, str, object]] = []
+
+    def setattr(self, target, name, value):
+        self._undo.append((target, name, getattr(target, name)))
+        setattr(target, name, value)
+
+    def undo(self) -> None:
+        for target, name, old in reversed(self._undo):
+            setattr(target, name, old)
+        self._undo.clear()
+
+
+# ------------------------------------------------------------- discovery
+
+
+def bench_dir() -> str:
+    """The benchmarks/ directory: next to the package's repo root, or
+    under the current directory as a fallback."""
+    import repro
+
+    root = os.path.abspath(
+        os.path.join(os.path.dirname(repro.__file__), "..", "..")
+    )
+    for base in (root, os.getcwd()):
+        candidate = os.path.join(base, "benchmarks")
+        if os.path.isdir(candidate):
+            return candidate
+    raise FileNotFoundError("no benchmarks/ directory found")
+
+
+def discover_suites(directory: Optional[str] = None) -> Dict[str, str]:
+    """Suite name -> path for every ``bench_*.py`` in ``directory``."""
+    directory = directory or bench_dir()
+    out: Dict[str, str] = {}
+    for entry in sorted(os.listdir(directory)):
+        if entry.startswith("bench_") and entry.endswith(".py"):
+            out[entry[len("bench_"):-len(".py")]] = os.path.join(
+                directory, entry
+            )
+    return out
+
+
+def _load_suite(name: str, path: str):
+    spec = importlib.util.spec_from_file_location(f"repro_bench_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+# ------------------------------------------------------------- execution
+
+
+def _fixture_value(module, name: str, cache: Dict[str, object]):
+    """Resolve a module-scoped ``@pytest.fixture`` by unwrapping to the
+    plain function (``__wrapped__``); cached per suite like pytest's
+    module scope.  Generator fixtures yield their value (teardown after
+    ``yield`` is skipped — no suite relies on it)."""
+    if name in cache:
+        return cache[name]
+    obj = getattr(module, name, None)
+    if obj is None:
+        raise UnknownFixture(name)
+    func = getattr(obj, "__wrapped__", None)
+    if func is None and callable(obj) and not inspect.isclass(obj):
+        func = obj
+    if func is None:
+        raise UnknownFixture(name)
+    value = func()
+    if inspect.isgenerator(value):
+        value = next(value)
+    cache[name] = value
+    return value
+
+
+def _expand_cases(fn) -> List[Tuple[str, Dict[str, object]]]:
+    """Cartesian expansion of ``@pytest.mark.parametrize`` marks into
+    (case id suffix, bound arguments) pairs."""
+    cases: List[Tuple[str, Dict[str, object]]] = [("", {})]
+    for mark in getattr(fn, "pytestmark", ()):
+        if getattr(mark, "name", "") != "parametrize":
+            continue
+        argnames, argvalues = mark.args[0], mark.args[1]
+        names = [n.strip() for n in argnames.split(",")]
+        ids = mark.kwargs.get("ids")
+        expanded: List[Tuple[str, Dict[str, object]]] = []
+        for suffix, bound in cases:
+            for value in argvalues:
+                values = value if len(names) > 1 else (value,)
+                label = (
+                    str(ids(value))
+                    if callable(ids)
+                    else "-".join(str(v) for v in values)
+                )
+                merged = dict(bound)
+                merged.update(zip(names, values))
+                expanded.append((f"{suffix}[{label}]", merged))
+        cases = expanded
+    return cases
+
+
+def run_suite(name: str, path: str, warmup: int, repeat: int) -> dict:
+    """Run one suite; returns its JSON-ready record (never raises —
+    an import failure becomes ``status: "error"``)."""
+    record: dict = {"suite": name, "path": path, "cases": []}
+    started = time.perf_counter()
+    marker = obs.mark()
+    try:
+        module = _load_suite(name, path)
+    except Exception as exc:
+        record["status"] = "error"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["elapsed_s"] = round(time.perf_counter() - started, 3)
+        return record
+    fixtures: Dict[str, object] = {}
+    statuses = set()
+    for attr in sorted(vars(module)):
+        fn = getattr(module, attr)
+        if not (attr.startswith("test_") and callable(fn)):
+            continue
+        for suffix, bound in _expand_cases(fn):
+            case: dict = {"name": f"{attr}{suffix}"}
+            shim = BenchmarkShim(warmup=warmup, repeat=repeat)
+            patcher = MonkeypatchShim()
+            kwargs: Dict[str, object] = {}
+            try:
+                for param in inspect.signature(fn).parameters:
+                    if param == "benchmark":
+                        kwargs[param] = shim
+                    elif param == "monkeypatch":
+                        kwargs[param] = patcher
+                    elif param in bound:
+                        kwargs[param] = bound[param]
+                    else:
+                        kwargs[param] = _fixture_value(
+                            module, param, fixtures
+                        )
+            except UnknownFixture as exc:
+                case["status"] = "skipped"
+                case["reason"] = f"unsupported fixture {exc}"
+                record["cases"].append(case)
+                statuses.add("skipped")
+                continue
+            case_start = time.perf_counter()
+            try:
+                fn(**kwargs)
+                case["status"] = "ok"
+            except Exception as exc:
+                case["status"] = "failed"
+                case["error"] = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+            finally:
+                patcher.undo()
+            case["elapsed_s"] = round(time.perf_counter() - case_start, 4)
+            if shim.stats.get("rounds"):
+                case["mean_ms"] = round(shim.stats["mean"] * 1000.0, 3)
+                case["min_ms"] = round(shim.stats["min"] * 1000.0, 3)
+                case["rounds"] = shim.stats["rounds"]
+            if shim.extra_info:
+                case["extra_info"] = dict(shim.extra_info)
+            record["cases"].append(case)
+            statuses.add(case["status"])
+    record["status"] = (
+        "failed" if "failed" in statuses else "ok"
+    )
+    record["elapsed_s"] = round(time.perf_counter() - started, 3)
+    record["timings"] = obs.build_timings(
+        obs.since(marker), total_ms=(time.perf_counter() - started) * 1000.0
+    )
+    return record
+
+
+# -------------------------------------------------------------- reporting
+
+
+def machine_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_bench(
+    suites: Optional[List[str]] = None,
+    smoke: bool = False,
+    warmup: int = 1,
+    repeat: int = 3,
+    name: Optional[str] = None,
+    out_dir: str = ".",
+) -> Tuple[str, dict]:
+    """Run the selected suites and write ``BENCH_<name>.json``; returns
+    ``(path, payload)``.  Unknown suite names raise ``ValueError``."""
+    available = discover_suites()
+    if smoke:
+        selected = [s for s in SMOKE_SUITES if s in available]
+        warmup, repeat = 0, 1
+        name = name or "smoke"
+    elif suites:
+        unknown = sorted(set(suites) - set(available))
+        if unknown:
+            raise ValueError(
+                f"unknown suite(s): {', '.join(unknown)} "
+                f"(available: {', '.join(sorted(available))})"
+            )
+        selected = list(dict.fromkeys(suites))
+        name = name or "_".join(selected)
+    else:
+        selected = sorted(available)
+        name = name or "all"
+
+    owner = not obs.enabled()
+    if owner:
+        obs.enable()
+    started = time.perf_counter()
+    overall = obs.mark()
+    try:
+        records = [
+            run_suite(s, available[s], warmup=warmup, repeat=repeat)
+            for s in selected
+        ]
+        total_ms = (time.perf_counter() - started) * 1000.0
+        payload = {
+            "schema_version": 1,
+            "command": "bench",
+            "name": name,
+            "smoke": smoke,
+            "warmup": warmup,
+            "repeat": repeat,
+            "machine": machine_info(),
+            "suites": records,
+            "totals": {
+                "suites": len(records),
+                "cases": sum(len(r["cases"]) for r in records),
+                "failed": sum(
+                    1 for r in records if r["status"] != "ok"
+                ),
+                "elapsed_s": round(total_ms / 1000.0, 3),
+            },
+            "timings": obs.build_timings(obs.since(overall), total_ms),
+        }
+    finally:
+        if owner:
+            obs.disable()
+            obs.reset()
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path, payload
+
+
+def main(args) -> int:
+    """CLI adapter for ``python -m repro bench`` (see repro.cli)."""
+    if args.list:
+        for suite, path in sorted(discover_suites().items()):
+            print(f"{suite:<24} {path}")
+        return 0
+    try:
+        path, payload = run_bench(
+            suites=args.suite,
+            smoke=args.smoke,
+            warmup=args.warmup,
+            repeat=args.repeat,
+            name=args.name,
+            out_dir=args.out_dir,
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        import sys
+
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    totals = payload["totals"]
+    for record in payload["suites"]:
+        marker = "ok" if record["status"] == "ok" else record["status"].upper()
+        print(
+            f"{record['suite']:<24} {marker:>7}  "
+            f"{record['elapsed_s']:8.2f} s  "
+            f"({len(record['cases'])} case(s))"
+        )
+    print(
+        f"bench: {totals['suites']} suite(s), {totals['cases']} case(s), "
+        f"{totals['failed']} failed, {totals['elapsed_s']:.2f} s -> {path}"
+    )
+    return 0

@@ -1,0 +1,268 @@
+"""The tracing/metrics collector: nested spans plus named counters.
+
+One process-wide :class:`Collector` gathers two kinds of data:
+
+* **Spans** — named, nested, monotonic (``time.perf_counter``) timing
+  intervals forming a tree per thread.  A span is opened with
+  :func:`repro.obs.span` as a context manager; children attach to the
+  innermost open span of the same thread.
+* **Counters** — flat ``name -> number`` accumulators for hot paths
+  where a span per event would dominate the cost being measured
+  (SAT calls, E-matching instances, cache hits).  Names are dotted
+  (``prover.sat_ms``); the ``_ms`` suffix marks a value in
+  milliseconds (see docs/observability.md for the naming convention).
+
+Safety properties:
+
+* **Disabled mode is free.**  The module-level gate in
+  :mod:`repro.obs` returns a shared no-op singleton before any
+  allocation or lock; hot loops pay one global read and a no-op
+  ``with``.
+* **Thread-safe.**  The span stack is thread-local (each thread grows
+  its own subtree); counters and the root list are guarded by a lock.
+* **Fork-safe.**  The collector remembers the pid that created it;
+  the first recording in a forked child resets the inherited state so
+  the child ships only its own spans back to the parent (see
+  ``harness.batch``), which merges them with :meth:`Collector.merge`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class Span:
+    """One timed interval in the trace tree."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children")
+
+    def __init__(self, name: str, attrs: Optional[dict] = None):
+        self.name = name
+        self.attrs = attrs or None
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return (end - self.start) * 1000.0
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "ms": round(self.duration_ms, 3)}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls.__new__(cls)
+        span.name = str(data.get("name", "?"))
+        span.attrs = dict(data["attrs"]) if data.get("attrs") else None
+        span.start = 0.0
+        span.end = float(data.get("ms", 0.0)) / 1000.0
+        span.children = [
+            cls.from_dict(c) for c in data.get("children", ())
+        ]
+        return span
+
+
+class _NullSpan:
+    """The shared disabled-mode no-op: every ``span()``/``timer()``
+    call while disabled returns this one singleton — no allocation."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one :class:`Span`."""
+
+    __slots__ = ("_collector", "_span")
+
+    def __init__(self, collector: "Collector", name: str, attrs: dict):
+        self._collector = collector
+        self._span = Span(name, attrs)
+
+    def __enter__(self) -> "_SpanHandle":
+        self._collector._push(self._span)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._span.end = time.perf_counter()
+        self._collector._pop(self._span)
+        return False
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the open span after the fact."""
+        if self._span.attrs is None:
+            self._span.attrs = {}
+        self._span.attrs.update(attrs)
+
+
+class _Timer:
+    """Context manager that adds its elapsed milliseconds to one
+    counter — the span-free fast path for hot call sites."""
+
+    __slots__ = ("_collector", "_name", "_t0")
+
+    def __init__(self, collector: "Collector", name: str):
+        self._collector = collector
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._collector.add(
+            self._name, (time.perf_counter() - self._t0) * 1000.0
+        )
+        return False
+
+
+class Collector:
+    """Process-wide span tree + counters (see module docstring)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.pid = os.getpid()
+        self.counters: Dict[str, float] = {}
+        self.roots: List[Span] = []
+
+    # -------------------------------------------------------- fork safety
+
+    def _fresh_after_fork(self) -> None:
+        """Drop state inherited across ``fork`` so a pool worker records
+        only its own activity."""
+        if os.getpid() == self.pid:
+            return
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.pid = os.getpid()
+        self.counters = {}
+        self.roots = []
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # --------------------------------------------------------------- spans
+
+    def span(self, name: str, attrs: dict) -> _SpanHandle:
+        self._fresh_after_fork()
+        return _SpanHandle(self, name, attrs)
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate mispaired exits (a span leaked across an exception
+        # unwind): pop through to our own frame.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    # ------------------------------------------------------------ counters
+
+    def timer(self, name: str) -> _Timer:
+        self._fresh_after_fork()
+        return _Timer(self, name)
+
+    def add(self, name: str, value: float) -> None:
+        self._fresh_after_fork()
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def count_max(self, name: str, value: float) -> None:
+        """Record a high-water mark (e.g. peak clause count)."""
+        self._fresh_after_fork()
+        with self._lock:
+            if value > self.counters.get(name, 0):
+                self.counters[name] = value
+
+    # ------------------------------------------------- snapshot and merge
+
+    def mark(self) -> dict:
+        """An opaque baseline for :meth:`since`: counter values and the
+        number of completed root spans right now."""
+        with self._lock:
+            return {"counters": dict(self.counters), "roots": len(self.roots)}
+
+    def snapshot(self) -> dict:
+        """The full collected state, JSON-ready (this is the payload a
+        pool worker ships back over the result pipe, and the shape
+        ``--trace-out`` writes)."""
+        with self._lock:
+            return {
+                "pid": self.pid,
+                "counters": dict(self.counters),
+                "spans": [s.to_dict() for s in self.roots],
+            }
+
+    def merge(self, payload: dict) -> None:
+        """Fold a child snapshot (from :meth:`snapshot`, possibly from
+        another process) into this collector: counters sum, the child's
+        root spans graft under the current open span (or the roots)."""
+        self._fresh_after_fork()
+        spans = [Span.from_dict(s) for s in payload.get("spans", ())]
+        child_pid = payload.get("pid")
+        if child_pid is not None and child_pid != self.pid:
+            for span in spans:
+                if span.attrs is None:
+                    span.attrs = {}
+                span.attrs.setdefault("pid", child_pid)
+        stack = self._stack()
+        with self._lock:
+            for name, value in payload.get("counters", {}).items():
+                if name.endswith("_peak"):
+                    # High-water marks don't sum across processes.
+                    self.counters[name] = max(
+                        self.counters.get(name, 0), value
+                    )
+                else:
+                    self.counters[name] = self.counters.get(name, 0) + value
+            if stack:
+                stack[-1].children.extend(spans)
+            else:
+                self.roots.extend(spans)
+
+    def since(self, mark: dict) -> dict:
+        """Counters and completed root spans accumulated after
+        :meth:`mark` — the per-invocation slice of a shared collector."""
+        with self._lock:
+            base = mark.get("counters", {})
+            counters = {
+                name: value - base.get(name, 0)
+                for name, value in self.counters.items()
+                if value != base.get(name, 0)
+            }
+            spans = [s.to_dict() for s in self.roots[mark.get("roots", 0):]]
+        return {"pid": self.pid, "counters": counters, "spans": spans}

@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.prover.euf import CongruenceClosure, EufConflict
 from repro.prover.linarith import (
     Constraint,
@@ -60,7 +61,22 @@ def check(
 
     ``deadline`` is an absolute ``time.perf_counter()`` value; past it,
     minimization stops and the current core is returned (a larger
-    conflict clause is still sound, just a weaker pruner)."""
+    conflict clause is still sound, just a weaker pruner).
+
+    With profiling on, the whole combination check is timed into the
+    ``prover.theory_ms`` counter; the linear-arithmetic share is timed
+    separately inside :mod:`repro.prover.linarith`, and the EUF share
+    is reported as the difference (see docs/observability.md)."""
+    if not obs.enabled():
+        return _check(literals, deadline)
+    obs.incr("prover.theory_checks")
+    with obs.timer("prover.theory_ms"):
+        return _check(literals, deadline)
+
+
+def _check(
+    literals: List[Literal], deadline: Optional[float] = None
+) -> Optional[List[Literal]]:
     if _consistent(literals):
         return None
     # Chunked deletion (ddmin-style): drop whole blocks first, then

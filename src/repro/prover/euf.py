@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.prover.terms import TApp, TInt, Term
 
 
@@ -82,6 +83,7 @@ class CongruenceClosure:
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
             return
+        obs.incr("prover.euf_merges")
         if isinstance(ra, TInt) and isinstance(rb, TInt) and ra.value != rb.value:
             raise EufConflict(f"distinct integers merged: {ra} = {rb}")
         # Union by rank, but keep integer literals as representatives so

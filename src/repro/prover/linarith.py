@@ -18,6 +18,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.prover.terms import ARITH_FNS, TApp, TInt, Term
 
 _ZERO = Fraction(0)
@@ -172,7 +173,18 @@ def satisfiable(constraints: List[Constraint], limit: int = 4000) -> bool:
     Equalities are removed by Gaussian substitution; Fourier–Motzkin
     decides the residual inequalities.  ``limit`` caps derived
     constraints — exceeding it returns True (unknown-sat), which only
-    ever makes the prover *less* willing to claim a proof."""
+    ever makes the prover *less* willing to claim a proof.
+
+    Calls are timed into ``prover.linarith_ms`` when profiling is on
+    (including the pair of calls behind every ``entails_eq`` probe)."""
+    if not obs.enabled():
+        return _satisfiable(constraints, limit)
+    obs.incr("prover.linarith_calls")
+    with obs.timer("prover.linarith_ms"):
+        return _satisfiable(constraints, limit)
+
+
+def _satisfiable(constraints: List[Constraint], limit: int = 4000) -> bool:
     eqs = [c for c in constraints if c.op == "="]
     ineqs = [c for c in constraints if c.op != "="]
 

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.harness.watchdog import NO_RETRY, Deadline, DeadlineExceeded, RetryPolicy
 from repro.prover import combine, sat
 from repro.prover.cnf import ClauseDb, QuantAtom, assert_formula, encode, nnf, skolemize
@@ -174,6 +175,23 @@ class Prover:
                 return ProofResult.from_cache_payload(
                     payload, elapsed=time.perf_counter() - start
                 )
+        with obs.span("prover.prove"):
+            result = self._prove_uncached(goal, extra_axioms, deadline, start)
+        if obs.enabled():
+            obs.incr("prover.calls")
+            obs.add_time("prover.proofs_ms", result.elapsed * 1000.0)
+            obs.incr(f"prover.verdicts.{result.verdict}")
+            obs.incr("prover.conflicts", result.conflicts)
+            obs.incr("prover.instances", result.instances)
+        return _record(cache, cache_key, result)
+
+    def _prove_uncached(
+        self,
+        goal: Formula,
+        extra_axioms: List[Formula],
+        deadline: Optional[Deadline],
+        start: float,
+    ) -> ProofResult:
         deadline = (deadline or Deadline(None)).tightened(self.time_limit)
         db = ClauseDb()
         for ax in self.axioms:
@@ -201,7 +219,7 @@ class Prover:
                     result.proved = True
                     result.verdict = PROVED
                     result.elapsed = time.perf_counter() - start
-                    return _record(cache, cache_key, result)
+                    return result
                 if model == "budget":
                     result.reason = "search budget exhausted"
                     result.verdict = GAVE_UP
@@ -212,9 +230,11 @@ class Prover:
                     break
                 last_model = model
                 # Theory-consistent boolean model: instantiate and retry.
-                added = self._instantiation_round(
-                    db, instantiated, result, deadline
-                )
+                obs.incr("prover.ematch_rounds")
+                with obs.timer("prover.quant_ms"):
+                    added = self._instantiation_round(
+                        db, instantiated, result, deadline
+                    )
                 if not added:
                     result.reason = "no further instances (candidate countermodel)"
                     result.verdict = REFUTED
@@ -229,7 +249,7 @@ class Prover:
         if last_model is not None:
             result.countermodel = _describe_model(db, last_model)
         result.elapsed = time.perf_counter() - start
-        return _record(cache, cache_key, result)
+        return result
 
     def prove_with_retry(
         self,

@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.harness.watchdog import Deadline
 from repro.prover import terms as T
 from repro.prover.cnf import QuantAtom
@@ -146,6 +147,9 @@ def instantiate(
     triggers = derive_triggers(atom)
     out: List[Tuple[Tuple[Term, ...], Formula]] = []
     bound = list(atom.vars)
+    if obs.enabled():
+        obs.incr("prover.ematch_atoms")
+        obs.incr("prover.ematch_pool_terms", len(pool))
     ticks = 0
     for trigger in triggers:
         substs: List[Dict[str, Term]] = [{}]

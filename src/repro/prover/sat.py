@@ -10,12 +10,27 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
+
 Clause = Tuple[int, ...]
 
 
 def solve(clauses: List[Clause], num_vars: int) -> Optional[Dict[int, bool]]:
     """Return a satisfying assignment (var -> bool, total over the vars
-    that occur), or None when unsatisfiable."""
+    that occur), or None when unsatisfiable.
+
+    Each call is timed into the ``prover.sat_ms`` counter when
+    profiling is on (one gate check per call — the DPLL loops
+    themselves are never instrumented)."""
+    if not obs.enabled():
+        return _solve(clauses, num_vars)
+    obs.incr("prover.sat_calls")
+    obs.count_max("prover.clauses_peak", len(clauses))
+    with obs.timer("prover.sat_ms"):
+        return _solve(clauses, num_vars)
+
+
+def _solve(clauses: List[Clause], num_vars: int) -> Optional[Dict[int, bool]]:
     assignment: Dict[int, bool] = {}
     trail: List[Tuple[int, bool]] = []  # (var, was_decision)
 

@@ -35,6 +35,11 @@ def _normalize(obj, base_dir):
         for key, value in obj.items():
             if key in ("elapsed", "ms"):
                 out[key] = 0.0
+            elif key.endswith("_ms") or key.endswith(".ms"):
+                # timings-block values ("total_ms", "prover.sat_ms",
+                # "dataflow.ms", ...) are wall-clock; shape is golden,
+                # magnitude is not.
+                out[key] = 0.0
             elif key == "version":
                 out[key] = "X.Y.Z"
             else:
@@ -50,10 +55,13 @@ def _normalize(obj, base_dir):
 def _payloads():
     """(name, payload) for each snapshotted command, deterministic."""
     session = api.Session()
+    # profile=True freezes the additive `timings` block too (counts
+    # are deterministic; the millisecond values are normalized away).
     check = session.check(
         api.CheckRequest(
             files=(os.path.join(REPO, "examples", "nonnull.c"),),
             flow_sensitive=True,
+            profile=True,
         )
     )
     infer = session.infer(

@@ -94,6 +94,30 @@ print(f"   {ran} case(s), {compared} verdict(s) cross-checked, "
       "0 disagreements")
 ' "$tmpdir/difftest.json"
 
+echo "== bench smoke run (expect well-formed BENCH_smoke.json)"
+python -m repro bench --smoke --out-dir "$tmpdir"
+python -c '
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema_version"] == 1, report["schema_version"]
+assert report["name"] == "smoke", report["name"]
+suites = report["suites"]
+assert suites, "no suites ran"
+bad_suites = [s["suite"] for s in suites if s["status"] != "ok"]
+assert not bad_suites, f"bench smoke suites errored: {bad_suites}"
+failed = [
+    c["name"] for s in suites for c in s["cases"] if c["status"] != "ok"
+]
+assert not failed, f"bench smoke cases failed: {failed}"
+cases = sum(len(s["cases"]) for s in suites)
+timed = [
+    c for s in suites for c in s["cases"]
+    if c["status"] == "ok" and c["mean_ms"] > 0
+]
+assert timed, "no case produced a nonzero timing"
+print(f"   {len(suites)} suite(s), {cases} case(s), timings recorded")
+' "$tmpdir/BENCH_smoke.json"
+
 echo "== broken input is contained, not fatal (expect exit 2)"
 printf 'int f( {' > "$tmpdir/broken.c"
 status=0
