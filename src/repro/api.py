@@ -183,14 +183,15 @@ _VERDICT_RANK = {
     batch.OK: 0,
     batch.WARNINGS: 1,
     batch.UNKNOWN: 2,
-    batch.TIMEOUT: 3,
-    batch.ERROR: 4,
-    batch.CRASH: 5,
+    batch.GAVE_UP: 3,
+    batch.TIMEOUT: 4,
+    batch.ERROR: 5,
+    batch.CRASH: 6,
 }
 
 
 def _worst(verdicts) -> str:
-    return max(verdicts, key=lambda v: _VERDICT_RANK.get(v, 5), default=batch.OK)
+    return max(verdicts, key=lambda v: _VERDICT_RANK.get(v, 6), default=batch.OK)
 
 
 def _read_source(path: str) -> str:
@@ -321,7 +322,9 @@ class Session:
 
     # ----------------------------------------------------------- commands
 
-    def check(self, request: CheckRequest) -> Report:
+    def check(
+        self, request: CheckRequest, on_result=None, on_event=None
+    ) -> Report:
         """Qualifier-check each file as an isolated batch unit."""
         quals = self.qualifier_set()
 
@@ -368,7 +371,11 @@ class Session:
             )
 
         batch_report = self._run(
-            request, worker, calibrate=lambda: self._prover_calibration(quals)
+            request,
+            worker,
+            calibrate=lambda: self._prover_calibration(quals),
+            on_result=on_result,
+            on_event=on_event,
         )
         _aggregate_dataflow_meta(batch_report)
         return Report("check", batch_report)
@@ -401,7 +408,9 @@ class Session:
                 except Exception:
                     continue
 
-    def prove(self, request: ProveRequest) -> Report:
+    def prove(
+        self, request: ProveRequest, on_result=None, on_event=None
+    ) -> Report:
         """Soundness-check every qualifier defined in each ``.qual``
         unit, consulting the content-addressed proof cache before any
         prover work and recording settled verdicts back into it."""
@@ -423,6 +432,20 @@ class Session:
             for qdef in defs:
                 if request.qualifier and qdef.name != request.qualifier:
                     continue
+                def stream_obligation(res, _qname=qdef.name):
+                    # One progress event per settled obligation: the
+                    # pool forwards it to the parent over the result
+                    # pipe; a sequential run hands it to ``on_event``.
+                    batch.emit_progress(
+                        {
+                            "event": "obligation",
+                            "unit": path,
+                            "qualifier": _qname,
+                            "rule": res.obligation.rule,
+                            "verdict": res.verdict,
+                        }
+                    )
+
                 with obs.span("prove", qualifier=qdef.name):
                     report = check_soundness(
                         qdef,
@@ -431,6 +454,7 @@ class Session:
                         retry=retry,
                         deadline=deadline,
                         cache=cache,
+                        on_result=stream_obligation,
                     )
                 entry = report.to_dict()
                 entry["summary"] = report.summary()
@@ -459,7 +483,9 @@ class Session:
                 detail=detail,
             )
 
-        batch_report = self._run(request, worker)
+        batch_report = self._run(
+            request, worker, on_result=on_result, on_event=on_event
+        )
         if cache is not None:
             batch_report.meta["cache"] = {
                 "enabled": True,
@@ -472,7 +498,9 @@ class Session:
             batch_report.meta["cache"] = {"enabled": False}
         return Report("prove", batch_report)
 
-    def infer(self, request: InferRequest) -> Report:
+    def infer(
+        self, request: InferRequest, on_result=None, on_event=None
+    ) -> Report:
         """Infer annotations for one qualifier over each file."""
         quals = self.qualifier_set()
         qdef = quals.get(request.qualifier)
@@ -502,11 +530,15 @@ class Session:
                 },
             )
 
-        batch_report = self._run(request, worker)
+        batch_report = self._run(
+            request, worker, on_result=on_result, on_event=on_event
+        )
         _aggregate_dataflow_meta(batch_report)
         return Report("infer", batch_report)
 
-    def difftest(self, request: DifftestRequest) -> Report:
+    def difftest(
+        self, request: DifftestRequest, on_result=None, on_event=None
+    ) -> Report:
         """Differentially test the pipeline on generated cases.
 
         Every case runs through three oracles (prover vs. brute-force
@@ -578,7 +610,9 @@ class Session:
                 )
                 return run_outcome(name, outcome)
 
-        batch_report = self._run(request, worker, units=units)
+        batch_report = self._run(
+            request, worker, units=units, on_result=on_result, on_event=on_event
+        )
         counters: Dict[str, int] = {}
         artifacts: List[str] = []
         skipped = 0
@@ -623,10 +657,16 @@ class Session:
         worker,
         units: Optional[Sequence[str]] = None,
         calibrate=None,
+        on_result=None,
+        on_event=None,
     ) -> batch.BatchReport:
         """Run the batch, bracketed by the profiling lifecycle: start a
         slice, run (and optionally calibrate), attach ``timings`` meta,
-        restore collector state — including on the error path."""
+        restore collector state — including on the error path.
+
+        ``on_result``/``on_event`` stream settled units and
+        per-obligation progress events to the caller as they happen
+        (the CLI's ``--format jsonl`` sits on ``on_result``)."""
         prof = _start_profile(request)
         try:
             report = batch.run_units(
@@ -635,6 +675,8 @@ class Session:
                 keep_going=request.keep_going,
                 jobs=request.jobs,
                 unit_timeout=request.unit_timeout,
+                on_result=on_result,
+                on_event=on_event,
             )
             if calibrate is not None and prof is not None:
                 calibrate()

@@ -15,16 +15,24 @@ Tiers:
   processes; sqlite's own locking makes concurrent writers safe, and a
   post-fork connection is reopened per process.
 
-Every disk failure — unreadable directory, corrupted database file,
-concurrent schema surgery — is absorbed: the failing tier is disabled,
-the ``errors`` counter is bumped, and the run degrades to a cold
-in-memory cache instead of crashing.  A cache must never be the reason
-a check fails.
+Every disk failure is absorbed — a cache must never be the reason a
+check fails — with *rebuild-or-bypass* triage:
+
+* **corruption** (``sqlite3.DatabaseError`` other than
+  ``OperationalError``: garbled header, malformed disk image) deletes
+  the damaged file and rebuilds it empty, once per instance — the run
+  goes cold but the disk tier stays live for the next run;
+* **everything else** (``database is locked``, permission errors, I/O
+  errors, a second corruption after a rebuild) bypasses the disk tier
+  for the rest of the run and falls back to the in-memory LRU.
+
+Either way the ``degraded`` counter (and ``cache.degraded`` in
+``repro.obs``) records that the disk tier did not survive intact.
 
 Counters (``hits``/``misses``/``stores``/``evictions``/``stale``/
-``errors``) accumulate per instance; per-run deltas are folded into a
-``counters`` table so ``python -m repro cache stats`` can report
-lifetime totals across processes.
+``errors``/``degraded``) accumulate per instance; per-run deltas are
+folded into a ``counters`` table so ``python -m repro cache stats``
+can report lifetime totals across processes.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ import sqlite3
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional
 
+from repro import faults as _faults
 from repro import obs
 from repro.cache.fingerprint import PROVER_SALT, ProofKey, proof_key
 
@@ -49,7 +58,9 @@ CACHE_FORMAT = 1
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
-COUNTER_NAMES = ("hits", "misses", "stores", "evictions", "stale", "errors")
+COUNTER_NAMES = (
+    "hits", "misses", "stores", "evictions", "stale", "errors", "degraded",
+)
 
 
 def _empty_counters() -> Dict[str, int]:
@@ -73,6 +84,7 @@ class ProofCache:
         self._conn: Optional[sqlite3.Connection] = None
         self._conn_pid: Optional[int] = None
         self._disk_failed = cache_dir is None
+        self._rebuilt = False  # one corruption rebuild per instance
 
     # ------------------------------------------------------------------ keys
 
@@ -102,6 +114,10 @@ class ProofCache:
             return self._conn
         try:
             os.makedirs(self.cache_dir, exist_ok=True)
+            if os.path.exists(self.path) and _faults.fire_once(
+                "corrupt_cache", self.path
+            ):
+                _faults.corrupt_file(self.path)
             conn = sqlite3.connect(self.path, timeout=5.0)
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS proofs ("
@@ -138,10 +154,13 @@ class ProofCache:
                     (str(CACHE_FORMAT),),
                 )
             conn.commit()
-        except (sqlite3.Error, OSError, ValueError):
-            self._disk_failed = True
-            self.counters["errors"] += 1
-            return None
+        except (sqlite3.Error, OSError, ValueError) as exc:
+            self._disk_failure(exc)
+            if self._disk_failed:
+                return None
+            # The damaged file was rebuilt: connect to the fresh one.
+            # Bounded: a second failure trips the bypass path above.
+            return self._connection()
         self._conn = conn
         self._conn_pid = os.getpid()
         return conn
@@ -152,8 +171,40 @@ class ProofCache:
         fatal, after a corruption or I/O failure)."""
         return not self._disk_failed
 
+    def _disk_failure(self, exc: Optional[Exception] = None) -> None:
+        """Degrade the disk tier after a failure: *rebuild* (delete and
+        recreate, once per instance) when the database file itself is
+        corrupt, *bypass* (disable the tier, keep the memory LRU) for
+        everything else — locks, permissions, I/O errors, or corruption
+        striking again after a rebuild."""
+        self.counters["errors"] += 1
+        self.counters["degraded"] += 1
+        obs.incr("cache.degraded")
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+            self._conn_pid = None
+        # "database is locked"/"unable to open" are OperationalError —
+        # the file may be fine, another process just holds it; deleting
+        # it would destroy a healthy cache.  Only non-operational
+        # DatabaseError (not a database, malformed image) is corruption.
+        corrupted = isinstance(exc, sqlite3.DatabaseError) and not isinstance(
+            exc, sqlite3.OperationalError
+        )
+        if corrupted and not self._rebuilt and self.path is not None:
+            self._rebuilt = True
+            try:
+                os.remove(self.path)
+                return  # disk tier stays live; next connect rebuilds
+            except OSError:
+                pass
+        self._disk_failed = True
+
+    # Backwards-compatible alias (kept for external callers/tests).
     def _disk_abandon(self) -> None:
-        """Disable the disk tier after an I/O failure; keep running."""
         self._disk_failed = True
         self.counters["errors"] += 1
         if self._conn is not None:
@@ -188,8 +239,8 @@ class ProofCache:
                     " WHERE obl_key = ? AND env_key = ?",
                     (key.obligation, key.environment),
                 ).fetchone()
-            except (sqlite3.Error, OSError):
-                self._disk_abandon()
+            except (sqlite3.Error, OSError) as exc:
+                self._disk_failure(exc)
                 row = None
             if row is not None:
                 try:
@@ -246,8 +297,8 @@ class ProofCache:
                 )
                 conn.commit()
                 persisted = True
-            except (sqlite3.Error, OSError, TypeError):
-                self._disk_abandon()
+            except (sqlite3.Error, OSError, TypeError) as exc:
+                self._disk_failure(exc)
         if persisted:
             self.counters["stores"] += 1
             obs.incr("cache.stores")
@@ -282,8 +333,8 @@ class ProofCache:
                 # get promotes), so the disk rowcount already covers
                 # them — take the larger, don't sum.
                 count = max(count, cur.rowcount)
-            except (sqlite3.Error, OSError):
-                self._disk_abandon()
+            except (sqlite3.Error, OSError) as exc:
+                self._disk_failure(exc)
         self.counters["stale"] += count
 
     # ------------------------------------------------------------ statistics
@@ -307,8 +358,8 @@ class ProofCache:
         try:
             (count,) = conn.execute("SELECT COUNT(*) FROM proofs").fetchone()
             return int(count)
-        except (sqlite3.Error, OSError):
-            self._disk_abandon()
+        except (sqlite3.Error, OSError) as exc:
+            self._disk_failure(exc)
             return len(self._memory)
 
     def stats(self) -> dict:
@@ -343,8 +394,8 @@ class ProofCache:
                     (name, value),
                 )
             conn.commit()
-        except (sqlite3.Error, OSError):
-            self._disk_abandon()
+        except (sqlite3.Error, OSError) as exc:
+            self._disk_failure(exc)
 
     def lifetime_counters(self) -> Dict[str, int]:
         """Accumulated counters over every run against this store."""
@@ -358,8 +409,8 @@ class ProofCache:
             ):
                 if name in totals:
                     totals[name] = int(value)
-        except (sqlite3.Error, OSError):
-            self._disk_abandon()
+        except (sqlite3.Error, OSError) as exc:
+            self._disk_failure(exc)
         return totals
 
     def size_bytes(self) -> int:
@@ -384,8 +435,8 @@ class ProofCache:
                 conn.execute("DELETE FROM counters")
                 conn.commit()
                 removed = max(cur.rowcount, 0)
-            except (sqlite3.Error, OSError):
-                self._disk_abandon()
+            except (sqlite3.Error, OSError) as exc:
+                self._disk_failure(exc)
         return removed
 
     def close(self) -> None:

@@ -22,7 +22,14 @@ verdict instead of aborting the run.  Shared batch flags:
   per-child deadlines;
 * ``--unit-timeout S`` — wall-clock budget per unit;
 * ``--format json`` — machine-readable per-unit report (the payload is
-  ``repro.api.Report.to_dict()``, stamped with ``schema_version``).
+  ``repro.api.Report.to_dict()``, stamped with ``schema_version``);
+* ``--format jsonl`` — streaming variant: one ``record: "unit"`` line
+  per unit *as it settles*, then one ``record: "summary"`` line —
+  consumers see progress live and an interrupted run still ends in a
+  parseable stream (see docs/robustness.md);
+* ``--inject-faults SPEC`` — deterministic chaos testing: seeded
+  worker kills/stalls, dropped result pipes, cache corruption, slow
+  provers (see ``repro.faults``; also via ``REPRO_FAULTS``).
 
 ``prove`` consults a persistent content-addressed proof cache (default
 ``.repro-cache/``; see docs/caching.md): settled obligations are
@@ -46,7 +53,7 @@ import sys
 import time
 from typing import List, Optional
 
-from repro import api, obs
+from repro import api, faults, obs
 from repro.cache.store import DEFAULT_CACHE_DIR
 from repro.cfront.lexer import LexError
 from repro.cfront.parser import ParseError
@@ -69,10 +76,53 @@ def _print_unit_header(path: str, many: bool) -> None:
         print(f"== {path}")
 
 
+def _maybe_note_interrupt(report: api.Report) -> None:
+    if report.batch.interrupted:
+        print(
+            "interrupted: partial report (remaining units skipped)",
+            file=sys.stderr,
+        )
+
+
+# ------------------------------------------------------- JSONL streaming
+
+
+def _jsonl_unit_streamer(command: str):
+    """``--format jsonl``: one compact schema-v1 record per unit, written
+    (and flushed) the moment the unit settles — completion order, which
+    under ``--jobs`` is not input order; consumers key on ``unit``."""
+
+    def on_result(result: batch.UnitResult) -> None:
+        record = {
+            "schema_version": api.SCHEMA_VERSION,
+            "command": command,
+            "record": "unit",
+            **result.to_dict(),
+        }
+        print(json.dumps(record), flush=True)
+
+    return on_result
+
+
+def _jsonl_summary(report: api.Report) -> None:
+    """The stream's final line: the full report payload minus the
+    per-unit records already emitted."""
+    payload = report.to_dict()
+    payload.pop("units", None)
+    record = {
+        "schema_version": payload.pop("schema_version"),
+        "command": payload.pop("command"),
+        "record": "summary",
+        **payload,
+    }
+    print(json.dumps(record), flush=True)
+
+
 # ----------------------------------------------------------------- commands
 
 
 def cmd_check(args) -> int:
+    stream = _jsonl_unit_streamer("check") if args.format == "jsonl" else None
     report = _session(args).check(
         api.CheckRequest(
             files=tuple(args.files),
@@ -80,8 +130,12 @@ def cmd_check(args) -> int:
             keep_going=args.keep_going,
             jobs=args.jobs,
             unit_timeout=args.unit_timeout,
-        )
+        ),
+        on_result=stream,
     )
+    if args.format == "jsonl":
+        _jsonl_summary(report)
+        return report.exit_code
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
         return report.exit_code
@@ -108,6 +162,7 @@ def cmd_check(args) -> int:
         print(f"{warnings} qualifier warning(s)")
     if many:
         print(report.summary())
+    _maybe_note_interrupt(report)
     return report.exit_code
 
 
@@ -123,8 +178,14 @@ def cmd_prove(args) -> int:
             keep_going=args.keep_going,
             jobs=args.jobs,
             unit_timeout=args.unit_timeout,
-        )
+        ),
+        on_result=(
+            _jsonl_unit_streamer("prove") if args.format == "jsonl" else None
+        ),
     )
+    if args.format == "jsonl":
+        _jsonl_summary(report)
+        return report.exit_code
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
         return report.exit_code
@@ -140,6 +201,7 @@ def cmd_prove(args) -> int:
             print(entry["summary"])
     if many:
         print(report.summary())
+    _maybe_note_interrupt(report)
     cache_meta = report.batch.meta.get("cache", {})
     if cache_meta.get("enabled"):
         print(
@@ -180,11 +242,19 @@ def cmd_infer(args) -> int:
                 keep_going=args.keep_going,
                 jobs=args.jobs,
                 unit_timeout=args.unit_timeout,
-            )
+            ),
+            on_result=(
+                _jsonl_unit_streamer("infer")
+                if args.format == "jsonl"
+                else None
+            ),
         )
     except api.UnknownQualifierError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.format == "jsonl":
+        _jsonl_summary(report)
+        return report.exit_code
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
         return report.exit_code
@@ -202,6 +272,7 @@ def cmd_infer(args) -> int:
             print(f"  {args.qualifier} at {entity}")
     if many:
         print(report.summary())
+    _maybe_note_interrupt(report)
     return report.exit_code
 
 
@@ -217,8 +288,16 @@ def cmd_difftest(args) -> int:
             keep_going=args.keep_going,
             jobs=args.jobs,
             unit_timeout=args.unit_timeout,
-        )
+        ),
+        on_result=(
+            _jsonl_unit_streamer("difftest")
+            if args.format == "jsonl"
+            else None
+        ),
     )
+    if args.format == "jsonl":
+        _jsonl_summary(report)
+        return report.exit_code
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
         return report.exit_code
@@ -348,9 +427,19 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--format",
-            choices=("text", "json"),
+            choices=("text", "json", "jsonl"),
             default="text",
-            help="report format (json: structured per-unit verdicts)",
+            help="report format (json: structured per-unit verdicts; "
+            "jsonl: one record per unit streamed as it settles, then a "
+            "summary record)",
+        )
+        p.add_argument(
+            "--inject-faults",
+            default=None,
+            metavar="SPEC",
+            help="deterministic chaos testing, e.g. 'seed=0,kill=0.3' "
+            "(sites: kill, stall, drop_pipe, corrupt_cache, "
+            "slow_prover; also via REPRO_FAULTS)",
         )
 
     p_check = sub.add_parser("check", help="qualifier-check C files")
@@ -554,6 +643,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     profiling = bool(
         getattr(args, "profile", False) or getattr(args, "trace_out", None)
     )
+    fault_spec = getattr(args, "inject_faults", None)
+    if fault_spec:
+        try:
+            faults.activate(fault_spec)
+        except faults.FaultSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if profiling:
         obs.enable()
         marker = obs.mark()
@@ -577,6 +673,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
     finally:
+        if fault_spec:
+            faults.deactivate()
         if profiling:
             total_ms = (time.perf_counter() - started) * 1000.0
             if getattr(args, "profile", False):

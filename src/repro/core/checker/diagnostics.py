@@ -24,6 +24,7 @@ DIAGNOSTIC_CODES: Dict[str, str] = {
     "io": "Q004",  # unreadable / undecodable input
     "internal": "Q005",  # survived internal crash (CRASH verdict)
     "timeout": "Q006",  # unit exceeded its wall-clock deadline
+    "quarantine": "Q007",  # poison unit: killed repeated workers (GAVE_UP)
     "assign": "Q101",
     "restrict": "Q102",
     "disallow": "Q103",

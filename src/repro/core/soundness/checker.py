@@ -7,7 +7,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro import obs
+from repro import faults, obs
 from repro.core.qualifiers.ast import QualifierDef, QualifierSet
 from repro.core.soundness.axioms import semantics_axioms
 from repro.core.soundness.obligations import Obligation, generate_obligations
@@ -158,6 +158,7 @@ def check_soundness(
     retry: RetryPolicy = NO_RETRY,
     deadline: Optional[Deadline] = None,
     cache=None,
+    on_result=None,
 ) -> SoundnessReport:
     """Prove every obligation of one qualifier definition.
 
@@ -175,6 +176,12 @@ def check_soundness(
     any prover work per obligation; the qualifier definition's
     normalized source text is folded into the environment key, so an
     edited definition can never replay its old verdicts.
+
+    ``on_result`` (if given) is called with each
+    :class:`ObligationResult` the moment it settles — the streaming
+    hook the batch pipeline uses to report per-obligation progress
+    while the report is still being built.  Callback errors are
+    swallowed: progress reporting must never change a verdict.
     """
     if quals is None:
         quals = QualifierSet([qdef])
@@ -190,12 +197,21 @@ def check_soundness(
     with obs.span("obligations", qualifier=qdef.name):
         obligations = list(generate_obligations(qdef, quals))
     obs.incr("soundness.obligations", len(obligations))
+
+    def settle(entry: ObligationResult) -> None:
+        report.results.append(entry)
+        if on_result is not None:
+            try:
+                on_result(entry)
+            except Exception:
+                pass
+
     for obligation in obligations:
         if obligation.trivial:
-            report.results.append(ObligationResult(obligation, None))
+            settle(ObligationResult(obligation, None))
             continue
         if deadline.expired():
-            report.results.append(
+            settle(
                 ObligationResult(
                     obligation,
                     ProofResult(
@@ -204,6 +220,11 @@ def check_soundness(
                 )
             )
             continue
+        # Chaos site: an injected stall standing in for a prover whose
+        # budget estimate was wildly off (cooperates with the deadline).
+        faults.maybe_slow_prover(
+            f"{qdef.name}:{obligation.rule}", deadline=deadline
+        )
         prover = Prover(max_rounds=max_rounds, time_limit=time_limit)
         prover.add_axioms(axioms)
         try:
@@ -215,13 +236,11 @@ def check_soundness(
                     cache=cache,
                     cache_context=qdef.source,
                 )
-            report.results.append(ObligationResult(obligation, result))
+            settle(ObligationResult(obligation, result))
         except (RecursionError, MemoryError) as exc:
-            report.results.append(
-                ObligationResult(obligation, None, error=type(exc).__name__)
-            )
+            settle(ObligationResult(obligation, None, error=type(exc).__name__))
         except Exception as exc:  # prover bug: survive, report, continue
-            report.results.append(
+            settle(
                 ObligationResult(
                     obligation, None, error=f"{type(exc).__name__}: {exc}"
                 )

@@ -1,0 +1,292 @@
+"""Deterministic fault injection for chaos testing the pipeline.
+
+Production runs meet worker crashes, hard stalls, dropped result
+pipes, corrupted cache files, and provers that blow their deadlines.
+This package makes every one of those failure modes *reproducible*: a
+:class:`FaultPlan` is a seed plus per-site firing rates, and each
+decision is a pure function of ``(seed, site, key)`` — no global RNG
+state, no ordering sensitivity, identical across processes.  Running
+the same plan over the same inputs injects exactly the same faults.
+
+Activation (both forms compose; the CLI flag wins):
+
+* ``python -m repro check ... --inject-faults "seed=0,kill=0.3"``
+* ``REPRO_FAULTS="seed=0,kill=0.3" python -m repro check ...``
+
+The environment variable is also how an activated plan crosses the
+``spawn`` process boundary; ``fork`` children inherit the module state
+directly.
+
+Fault sites (each counted in ``repro.obs`` as ``faults.<site>``):
+
+=================  ====================================================
+``kill``           a pool worker SIGKILLs itself at unit start —
+                   indistinguishable from an OOM kill
+``stall``          a pool worker stops heartbeating and sleeps — a
+                   hard hang the supervisor must detect
+``drop_pipe``      a pool worker closes its result pipe and exits
+                   without sending — the result is lost in transit
+``corrupt_cache``  bytes in the middle of the proof cache's sqlite
+                   file are garbled before it is opened
+``slow_prover``    a proof obligation stalls (deadline-cooperatively)
+                   as if the prover's budget estimate was inflated
+=================  ====================================================
+
+``kill``/``stall``/``drop_pipe`` fire only inside pool workers
+(:func:`enter_worker` marks the process) so ``--jobs 1`` runs are
+never killed outright.  Worker-fault keys include the attempt number,
+so a unit that dies on attempt 1 usually survives its retry — and a
+rate of ``1.0`` makes a *poison* unit that kills every worker, which
+is how the supervisor's quarantine path is exercised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Set
+
+from repro import obs
+
+#: Environment variable carrying the active plan spec across processes.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Recognized fault sites (spec keys carrying a rate in [0, 1]).
+SITES = ("kill", "stall", "drop_pipe", "corrupt_cache", "slow_prover")
+
+#: Spec keys carrying a duration in seconds, not a rate.
+DURATIONS = ("stall_s", "slow_prover_s")
+
+
+class FaultSpecError(ValueError):
+    """A ``--inject-faults`` / ``REPRO_FAULTS`` spec does not parse."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic schedule of injected faults."""
+
+    seed: int = 0
+    rates: Dict[str, float] = field(default_factory=dict)
+    stall_s: float = 3600.0  # how long a stalled worker sleeps
+    slow_prover_s: float = 5.0  # how long a slow proof stalls
+
+    # ------------------------------------------------------------ parsing
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``"seed=0,kill=0.3,stall=0.1"`` into a plan."""
+        seed = 0
+        rates: Dict[str, float] = {}
+        durations = {"stall_s": cls.stall_s, "slow_prover_s": cls.slow_prover_s}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise FaultSpecError(
+                    f"bad fault spec item {part!r} (want key=value)"
+                )
+            name, _, value = part.partition("=")
+            name = name.strip()
+            value = value.strip()
+            try:
+                if name == "seed":
+                    seed = int(value)
+                elif name in DURATIONS:
+                    durations[name] = float(value)
+                elif name in SITES:
+                    rate = float(value)
+                    if not 0.0 <= rate <= 1.0:
+                        raise FaultSpecError(
+                            f"fault rate {name}={rate} outside [0, 1]"
+                        )
+                    rates[name] = rate
+                else:
+                    raise FaultSpecError(
+                        f"unknown fault site {name!r} "
+                        f"(known: seed, {', '.join(SITES + DURATIONS)})"
+                    )
+            except ValueError as exc:
+                if isinstance(exc, FaultSpecError):
+                    raise
+                raise FaultSpecError(
+                    f"bad value in fault spec item {part!r}: {exc}"
+                ) from None
+        return cls(
+            seed=seed,
+            rates=rates,
+            stall_s=durations["stall_s"],
+            slow_prover_s=durations["slow_prover_s"],
+        )
+
+    def to_spec(self) -> str:
+        """The canonical spec string (round-trips through :meth:`parse`)."""
+        parts = [f"seed={self.seed}"]
+        parts.extend(
+            f"{site}={self.rates[site]:g}"
+            for site in SITES
+            if site in self.rates
+        )
+        if self.stall_s != FaultPlan.stall_s:
+            parts.append(f"stall_s={self.stall_s:g}")
+        if self.slow_prover_s != FaultPlan.slow_prover_s:
+            parts.append(f"slow_prover_s={self.slow_prover_s:g}")
+        return ",".join(parts)
+
+    # ---------------------------------------------------------- decisions
+
+    def rate(self, site: str) -> float:
+        return self.rates.get(site, 0.0)
+
+    def decide(self, site: str, key: str) -> bool:
+        """Deterministically decide whether ``site`` fires for ``key``.
+
+        The decision is ``H(seed, site, key) < rate`` with a
+        cryptographic hash, so it is stable across processes, Python
+        versions (no ``hash()`` salting), and call orderings.
+        """
+        rate = self.rate(site)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            f"{self.seed}:{site}:{key}".encode("utf-8")
+        ).digest()
+        roll = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return roll < rate
+
+
+# ------------------------------------------------------------- activation
+
+_PLAN: Optional[FaultPlan] = None
+_IN_WORKER = False
+_FIRED_ONCE: Set[str] = set()
+
+
+def activate(spec_or_plan) -> FaultPlan:
+    """Install a plan for this process *and* (via the environment) for
+    every child process it starts."""
+    global _PLAN
+    plan = (
+        spec_or_plan
+        if isinstance(spec_or_plan, FaultPlan)
+        else FaultPlan.parse(str(spec_or_plan))
+    )
+    _PLAN = plan
+    os.environ[ENV_VAR] = plan.to_spec()
+    return plan
+
+
+def deactivate() -> None:
+    """Remove the active plan (and its environment carrier)."""
+    global _PLAN
+    _PLAN = None
+    _FIRED_ONCE.clear()
+    os.environ.pop(ENV_VAR, None)
+
+
+def active() -> Optional[FaultPlan]:
+    """The live plan: the activated one, else one parsed from
+    ``REPRO_FAULTS`` (how spawned children pick the plan up)."""
+    if _PLAN is not None:
+        return _PLAN
+    spec = os.environ.get(ENV_VAR)
+    if spec:
+        try:
+            return activate(spec)
+        except FaultSpecError:
+            return None
+    return None
+
+
+def enter_worker() -> None:
+    """Mark this process as a pool worker (worker-only faults may now
+    fire).  Called by the batch child entry, never by user code."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker() -> bool:
+    return _IN_WORKER
+
+
+# ------------------------------------------------------------ fault sites
+
+#: Sites that must never fire in the parent/driver process.
+_WORKER_ONLY = frozenset({"kill", "stall", "drop_pipe"})
+
+
+def fire(site: str, key: str) -> bool:
+    """Should ``site`` fire for ``key`` right now?  Counts a firing in
+    obs (``faults.<site>``)."""
+    plan = active()
+    if plan is None:
+        return False
+    if site in _WORKER_ONLY and not _IN_WORKER:
+        return False
+    if not plan.decide(site, key):
+        return False
+    obs.incr(f"faults.{site}")
+    return True
+
+
+def fire_once(site: str, key: str) -> bool:
+    """Like :func:`fire`, but at most once per process per (site, key)
+    — for sites like cache corruption where re-firing on every retry
+    would defeat the recovery being tested."""
+    token = f"{site}:{key}"
+    if token in _FIRED_ONCE:
+        return False
+    if not fire(site, key):
+        return False
+    _FIRED_ONCE.add(token)
+    return True
+
+
+def corrupt_file(path: str) -> bool:
+    """Garble a span of bytes in the middle of ``path`` (the
+    ``corrupt_cache`` payload).  Returns whether anything was written."""
+    try:
+        size = os.path.getsize(path)
+        if size == 0:
+            return False
+        with open(path, "r+b") as handle:
+            # Stamp over the sqlite header *and* a mid-file span so both
+            # open-time and query-time corruption paths are reachable.
+            handle.seek(0)
+            handle.write(b"\xde\xad\xbe\xef" * 4)
+            handle.seek(max(0, size // 2))
+            handle.write(b"\xff\x00" * 32)
+        return True
+    except OSError:
+        return False
+
+
+def maybe_slow_prover(key: str, deadline=None) -> None:
+    """The ``slow_prover`` site: stall one proof obligation as if the
+    prover's deadline estimate was inflated.  The stall sleeps in small
+    slices and stops once ``deadline`` expires, so a unit-level budget
+    still turns it into a clean cooperative ``TIMEOUT``."""
+    if not fire("slow_prover", key):
+        return
+    plan = active()
+    budget = plan.slow_prover_s if plan is not None else 0.0
+    step = 0.02
+    spent = 0.0
+    while spent < budget:
+        if deadline is not None and deadline.expired():
+            return
+        time.sleep(step)
+        spent += step
+
+
+def scaled_plan(**overrides) -> Optional[FaultPlan]:
+    """A copy of the active plan with fields replaced (test helper)."""
+    plan = active()
+    if plan is None:
+        return None
+    return replace(plan, **overrides)

@@ -1,4 +1,4 @@
-"""Batch engine: many units of work, isolated, never a lost run.
+"""Batch engine: many units of work, isolated, streamed, never a lost run.
 
 A *unit* is one translation unit (``check``/``infer``) or one
 qualifier-definition file (``prove``).  Each unit runs inside its own
@@ -13,26 +13,46 @@ aborting the invocation:
 ``TIMEOUT``  the unit's wall-clock deadline fired
 ``UNKNOWN``  a prover gave up within budget (neither proof nor
              countermodel) — the industrial checker's "don't know"
+``GAVE_UP``  the supervisor quarantined the unit after it killed
+             repeated workers (a *poison* unit; see supervisor.py)
 ``CRASH``    an internal failure was survived (bug in *us*, not in
              the input); the run continues, exit code says 3
-``SKIPPED``  a preceding unit failed and ``--keep-going`` was off
+``SKIPPED``  a preceding unit failed and ``--keep-going`` was off,
+             or the run was interrupted before the unit started
 ===========  =====================================================
 
-With ``jobs > 1``, units fan out over a process pool: each child gets
-its own interpreter, its deadline is enforced preemptively
-(``terminate`` then ``kill``), and every child is reaped on the way
-out — including when the parent is interrupted — so no orphans linger.
+With ``jobs > 1``, units fan out under :class:`repro.harness.supervisor.
+Supervisor`: each child gets its own interpreter and streams messages
+back over its result pipe — periodic heartbeats, per-obligation
+progress events (:func:`emit_progress`), and finally the picklable
+:class:`UnitResult`.  The supervisor detects crashes (sentinel without
+a result), hangs (heartbeats stop), and OOM kills; re-queues the unit
+with exponential backoff; and quarantines units that keep killing
+workers.  Every child is reaped on the way out — including when the
+parent is interrupted — so no orphans linger.
+
+Results *stream*: pass ``on_result`` to :func:`run_units` and it is
+called once per unit as that unit settles (completion order, not input
+order) — the engine behind ``--format jsonl``.  SIGINT/SIGTERM during
+a run stop dispatch, cancel in-flight work, and return the partial
+report (remaining units ``SKIPPED``, ``meta["interrupted"]`` set) so
+the caller can still flush a valid report under the documented
+exit-code contract.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
+import signal
+import threading
 import time
-from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import faults as _faults
 from repro import obs as _obs
 from repro.harness.watchdog import Deadline, DeadlineExceeded, recursion_guard
 
@@ -41,13 +61,14 @@ WARNINGS = "WARNINGS"
 ERROR = "ERROR"
 TIMEOUT = "TIMEOUT"
 UNKNOWN = "UNKNOWN"
+GAVE_UP = "GAVE_UP"
 CRASH = "CRASH"
 SKIPPED = "SKIPPED"
 
 #: Verdict -> process exit code contribution.  The run's exit code is
 #: the max over units: 0 clean, 1 warnings found, 2 input error (or
-#: timeout/unknown — the input could not be fully judged), 3 internal
-#: crash survived.
+#: timeout/unknown/gave-up — the input could not be fully judged),
+#: 3 internal crash survived.
 _SEVERITY: Dict[str, int] = {
     OK: 0,
     SKIPPED: 0,
@@ -55,6 +76,7 @@ _SEVERITY: Dict[str, int] = {
     ERROR: 2,
     TIMEOUT: 2,
     UNKNOWN: 2,
+    GAVE_UP: 2,
     CRASH: 3,
 }
 
@@ -97,6 +119,9 @@ class UnitResult:
     diagnostics: List[dict] = field(default_factory=list)
     error: str = ""  # exception text for ERROR/CRASH/TIMEOUT verdicts
     detail: dict = field(default_factory=dict)  # command-specific extras
+    # How many worker attempts this unit consumed (supervised runs may
+    # retry after a worker death; 1 everywhere else).
+    attempts: int = 1
     # Observability snapshot from the (child) collector — merged into
     # the parent collector by the pool, then cleared; never serialized.
     obs: Optional[dict] = None
@@ -113,6 +138,9 @@ class UnitResult:
             "diagnostics": self.diagnostics,
             "error": self.error,
             **({"detail": self.detail} if self.detail else {}),
+            # Additive: only present when a supervisor retried the unit,
+            # so unsupervised payloads (and their goldens) are unchanged.
+            **({"attempts": self.attempts} if self.attempts > 1 else {}),
         }
 
 
@@ -128,6 +156,10 @@ class BatchReport:
     @property
     def exit_code(self) -> int:
         return max((r.severity for r in self.results), default=0)
+
+    @property
+    def interrupted(self) -> bool:
+        return bool(self.meta.get("interrupted"))
 
     def counts(self) -> Dict[str, int]:
         out: Dict[str, int] = {}
@@ -172,6 +204,80 @@ class BatchReport:
 #: the deadline; honoring it (as the prover does) turns a preemptive
 #: kill into a clean in-process TIMEOUT verdict.
 Worker = Callable[[str, Deadline], UnitResult]
+
+#: Callbacks: on_result(UnitResult) fires as each unit settles (stream
+#: order); on_event(dict) receives per-obligation progress events.
+ResultCallback = Callable[[UnitResult], None]
+EventCallback = Callable[[dict], None]
+
+
+# ------------------------------------------------------- progress stream
+
+#: The process-local progress emitter.  In a pool worker it forwards
+#: events over the result pipe; in a sequential run it forwards to the
+#: caller's ``on_event``; when unset, emitting is free and dropped.
+_EMITTER: Optional[EventCallback] = None
+
+
+def set_emitter(emitter: Optional[EventCallback]) -> None:
+    """Install (or clear) the process-local progress emitter."""
+    global _EMITTER
+    _EMITTER = emitter
+
+
+def emit_progress(event: dict) -> None:
+    """Ship one progress event (e.g. a settled proof obligation) to the
+    supervising parent / streaming consumer.  Never raises: a dead pipe
+    must not take the unit's real result down with it."""
+    emitter = _EMITTER
+    if emitter is None:
+        return
+    try:
+        emitter(event)
+    except Exception:
+        pass
+
+
+# --------------------------------------------------------- signal guard
+
+
+class InterruptFlag:
+    """Set by the SIGINT/SIGTERM handler; polled by the run loops."""
+
+    def __init__(self) -> None:
+        self.signum: Optional[int] = None
+
+    @property
+    def set(self) -> bool:
+        return self.signum is not None
+
+
+@contextmanager
+def interrupt_guard():
+    """Install SIGINT/SIGTERM handlers that *flag* instead of raise, so
+    an interrupted batch flushes a valid partial report rather than
+    dying with half a JSON document on stdout.  Restores the previous
+    handlers on exit; a no-op off the main thread (where signals cannot
+    be installed) and under handlers we cannot replace."""
+    flag = InterruptFlag()
+    previous = {}
+
+    def handler(signum, frame):
+        flag.signum = signum
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # not the main thread
+            pass
+    try:
+        yield flag
+    finally:
+        for signum, old in previous.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError):
+                pass
 
 
 def run_one(
@@ -236,62 +342,176 @@ def run_units(
     jobs: int = 1,
     unit_timeout: Optional[float] = None,
     recursion_limit: int = 20000,
+    on_result: Optional[ResultCallback] = None,
+    on_event: Optional[EventCallback] = None,
+    supervisor_config=None,
 ) -> BatchReport:
     """Run every unit through ``worker`` with per-unit isolation.
 
     ``keep_going=False`` stops dispatching after the first unit whose
     verdict is ERROR or worse; the remaining units are reported as
     ``SKIPPED`` so the report still covers the whole batch.  With
-    ``jobs > 1`` units run in a process pool with preemptive per-child
-    deadlines and guaranteed reaping.
+    ``jobs > 1`` units run under the supervised streaming pool (see
+    :mod:`repro.harness.supervisor`): preemptive per-child deadlines,
+    heartbeat hang detection, crash retry with backoff, poison-unit
+    quarantine, and guaranteed reaping.
+
+    ``on_result`` streams each settled :class:`UnitResult` in
+    completion order; ``on_event`` receives per-obligation progress
+    events from :func:`emit_progress`.  SIGINT/SIGTERM mid-run yields a
+    partial report (``meta["interrupted"]``) instead of an exception.
     """
     start = time.perf_counter()
     if jobs > 1 and len(units) > 1:
-        report = _run_pool(
-            list(units), worker, jobs, unit_timeout, recursion_limit, keep_going
+        from repro.harness.supervisor import Supervisor, SupervisorConfig
+
+        config = supervisor_config or SupervisorConfig.from_env(
+            jobs=jobs,
+            unit_timeout=unit_timeout,
+            recursion_limit=recursion_limit,
+            keep_going=keep_going,
+        )
+        report = Supervisor(config).run(
+            list(units), worker, on_result=on_result, on_event=on_event
         )
     else:
-        report = BatchReport()
-        stop = False
-        for unit in units:
-            if stop:
-                report.results.append(UnitResult(unit=unit, verdict=SKIPPED))
-                continue
-            result = run_one(unit, worker, unit_timeout, recursion_limit)
-            report.results.append(result)
-            if not keep_going and result.severity >= _SEVERITY[ERROR]:
-                stop = True
+        report = _run_sequential(
+            units,
+            worker,
+            keep_going,
+            unit_timeout,
+            recursion_limit,
+            on_result,
+            on_event,
+        )
     report.elapsed = time.perf_counter() - start
+    return report
+
+
+def _run_sequential(
+    units: Sequence[str],
+    worker: Worker,
+    keep_going: bool,
+    unit_timeout: Optional[float],
+    recursion_limit: int,
+    on_result: Optional[ResultCallback],
+    on_event: Optional[EventCallback],
+) -> BatchReport:
+    report = BatchReport()
+    stop = False
+    set_emitter(on_event)
+    try:
+        with interrupt_guard() as interrupt:
+            for unit in units:
+                if stop or interrupt.set:
+                    report.results.append(UnitResult(unit=unit, verdict=SKIPPED))
+                    continue
+                result = run_one(unit, worker, unit_timeout, recursion_limit)
+                report.results.append(result)
+                if on_result is not None:
+                    on_result(result)
+                if not keep_going and result.severity >= _SEVERITY[ERROR]:
+                    stop = True
+            if interrupt.set:
+                report.meta["interrupted"] = True
+    finally:
+        set_emitter(None)
     return report
 
 
 # ------------------------------------------------------------- process pool
 
 
-def _child_entry(worker, unit, conn, unit_timeout, recursion_limit):
-    """Child process body: run the unit, ship the result, exit.
+def _heartbeat_loop(conn, lock, stop: threading.Event, interval: float) -> None:
+    """Child-side liveness beacon: a ``("hb", seq)`` message every
+    ``interval`` seconds until stopped or the pipe dies."""
+    seq = 0
+    while not stop.wait(interval):
+        seq += 1
+        try:
+            with lock:
+                conn.send(("hb", seq))
+        except Exception:
+            return
 
-    When profiling is on, the child's collector snapshot (spans +
-    counters; the fork-inherited parent data is discarded by the
-    collector's pid check) rides home inside the UnitResult."""
+
+def _child_entry(
+    worker,
+    unit,
+    conn,
+    unit_timeout,
+    recursion_limit,
+    attempt: int = 1,
+    heartbeat_interval: float = 0.0,
+):
+    """Child process body: run the unit, streaming heartbeats and
+    progress events, then ship the result and exit.
+
+    Messages on the pipe are ``("hb", seq)`` liveness beacons from a
+    daemon thread, ``("ev", dict)`` progress events from
+    :func:`emit_progress` call sites inside the worker, and finally one
+    ``("result", UnitResult)``.  When profiling is on, the child's
+    collector snapshot (spans + counters; the fork-inherited parent
+    data is discarded by the collector's pid check) rides home inside
+    the UnitResult.
+
+    This is also where injected worker faults land (see
+    :mod:`repro.faults`): ``kill`` SIGKILLs the process at unit start,
+    ``stall`` silences the heartbeat and sleeps (a hard hang),
+    ``drop_pipe`` exits without sending the result.
+    """
+    _faults.enter_worker()
+    fault_key = f"{unit}#{attempt}"
+    if _faults.fire("kill", fault_key):
+        os.kill(os.getpid(), signal.SIGKILL)
+    lock = threading.Lock()
+    stop_heartbeat = threading.Event()
+    if heartbeat_interval > 0:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(conn, lock, stop_heartbeat, heartbeat_interval),
+            daemon=True,
+        ).start()
+    if _faults.fire("stall", fault_key):
+        stop_heartbeat.set()  # a *hard* hang: liveness stops too
+        plan = _faults.active()
+        time.sleep(plan.stall_s if plan is not None else 3600.0)
+        os._exit(3)
+
+    def emit(event: dict) -> None:
+        with lock:
+            conn.send(("ev", event))
+
+    set_emitter(emit)
     try:
         result = run_one(unit, worker, unit_timeout, recursion_limit)
+        result.attempts = attempt
         if _obs.enabled():
             result.obs = _obs.snapshot()
-        conn.send(result)
+        if _faults.fire("drop_pipe", fault_key):
+            stop_heartbeat.set()
+            conn.close()
+            os._exit(0)
+        with lock:
+            conn.send(("result", result))
     except Exception as exc:  # pragma: no cover - belt and braces
         try:
-            conn.send(
-                UnitResult(unit=unit, verdict=CRASH, error=repr(exc))
-            )
+            with lock:
+                conn.send(
+                    ("result", UnitResult(unit=unit, verdict=CRASH, error=repr(exc)))
+                )
         except Exception:
             pass
     finally:
+        set_emitter(None)
+        stop_heartbeat.set()
         conn.close()
 
 
 def _reap(proc) -> None:
-    """Terminate, then kill, then join — never leave an orphan."""
+    """Terminate, then kill, then join — never leave an orphan.  Also
+    joins an already-exited child so its process-table entry (zombie)
+    is collected."""
     if proc.is_alive():
         proc.terminate()
         proc.join(timeout=1.0)
@@ -299,110 +519,4 @@ def _reap(proc) -> None:
         proc.kill()
         proc.join(timeout=1.0)
     if not proc.is_alive():
-        proc.join()
-
-
-def _run_pool(
-    units: List[str],
-    worker: Worker,
-    jobs: int,
-    unit_timeout: Optional[float],
-    recursion_limit: int,
-    keep_going: bool,
-) -> BatchReport:
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    pending = deque(enumerate(units))
-    running: dict = {}  # proc -> (index, unit, recv-end, started-at)
-    results: List[Optional[UnitResult]] = [None] * len(units)
-    stop = False
-    try:
-        while pending or running:
-            while pending and len(running) < jobs and not stop:
-                index, unit = pending.popleft()
-                recv, send = ctx.Pipe(duplex=False)
-                proc = ctx.Process(
-                    target=_child_entry,
-                    args=(worker, unit, send, unit_timeout, recursion_limit),
-                    daemon=True,
-                )
-                proc.start()
-                send.close()  # parent keeps only the read end
-                running[proc] = (index, unit, recv, time.perf_counter())
-            if stop and not running:
-                break
-            if not running:
-                continue
-            # Block until a result pipe has data, a child exits, or the
-            # nearest per-unit deadline expires — no polling loop.
-            if unit_timeout is None:
-                wait_timeout = None
-            else:
-                now = time.perf_counter()
-                next_expiry = min(
-                    started + unit_timeout
-                    for _, _, _, started in running.values()
-                )
-                wait_timeout = max(0.0, next_expiry - now)
-            waitables = [info[2] for info in running.values()]
-            waitables += [proc.sentinel for proc in running]
-            multiprocessing.connection.wait(waitables, timeout=wait_timeout)
-            for proc in list(running):
-                index, unit, recv, started = running[proc]
-                outcome: Optional[UnitResult] = None
-                if recv.poll():
-                    try:
-                        outcome = recv.recv()
-                    except (EOFError, OSError):
-                        outcome = UnitResult(
-                            unit=unit,
-                            verdict=CRASH,
-                            error="worker result lost",
-                        )
-                elif unit_timeout is not None and (
-                    time.perf_counter() - started > unit_timeout
-                ):
-                    outcome = UnitResult(
-                        unit=unit,
-                        verdict=TIMEOUT,
-                        elapsed=time.perf_counter() - started,
-                        error=f"killed after {unit_timeout:g} s",
-                    )
-                elif not proc.is_alive():
-                    # Died without sending a result: segfault, OOM kill.
-                    outcome = UnitResult(
-                        unit=unit,
-                        verdict=CRASH,
-                        elapsed=time.perf_counter() - started,
-                        error=f"worker died (exitcode {proc.exitcode})",
-                    )
-                if outcome is None:
-                    continue
-                del running[proc]
-                _reap(proc)
-                recv.close()
-                if not outcome.elapsed:
-                    outcome.elapsed = time.perf_counter() - started
-                if outcome.obs is not None:
-                    _obs.merge(outcome.obs)
-                    outcome.obs = None
-                results[index] = outcome
-                if not keep_going and outcome.severity >= _SEVERITY[ERROR]:
-                    stop = True
-    finally:
-        # Reap *and* close the read ends of anything still running —
-        # an early stop or an interrupt must not leak pipe fds.
-        for proc, (_, _, recv, _) in list(running.items()):
-            _reap(proc)
-            try:
-                recv.close()
-            except OSError:
-                pass
-        running.clear()
-    report = BatchReport()
-    for index, unit in enumerate(units):
-        result = results[index]
-        if result is None:
-            result = UnitResult(unit=unit, verdict=SKIPPED)
-        report.results.append(result)
-    return report
+        proc.join(timeout=1.0)

@@ -1,0 +1,253 @@
+"""Chaos suite: every injected failure mode must end in a complete,
+correctly-coded report.
+
+Each test drives the real CLI over ``examples/`` with a seeded,
+deterministic fault plan (see ``repro.faults``) and asserts the
+acceptance contract: unaffected units keep their correct verdicts,
+poison units are quarantined as ``GAVE_UP`` with a ``Q007``
+diagnostic, the JSONL stream contains every unit exactly once plus a
+valid final summary record, and the exit code follows the documented
+taxonomy.  A no-fault streaming run must be verdict-identical to the
+pre-refactor golden snapshots.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.cli import main
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+EXAMPLES = sorted(glob.glob(os.path.join(REPO, "examples", "*.c")))
+QUALS = sorted(glob.glob(os.path.join(REPO, "examples", "*.qual")))
+
+
+@pytest.fixture(autouse=True)
+def fast_liveness(monkeypatch):
+    """Make hang detection fast and fault state clean for every test."""
+    monkeypatch.setenv("REPRO_HEARTBEAT_INTERVAL", "0.05")
+    monkeypatch.setenv("REPRO_HANG_TIMEOUT", "0.5")
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def run_jsonl(argv, capsys):
+    """Run the CLI, parse its stdout as a JSONL stream, and validate
+    the stream invariants: unit records first (each unit exactly once),
+    one summary record last."""
+    code = main(argv)
+    out = capsys.readouterr().out
+    records = [json.loads(line) for line in out.strip().splitlines()]
+    assert records, "stream must not be empty"
+    summary = records[-1]
+    units = records[:-1]
+    assert summary["record"] == "summary"
+    assert all(r["record"] == "unit" for r in units)
+    assert all(r["schema_version"] == 1 for r in records)
+    names = [r["unit"] for r in units]
+    assert len(names) == len(set(names)), "every unit exactly once"
+    assert summary["exit_code"] == code
+    assert sum(summary["counts"].values()) == len(units)
+    return code, units, summary
+
+
+def pick_seed(units, site, rate, attempts=(2, 3), want=1, span=500):
+    """The first seed whose schedule kills exactly ``want`` unit(s) on
+    attempt 1 and spares every retry — found by replaying the same
+    deterministic rolls the workers will make."""
+    for seed in range(span):
+        plan = faults.FaultPlan(seed=seed, rates={site: rate})
+        first = [u for u in units if plan.decide(site, f"{u}#1")]
+        retries_clean = not any(
+            plan.decide(site, f"{u}#{a}") for u in first for a in attempts
+        )
+        if len(first) == want and retries_clean:
+            return seed
+    raise AssertionError(f"no such seed in range({span})")
+
+
+class TestWorkerCrashChaos:
+    def test_poison_units_quarantined_with_diagnostics(self, capsys):
+        code, units, summary = run_jsonl(
+            [
+                "check", *EXAMPLES, "--keep-going", "--jobs", "2",
+                "--format", "jsonl", "--inject-faults", "seed=0,kill=1",
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert len(units) == len(EXAMPLES)
+        for record in units:
+            assert record["verdict"] == "GAVE_UP"
+            assert any(d["code"] == "Q007" for d in record["diagnostics"])
+        assert summary["counts"] == {"GAVE_UP": len(EXAMPLES)}
+        assert summary["supervisor"]["quarantined"] == len(EXAMPLES)
+
+    def test_transient_crash_recovers_with_correct_verdicts(self, capsys):
+        seed = pick_seed(EXAMPLES, "kill", 0.4)
+        code, units, summary = run_jsonl(
+            [
+                "check", *EXAMPLES, "--keep-going", "--jobs", "2",
+                "--format", "jsonl",
+                "--inject-faults", f"seed={seed},kill=0.4",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert {r["unit"] for r in units} == set(EXAMPLES)
+        assert all(r["verdict"] == "OK" for r in units)
+        assert summary["supervisor"]["deaths"] >= 1
+        assert summary["supervisor"]["quarantined"] == 0
+        # Exactly one unit needed a second attempt.
+        assert [r.get("attempts") for r in units].count(2) == 1
+
+
+class TestWorkerHangChaos:
+    def test_hung_worker_detected_and_run_completes(self, capsys):
+        seed = pick_seed(EXAMPLES, "stall", 0.4)
+        code, units, summary = run_jsonl(
+            [
+                "check", *EXAMPLES, "--keep-going", "--jobs", "2",
+                "--format", "jsonl",
+                "--inject-faults", f"seed={seed},stall=0.4,stall_s=30",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert all(r["verdict"] == "OK" for r in units)
+        assert summary["supervisor"]["hangs"] == 1
+        assert summary["supervisor"]["deaths"] == 1
+
+
+class TestPipeDropChaos:
+    def test_dropped_pipes_quarantine_not_crash(self, capsys):
+        code, units, summary = run_jsonl(
+            [
+                "check", *EXAMPLES, "--keep-going", "--jobs", "2",
+                "--format", "jsonl",
+                "--inject-faults", "seed=0,drop_pipe=1",
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert all(r["verdict"] == "GAVE_UP" for r in units)
+        assert "CRASH" not in summary["counts"]
+
+
+class TestCacheCorruptionChaos:
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        # Warm the cache fault-free.
+        warm = main(
+            ["prove", *QUALS, "--keep-going", "--cache-dir", cache_dir,
+             "--format", "json"]
+        )
+        warm_payload = json.loads(capsys.readouterr().out)
+        assert warm == 0
+        assert warm_payload["cache"]["stores"] >= 1
+        # Re-prove with the sqlite file garbled at open time.
+        code, units, summary = run_jsonl(
+            [
+                "prove", *QUALS, "--keep-going", "--cache-dir", cache_dir,
+                "--format", "jsonl",
+                "--inject-faults", "seed=0,corrupt_cache=1",
+            ],
+            capsys,
+        )
+        assert code == 0  # corruption never changes a verdict
+        assert all(r["verdict"] == "OK" for r in units)
+        assert summary["cache"]["degraded"] >= 1
+        assert summary["cache"]["hits"] == 0  # the warm state was lost
+
+
+class TestSlowProverChaos:
+    def test_inflated_prover_deadline_times_out_cleanly(self, capsys):
+        code, units, summary = run_jsonl(
+            [
+                "prove", QUALS[0], QUALS[-1], "--keep-going", "--no-cache",
+                "--unit-timeout", "1.5", "--jobs", "2", "--format", "jsonl",
+                "--inject-faults", "seed=0,slow_prover=1,slow_prover_s=30",
+            ],
+            capsys,
+        )
+        # Every obligation stalls for 30 s against a 1.5 s unit budget:
+        # the units must be preemptively killed as clean TIMEOUTs
+        # (severity 2), never retried, never CRASH.
+        assert code == 2
+        assert all(r["verdict"] == "TIMEOUT" for r in units)
+        assert "CRASH" not in summary["counts"]
+        assert "supervisor" not in summary  # timeouts are not deaths
+
+    def test_brief_stall_changes_nothing(self, capsys):
+        code, units, summary = run_jsonl(
+            [
+                "prove", QUALS[0], "--no-cache", "--format", "jsonl",
+                "--inject-faults", "seed=0,slow_prover=1,slow_prover_s=0.05",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert all(r["verdict"] == "OK" for r in units)
+
+
+class TestNoFaultStreaming:
+    def test_jsonl_verdicts_match_json_report(self, capsys):
+        argv = ["check", *EXAMPLES, "--keep-going", "--jobs", "2"]
+        json_code = main([*argv, "--format", "json"])
+        json_payload = json.loads(capsys.readouterr().out)
+        jsonl_code, units, summary = run_jsonl(
+            [*argv, "--format", "jsonl"], capsys
+        )
+        assert jsonl_code == json_code
+        assert {u["unit"]: u["verdict"] for u in units} == {
+            u["unit"]: u["verdict"] for u in json_payload["units"]
+        }
+        assert summary["counts"] == json_payload["counts"]
+        assert "supervisor" not in summary  # no faults, no meta noise
+
+    def test_streaming_run_matches_golden_snapshot(self, capsys):
+        """The acceptance bar: a no-faults streaming run is
+        verdict-identical to the pre-refactor golden payload."""
+        with open(os.path.join(HERE, "golden", "check.json")) as handle:
+            golden_unit = json.load(handle)["units"][0]
+        code, units, _ = run_jsonl(
+            [
+                "check", os.path.join(REPO, "examples", "nonnull.c"),
+                "--flow-sensitive", "--format", "jsonl",
+            ],
+            capsys,
+        )
+        (record,) = units
+        assert code == 0
+        assert record["verdict"] == golden_unit["verdict"]
+        assert record["diagnostics"] == golden_unit["diagnostics"]
+        assert record["error"] == golden_unit["error"]
+        assert (
+            record["detail"]["warnings"] == golden_unit["detail"]["warnings"]
+        )
+
+
+class TestDifftestUnderChaos:
+    def test_difftest_survives_one_worker_crash(self, tmp_path, capsys):
+        cases = [f"case-{i:05d}" for i in range(6)]
+        seed = pick_seed(cases, "kill", 0.2)
+        code, units, summary = run_jsonl(
+            [
+                "difftest", "--count", "6", "--seed", "0",
+                "--jobs", "2", "--keep-going",
+                "--out-dir", str(tmp_path / "artifacts"),
+                "--format", "jsonl",
+                "--inject-faults", f"seed={seed},kill=0.2",
+            ],
+            capsys,
+        )
+        assert code == 0  # the oracle corpus at seed 0 has no findings
+        assert {r["unit"] for r in units} == set(cases)
+        assert all(r["verdict"] == "OK" for r in units)
+        assert summary["supervisor"]["deaths"] == 1
+        assert summary["supervisor"]["quarantined"] == 0

@@ -1,0 +1,170 @@
+"""The deterministic fault-injection layer: spec parsing, seeded
+decisions, worker gating, and the activation lifecycle."""
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.harness.watchdog import Deadline
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state():
+    """Every test starts and ends with no plan, no worker mark, and a
+    clean fired-once ledger (module state is process-global)."""
+    faults.deactivate()
+    faults._IN_WORKER = False
+    yield
+    faults.deactivate()
+    faults._IN_WORKER = False
+
+
+class TestSpecParsing:
+    def test_parse_full_spec(self):
+        plan = faults.FaultPlan.parse(
+            "seed=7,kill=0.25,stall=0.1,drop_pipe=1,corrupt_cache=0,"
+            "stall_s=2.5,slow_prover_s=0.5"
+        )
+        assert plan.seed == 7
+        assert plan.rate("kill") == 0.25
+        assert plan.rate("drop_pipe") == 1.0
+        assert plan.rate("corrupt_cache") == 0.0
+        assert plan.rate("slow_prover") == 0.0  # unmentioned: off
+        assert plan.stall_s == 2.5
+        assert plan.slow_prover_s == 0.5
+
+    def test_spec_round_trips(self):
+        spec = "seed=3,kill=0.5,corrupt_cache=1,stall_s=9"
+        plan = faults.FaultPlan.parse(spec)
+        assert faults.FaultPlan.parse(plan.to_spec()) == plan
+
+    def test_empty_and_whitespace_items_ignored(self):
+        plan = faults.FaultPlan.parse("seed=1, kill=0.5 ,")
+        assert plan.seed == 1 and plan.rate("kill") == 0.5
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "kill",  # no value
+            "kill=1.5",  # rate out of range
+            "kill=-0.1",
+            "kill=abc",  # not a float
+            "seed=xyz",
+            "explode=0.5",  # unknown site
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(faults.FaultSpecError):
+            faults.FaultPlan.parse(spec)
+
+
+class TestDecisions:
+    def test_deterministic_across_calls(self):
+        plan = faults.FaultPlan(seed=0, rates={"kill": 0.5})
+        keys = [f"unit-{i}" for i in range(64)]
+        first = [plan.decide("kill", k) for k in keys]
+        second = [plan.decide("kill", k) for k in keys]
+        assert first == second
+        assert any(first) and not all(first)  # a real mix at rate 0.5
+
+    def test_seed_changes_the_schedule(self):
+        a = faults.FaultPlan(seed=0, rates={"kill": 0.5})
+        b = faults.FaultPlan(seed=1, rates={"kill": 0.5})
+        keys = [f"unit-{i}" for i in range(64)]
+        assert [a.decide("kill", k) for k in keys] != [
+            b.decide("kill", k) for k in keys
+        ]
+
+    def test_rate_edges(self):
+        always = faults.FaultPlan(rates={"kill": 1.0})
+        never = faults.FaultPlan(rates={"kill": 0.0})
+        for key in ("a", "b", "c"):
+            assert always.decide("kill", key)
+            assert not never.decide("kill", key)
+
+    def test_rate_roughly_respected(self):
+        plan = faults.FaultPlan(seed=42, rates={"kill": 0.3})
+        hits = sum(
+            plan.decide("kill", f"k{i}") for i in range(1000)
+        )
+        assert 200 < hits < 400  # sha256 is a good uniform roll
+
+
+class TestActivation:
+    def test_activate_sets_module_and_environment(self):
+        plan = faults.activate("seed=5,kill=0.5")
+        assert faults.active() == plan
+        assert os.environ[faults.ENV_VAR] == plan.to_spec()
+        faults.deactivate()
+        assert faults.active() is None
+        assert faults.ENV_VAR not in os.environ
+
+    def test_active_falls_back_to_environment(self):
+        # How a spawned child (fresh module state) picks up the plan.
+        os.environ[faults.ENV_VAR] = "seed=9,stall=1"
+        plan = faults.active()
+        assert plan is not None
+        assert plan.seed == 9 and plan.rate("stall") == 1.0
+
+    def test_malformed_environment_is_ignored(self):
+        os.environ[faults.ENV_VAR] = "not a spec"
+        assert faults.active() is None
+        del os.environ[faults.ENV_VAR]
+
+
+class TestFiring:
+    def test_worker_only_sites_gated_outside_workers(self):
+        faults.activate("seed=0,kill=1,stall=1,drop_pipe=1")
+        for site in ("kill", "stall", "drop_pipe"):
+            assert not faults.fire(site, "unit")
+        faults.enter_worker()
+        for site in ("kill", "stall", "drop_pipe"):
+            assert faults.fire(site, "unit")
+
+    def test_parent_sites_fire_without_worker_mark(self):
+        faults.activate("seed=0,corrupt_cache=1,slow_prover=1")
+        assert faults.fire("corrupt_cache", "x")
+        assert faults.fire("slow_prover", "y")
+
+    def test_nothing_fires_without_a_plan(self):
+        faults.enter_worker()
+        assert not faults.fire("kill", "unit")
+
+    def test_fire_once_fires_exactly_once(self):
+        faults.activate("seed=0,corrupt_cache=1")
+        assert faults.fire_once("corrupt_cache", "db")
+        assert not faults.fire_once("corrupt_cache", "db")
+        assert faults.fire_once("corrupt_cache", "other-db")
+
+
+class TestPayloads:
+    def test_corrupt_file_garbles_bytes(self, tmp_path):
+        target = tmp_path / "victim.bin"
+        target.write_bytes(b"A" * 4096)
+        assert faults.corrupt_file(str(target))
+        data = target.read_bytes()
+        assert data[:4] == b"\xde\xad\xbe\xef"
+        assert data != b"A" * 4096
+
+    def test_corrupt_file_missing_or_empty(self, tmp_path):
+        assert not faults.corrupt_file(str(tmp_path / "nope"))
+        empty = tmp_path / "empty"
+        empty.write_bytes(b"")
+        assert not faults.corrupt_file(str(empty))
+
+    def test_slow_prover_respects_deadline(self):
+        faults.activate("seed=0,slow_prover=1,slow_prover_s=30")
+        import time
+
+        start = time.perf_counter()
+        faults.maybe_slow_prover("key", deadline=Deadline.after(0.05))
+        assert time.perf_counter() - start < 5.0  # stopped at the deadline
+
+    def test_slow_prover_noop_when_site_off(self):
+        faults.activate("seed=0,kill=1")
+        import time
+
+        start = time.perf_counter()
+        faults.maybe_slow_prover("key", deadline=None)
+        assert time.perf_counter() - start < 0.5

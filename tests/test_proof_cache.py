@@ -147,11 +147,15 @@ class TestStore:
         (where / "proofs.sqlite").write_bytes(b"this is not a database\0\xff")
         cache = ProofCache(cache_dir=str(where))
         key = cache.key(EASY, [])
-        assert cache.get(key) is None  # no crash
-        cache.put(key, PROVED_PAYLOAD)  # memory tier still works
+        assert cache.get(key) is None  # no crash: cold run, not a crash
+        cache.put(key, PROVED_PAYLOAD)
         assert cache.get(key) is not None
-        assert not cache.disk_available
+        # Corruption is *rebuilt* (damaged file deleted, fresh schema),
+        # so the disk tier survives for the rest of the run.
+        assert cache.disk_available
+        assert cache.entry_count() == 1  # the put above reached disk
         assert cache.counters["errors"] >= 1
+        assert cache.counters["degraded"] >= 1
 
     def test_format_version_mismatch_rebuilds(self, tmp_path):
         where = str(tmp_path / "cache")
@@ -165,6 +169,83 @@ class TestStore:
         with ProofCache(cache_dir=where) as reopened:
             assert reopened.get(reopened.key(EASY, [])) is None
             assert reopened.disk_available  # rebuilt, not abandoned
+
+    def test_mid_session_corruption_rebuilds_disk_tier(self, tmp_path):
+        """Garbling the sqlite file *mid-session* (after entries were
+        stored) degrades to a cold-but-live disk tier: the damaged file
+        is deleted and rebuilt, verdicts already in the memory tier
+        survive, and the degradation is counted."""
+        where = str(tmp_path / "cache")
+        cache = ProofCache(cache_dir=where)
+        cache.put(cache.key(EASY, []), PROVED_PAYLOAD)
+        path = cache.path
+        size = (tmp_path / "cache" / "proofs.sqlite").stat().st_size
+        with open(path, "r+b") as handle:  # garble header + mid-file
+            handle.write(b"\xde\xad\xbe\xef" * 4)
+            handle.seek(size // 2)
+            handle.write(b"\xff\x00" * 32)
+        # sqlite's page cache can mask in-place damage on the live
+        # handle; the failure surfaces on the next (re)connection —
+        # exactly what every post-fork pool worker does.  Drop the
+        # cached handle to take that path deterministically.
+        cache._conn.close()
+        cache._conn = None
+        assert cache.get(cache.key(OTHER, [])) is None  # cold, no crash
+        assert cache.get(cache.key(EASY, [])) is not None  # memory tier
+        assert cache.disk_available  # rebuilt, not abandoned
+        assert cache.counters["degraded"] >= 1
+        cache.put(cache.key(OTHER, []), PROVED_PAYLOAD)
+        assert cache.entry_count() >= 1  # fresh disk tier accepts writes
+
+    def test_second_corruption_bypasses_disk_tier(self, tmp_path):
+        """The rebuild budget is one per instance: corruption striking
+        again downgrades to bypass (memory-only), never a rebuild loop."""
+        where = tmp_path / "cache"
+        where.mkdir()
+        (where / "proofs.sqlite").write_bytes(b"garbage one")
+        cache = ProofCache(cache_dir=str(where))
+        assert cache.get(cache.key(EASY, [])) is None
+        assert cache.disk_available  # first strike: rebuilt
+        (where / "proofs.sqlite").write_bytes(b"garbage two")
+        cache._conn.close()
+        cache._conn = None
+        cache.put(cache.key(EASY, []), PROVED_PAYLOAD)
+        assert cache.get(cache.key(EASY, [])) is not None  # memory tier
+        assert not cache.disk_available  # second strike: bypassed
+        assert cache.counters["degraded"] >= 2
+
+    def test_locked_database_bypasses_not_deletes(self, tmp_path):
+        """'database is locked' is an OperationalError: another process
+        may hold a healthy file, so triage must bypass, never delete."""
+        where = str(tmp_path / "cache")
+        with ProofCache(cache_dir=where) as cache:
+            cache.put(cache.key(EASY, []), PROVED_PAYLOAD)
+            path = cache.path
+            cache._disk_failure(sqlite3.OperationalError("database is locked"))
+            assert not cache.disk_available
+            assert cache.counters["degraded"] == 1
+        import os
+
+        assert os.path.exists(path)  # the healthy file was preserved
+        with ProofCache(cache_dir=where) as reopened:
+            assert reopened.get(reopened.key(EASY, [])) is not None
+
+    def test_degradation_counts_in_obs(self, tmp_path):
+        from repro import obs
+
+        where = tmp_path / "cache"
+        where.mkdir()
+        (where / "proofs.sqlite").write_bytes(b"not a database")
+        obs.enable()
+        marker = obs.mark()
+        try:
+            cache = ProofCache(cache_dir=str(where))
+            assert cache.get(cache.key(EASY, [])) is None
+            counters = obs.since(marker)["counters"]
+            assert counters.get("cache.degraded", 0) >= 1
+        finally:
+            obs.disable()
+            obs.reset()
 
     def test_clear_removes_entries_and_counters(self, tmp_path):
         where = str(tmp_path / "cache")

@@ -135,4 +135,86 @@ assert verdicts == ["ERROR", "OK"], verdicts
 print("   verdicts:", " ".join(verdicts))
 ' "$tmpdir/report.json"
 
+echo "== chaos smoke: poison units quarantined (expect exit 2, JSONL complete)"
+status=0
+python -m repro check examples/*.c --keep-going --jobs 2 --format jsonl \
+    --inject-faults 'seed=0,kill=1' > "$tmpdir/chaos-poison.jsonl" || status=$?
+test "$status" -eq 2 || {
+    echo "expected exit 2 for an all-poison chaos run, got $status" >&2
+    exit 1
+}
+python -c '
+import glob, json, sys
+records = [json.loads(line) for line in open(sys.argv[1])]
+summary = records[-1]
+units = records[:-1]
+assert summary["record"] == "summary", summary
+expected = sorted(glob.glob("examples/*.c"))
+names = sorted(r["unit"] for r in units)
+assert names == expected, f"every unit exactly once: {names}"
+for r in units:
+    assert r["verdict"] == "GAVE_UP", r
+    assert any(d["code"] == "Q007" for d in r["diagnostics"]), r
+assert summary["exit_code"] == 2, summary
+assert summary["supervisor"]["quarantined"] == len(units), summary
+print(f"   {len(units)} unit(s) quarantined with Q007, stream complete")
+' "$tmpdir/chaos-poison.jsonl"
+
+echo "== chaos smoke: transient worker crash recovers (expect exit 0)"
+seed="$(python -c '
+import glob
+from repro import faults
+units = sorted(glob.glob("examples/*.c"))
+for seed in range(500):
+    plan = faults.FaultPlan(seed=seed, rates={"kill": 0.4})
+    first = [u for u in units if plan.decide("kill", f"{u}#1")]
+    if len(first) == 1 and not any(
+        plan.decide("kill", f"{u}#{a}") for u in first for a in (2, 3)
+    ):
+        print(seed)
+        break
+')"
+python -m repro check examples/*.c --keep-going --jobs 2 --format jsonl \
+    --inject-faults "seed=$seed,kill=0.4" > "$tmpdir/chaos-retry.jsonl"
+python -c '
+import json, sys
+records = [json.loads(line) for line in open(sys.argv[1])]
+summary = records[-1]
+assert all(r["verdict"] == "OK" for r in records[:-1]), records
+assert summary["exit_code"] == 0, summary
+assert summary["supervisor"]["deaths"] >= 1, summary
+assert summary["supervisor"]["quarantined"] == 0, summary
+deaths = summary["supervisor"]["deaths"]
+print(f"   recovered from {deaths} worker death(s), all verdicts OK")
+' "$tmpdir/chaos-retry.jsonl"
+
+echo "== difftest under one injected worker crash (expect exit 0)"
+dseed="$(python -c '
+from repro import faults
+units = [f"case-{i:05d}" for i in range(12)]
+for seed in range(500):
+    plan = faults.FaultPlan(seed=seed, rates={"kill": 0.2})
+    first = [u for u in units if plan.decide("kill", f"{u}#1")]
+    if len(first) == 1 and not any(
+        plan.decide("kill", f"{u}#{a}") for u in first for a in (2, 3)
+    ):
+        print(seed)
+        break
+')"
+python -m repro difftest --seed 0 --count 12 --jobs 2 --keep-going \
+    --out-dir "$tmpdir/chaos-difftest-artifacts" --format json \
+    --inject-faults "seed=$dseed,kill=0.2" > "$tmpdir/chaos-difftest.json"
+python -c '
+import json, sys
+report = json.load(open(sys.argv[1]))
+meta = report["difftest"]
+assert meta["findings"] == 0, f"difftest disagreements under chaos: {meta}"
+assert meta["counters"].get("prover_vs_enum.compared", 0) > 0, meta
+assert report["exit_code"] == 0, report["exit_code"]
+assert report["supervisor"]["deaths"] >= 1, report.get("supervisor")
+assert report["supervisor"]["quarantined"] == 0, report["supervisor"]
+deaths = report["supervisor"]["deaths"]
+print(f"   12 case(s), {deaths} worker death(s) survived, oracles agree")
+' "$tmpdir/chaos-difftest.json"
+
 echo "ci_check: all stages passed"
