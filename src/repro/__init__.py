@@ -36,7 +36,9 @@ from repro.api import (
     InferRequest,
     ProveRequest,
     Session,
+    SessionConfig,
     UnknownQualifierError,
+    Workspace,
 )
 from repro.cache import ProofCache
 from repro.cfront.parser import ParseError, parse_c
@@ -75,7 +77,8 @@ __all__ = [
     "__version__",
     # stable facade (the supported programmatic surface; repro.api.Report
     # is reached through the module to avoid shadowing the checker Report)
-    "api", "Session", "CheckRequest", "ProveRequest", "InferRequest",
+    "api", "Session", "SessionConfig", "Workspace",
+    "CheckRequest", "ProveRequest", "InferRequest",
     "UnknownQualifierError", "SCHEMA_VERSION", "ProofCache",
     # front end
     "parse_c", "ParseError", "lower_unit", "LowerError", "program_to_c",

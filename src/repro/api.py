@@ -2,15 +2,22 @@
 
 Programmatic users should depend on this module — not on ``repro.cli``
 (whose argparse plumbing is an implementation detail) and not on the
-internal module layout (which refactors freely).  The surface is four
-dataclasses and one entry object:
+internal module layout (which refactors freely).  The surface is two
+session objects, four request dataclasses, and one report:
 
-* :class:`Session` — a qualifier environment: which definition files
-  are loaded (in order, later files overriding earlier ones by name),
-  whether the standard library is included, and the paper's
-  ``trust-constants`` switch.
+* :class:`SessionConfig` — the *immutable* qualifier environment:
+  which definition files are loaded (in order, later files overriding
+  earlier ones by name), whether the standard library is included, the
+  paper's ``trust-constants`` switch, and the proof-cache settings.
+* :class:`Workspace` — the *stateful* entry object: owns loaded
+  units, per-function content fingerprints, and an incremental
+  verdict store, so a long-lived process (``python -m repro serve``)
+  re-checks only the functions an edit actually touched and replays
+  cached verdicts for everything else.  One-shot use is just a
+  ``Workspace`` that is thrown away after one request.
 * :class:`CheckRequest` / :class:`ProveRequest` / :class:`InferRequest`
-  — one batch invocation each, mirroring the CLI flag-for-flag.
+  / :class:`DifftestRequest` — one batch invocation each, mirroring
+  the CLI flag-for-flag.
 * :class:`Report` — the result: per-unit verdicts, exit code, and a
   JSON-ready :meth:`Report.to_dict` stamped with
   ``schema_version`` = :data:`SCHEMA_VERSION`.
@@ -18,13 +25,23 @@ dataclasses and one entry object:
 Every ``--format json`` payload the CLI prints is exactly
 ``Report.to_dict()`` (or :func:`cache_stats` for the ``cache``
 subcommand), so the schema documented in docs/robustness.md is the
-schema of this module.
+schema of this module.  :func:`report_from_dict` reconstructs a
+:class:`Report` from such a payload (the ``repro serve`` client uses
+it so remote runs format identically to local ones).
+
+.. deprecated:: ``Session``
+   :class:`Session` — the original one-shot facade — is kept as a thin
+   alias that builds a fresh one-shot :class:`Workspace` per call, so
+   every existing caller keeps working unchanged.  New code should
+   construct a :class:`SessionConfig` and a :class:`Workspace`
+   directly; ``Session`` will not grow new capabilities.
 
 Example::
 
-    from repro.api import ProveRequest, Session
+    from repro.api import ProveRequest, SessionConfig, Workspace
 
-    report = Session().prove(ProveRequest(files=("defs.qual",)))
+    with Workspace(SessionConfig()) as ws:
+        report = ws.prove(ProveRequest(files=("defs.qual",)))
     assert report.exit_code == 0
     assert report.to_dict()["schema_version"] == 1
 """
@@ -32,10 +49,11 @@ Example::
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.cache import fingerprint as _fingerprint
 from repro.cache.store import DEFAULT_CACHE_DIR, ProofCache
 from repro.cfront.parser import parse_c
 from repro.cil.lower import lower_unit
@@ -177,6 +195,48 @@ class Report:
         }
 
 
+#: Payload keys produced by :meth:`Report.to_dict` itself (everything
+#: else in a payload is run-level ``meta``).
+_REPORT_ENVELOPE_KEYS = frozenset(
+    ("schema_version", "command", "version", "units", "counts", "elapsed",
+     "exit_code")
+)
+
+
+def report_from_dict(payload: dict) -> Report:
+    """Reconstruct a :class:`Report` from a :meth:`Report.to_dict`
+    payload — the inverse used by the ``repro serve`` client, so a
+    report received over the wire formats exactly like a local one.
+
+    The round trip preserves units, verdicts, diagnostics, detail, and
+    meta; ``exit_code`` is recomputed from the verdicts (and agrees
+    with the payload's by construction).
+    """
+    results = [
+        batch.UnitResult(
+            unit=u.get("unit", ""),
+            verdict=u.get("verdict", batch.CRASH),
+            elapsed=u.get("elapsed", 0.0),
+            diagnostics=list(u.get("diagnostics") or []),
+            error=u.get("error", ""),
+            detail=dict(u.get("detail") or {}),
+            attempts=int(u.get("attempts", 1)),
+        )
+        for u in payload.get("units", ())
+    ]
+    meta = {
+        k: v for k, v in payload.items() if k not in _REPORT_ENVELOPE_KEYS
+    }
+    batch_report = batch.BatchReport(
+        results=results, elapsed=payload.get("elapsed", 0.0), meta=meta
+    )
+    return Report(
+        payload.get("command", ""),
+        batch_report,
+        schema_version=payload.get("schema_version", SCHEMA_VERSION),
+    )
+
+
 #: Worst-first ordering used to combine per-obligation verdicts into a
 #: unit verdict (distinct from exit-code severity, which ties some).
 _VERDICT_RANK = {
@@ -233,6 +293,28 @@ def _aggregate_dataflow_meta(batch_report: batch.BatchReport) -> None:
         batch_report.meta["dataflow"] = run
 
 
+def _aggregate_incremental_meta(batch_report: batch.BatchReport) -> None:
+    """Sum each unit's incremental counters into run-level meta (only
+    present on incremental-workspace runs, so one-shot payloads — and
+    their goldens — are unchanged)."""
+    totals = {
+        "units": 0, "units_replayed": 0,
+        "functions": 0, "rechecked": 0, "replayed": 0,
+    }
+    seen = False
+    for result in batch_report.results:
+        inc = result.detail.get("incremental")
+        if not isinstance(inc, dict):
+            continue
+        seen = True
+        totals["units"] += 1
+        totals["units_replayed"] += 1 if inc.get("unit_replayed") else 0
+        for key in ("functions", "rechecked", "replayed"):
+            totals[key] += inc.get(key, 0)
+    if seen:
+        batch_report.meta["incremental"] = totals
+
+
 def _start_profile(request: BatchOptions) -> Optional[dict]:
     """Begin profiling one invocation if asked to (``request.profile``)
     or if the collector is already on (``--profile`` at the CLI, or a
@@ -279,27 +361,32 @@ def _parse_error_dict(err: Exception) -> dict:
     }
 
 
-# ------------------------------------------------------------------ session
+# ------------------------------------------------------------ configuration
 
 
 @dataclass(frozen=True)
-class Session:
-    """A qualifier environment; every pipeline entry point hangs off it.
+class SessionConfig:
+    """The immutable qualifier environment every request runs under.
 
     ``quals`` lists qualifier-definition files loaded *in order*: a
     definition with an already-seen name replaces the earlier one, so
     a project file can override a team file can override the standard
-    library.
+    library.  ``cache``/``cache_dir`` are the proof-cache defaults for
+    ``prove`` requests (a request's own explicit settings still win).
+
+    Frozen on purpose: a :class:`Workspace` keys its cached state on
+    this object, so everything that can change a verdict lives here.
     """
 
     quals: Tuple[str, ...] = ()
     no_std: bool = False
     trust_constants: bool = False
-
-    # ------------------------------------------------------------ loading
+    cache: bool = True
+    cache_dir: str = DEFAULT_CACHE_DIR
 
     def qualifier_set(self) -> QualifierSet:
-        """The composed qualifier set for this session."""
+        """The composed qualifier set for this configuration (re-read
+        from the definition files on every call)."""
         defs: List[QualifierDef] = []
         if not self.no_std:
             defs.extend(standard_qualifiers(trust_constants=self.trust_constants))
@@ -309,8 +396,120 @@ class Session:
                 defs.append(qdef)
         return QualifierSet(defs)
 
+    def key(self) -> Tuple:
+        """A hashable identity (the serve daemon routes requests to one
+        workspace per distinct configuration)."""
+        return (self.quals, self.no_std, self.trust_constants)
+
+
+# ------------------------------------------------- incremental verdict store
+
+
+@dataclass
+class _FunctionRecord:
+    """Everything one function contributed to its unit's check report,
+    keyed by the content fingerprint it was computed under."""
+
+    fingerprint: str
+    diagnostics: List[dict] = field(default_factory=list)
+    runtime_checks: int = 0
+    dataflow: dict = field(default_factory=dict)
+
+
+@dataclass
+class _UnitState:
+    """Per-unit incremental state: the raw-source digest (a match skips
+    even the parse), the qualifier-environment digest it was checked
+    under, and the per-function verdict records in program order."""
+
+    source: str
+    env: str
+    functions: Dict[str, _FunctionRecord] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------- workspace
+
+
+class Workspace:
+    """The stateful entry object: every pipeline command hangs off it.
+
+    A workspace owns mutable state an immutable :class:`SessionConfig`
+    cannot: the composed qualifier set (re-validated against the
+    definition files' content each request), resident proof caches for
+    ``prove``, and — with ``incremental=True`` — a per-function verdict
+    store for ``check``:
+
+    * each checked function is fingerprinted over its lowered body, its
+      unit's declared interface, and the qualifier environment (see
+      :mod:`repro.cache.fingerprint`);
+    * a re-check recomputes fingerprints and runs the checker only on
+      functions whose fingerprint changed, replaying the stored
+      verdicts (diagnostics, runtime-check counts, dataflow stats) for
+      the rest;
+    * an unchanged *file* (same source digest, same environment) skips
+      even the parse.
+
+    Incremental runs add an additive ``incremental`` block to each unit
+    detail and to the report meta (``functions``/``rechecked``/
+    ``replayed``); one-shot runs (``incremental=False``, the
+    :class:`Session` path) produce byte-identical payloads to the
+    pre-workspace facade.  Incremental ``check`` executes in-process
+    (``jobs`` is ignored for it) so the verdict store lives in one
+    place; ``prove`` still fans out through the batch pool and shares
+    this workspace's resident proof cache.
+
+    Not thread-safe: the serve daemon serializes requests per
+    workspace (concurrency comes from distinct configurations and from
+    the batch pool underneath).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SessionConfig] = None,
+        incremental: bool = False,
+    ):
+        self.config = config or SessionConfig()
+        self.incremental = incremental
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "units_checked": 0,
+            "units_replayed": 0,
+            "functions_checked": 0,
+            "functions_replayed": 0,
+        }
+        self._quals: Optional[QualifierSet] = None
+        self._qual_texts: Optional[Tuple[str, ...]] = None
+        self._env_digest: str = ""
+        self._units: Dict[Tuple[str, bool], _UnitState] = {}
+        self._caches: Dict[str, ProofCache] = {}
+
+    # ------------------------------------------------------------ loading
+
+    def qualifier_set(self) -> QualifierSet:
+        """The composed qualifier set, rebuilt whenever a definition
+        file's content changes (so a warm workspace never trusts a
+        stale parse — and the environment digest folded into every
+        function fingerprint moves with it)."""
+        texts = tuple(_read_source(p) for p in self.config.quals)
+        if self._quals is None or texts != self._qual_texts:
+            defs: List[QualifierDef] = []
+            if not self.config.no_std:
+                defs.extend(
+                    standard_qualifiers(
+                        trust_constants=self.config.trust_constants
+                    )
+                )
+            for text in texts:
+                for qdef in parse_qualifiers(text):
+                    defs = [d for d in defs if d.name != qdef.name]
+                    defs.append(qdef)
+            self._quals = QualifierSet(defs)
+            self._qual_texts = texts
+            self._env_digest = _fingerprint.qualifier_env_digest(self._quals)
+        return self._quals
+
     def load_program(self, path: str, quals: Optional[QualifierSet] = None):
-        """Parse and lower one translation unit under this session."""
+        """Parse and lower one translation unit under this workspace."""
         if quals is None:
             quals = self.qualifier_set()
         with obs.span("parse", unit=path):
@@ -320,14 +519,82 @@ class Session:
         with obs.span("lower", unit=path):
             return lower_unit(unit)
 
+    # ------------------------------------------------------- state control
+
+    def invalidate(self, path: Optional[str] = None) -> int:
+        """Drop the incremental verdict store (for one unit path, or
+        all of it); returns how many unit entries were dropped."""
+        if path is None:
+            dropped = len(self._units)
+            self._units.clear()
+            return dropped
+        keys = [key for key in self._units if key[0] == path]
+        for key in keys:
+            del self._units[key]
+        return len(keys)
+
+    def stats(self) -> dict:
+        """Workspace facts, JSON-ready (the serve ``status`` payload
+        embeds one of these per live workspace)."""
+        return {
+            "incremental": self.incremental,
+            "config": {
+                "quals": list(self.config.quals),
+                "no_std": self.config.no_std,
+                "trust_constants": self.config.trust_constants,
+            },
+            "units": len(self._units),
+            "functions": sum(
+                len(state.functions) for state in self._units.values()
+            ),
+            "counters": dict(self.counters),
+        }
+
+    def close(self) -> None:
+        """Release resident resources (proof-cache connections)."""
+        for cache in self._caches.values():
+            cache.close()
+        self._caches.clear()
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ----------------------------------------------------------- commands
 
     def check(
         self, request: CheckRequest, on_result=None, on_event=None
     ) -> Report:
-        """Qualifier-check each file as an isolated batch unit."""
-        quals = self.qualifier_set()
+        """Qualifier-check each file as an isolated batch unit.
 
+        Incremental workspaces re-check only the functions whose
+        content fingerprint changed since the last request and replay
+        stored verdicts for the rest (see the class docstring)."""
+        self.counters["requests"] += 1
+        quals = self.qualifier_set()
+        if self.incremental:
+            # The verdict store lives in this process; incremental
+            # checks are cheap enough that pool fan-out would cost more
+            # than it saves (prove still uses the pool).
+            request = replace(request, jobs=1)
+            worker = self._incremental_check_worker(request, quals)
+        else:
+            worker = self._oneshot_check_worker(request, quals)
+        batch_report = self._run(
+            request,
+            worker,
+            calibrate=lambda: self._prover_calibration(quals),
+            on_result=on_result,
+            on_event=on_event,
+        )
+        _aggregate_dataflow_meta(batch_report)
+        if self.incremental:
+            _aggregate_incremental_meta(batch_report)
+        return Report("check", batch_report)
+
+    def _oneshot_check_worker(self, request: CheckRequest, quals):
         def worker(path: str, deadline: Deadline) -> batch.UnitResult:
             source = _read_source(path)
             with obs.span("parse", unit=path):
@@ -370,15 +637,170 @@ class Session:
                 },
             )
 
-        batch_report = self._run(
-            request,
-            worker,
-            calibrate=lambda: self._prover_calibration(quals),
-            on_result=on_result,
-            on_event=on_event,
+        return worker
+
+    def _incremental_check_worker(self, request: CheckRequest, quals):
+        env = self._env_digest
+
+        def worker(path: str, deadline: Deadline) -> batch.UnitResult:
+            self.counters["units_checked"] += 1
+            source = _read_source(path)
+            source_digest = _fingerprint.source_digest(source)
+            key = (path, request.flow_sensitive)
+            state = self._units.get(key)
+            if (
+                state is not None
+                and state.source == source_digest
+                and state.env == env
+            ):
+                # Nothing changed: skip even the parse.
+                self.counters["units_replayed"] += 1
+                self.counters["functions_replayed"] += len(state.functions)
+                obs.incr("serve.incremental_hits", len(state.functions))
+                return self._replay_unit(path, state, unit_replayed=True)
+            with obs.span("parse", unit=path):
+                unit = parse_c(
+                    source,
+                    qualifier_names=quals.names,
+                    recover=True,
+                    filename=path,
+                )
+            deadline.check("after parse")
+            with obs.span("lower", unit=path):
+                program = lower_unit(unit)
+            if unit.errors:
+                # Broken units are checked in full and never cached:
+                # panic-mode recovery can attribute diagnostics across
+                # function boundaries, so replay would not be sound.
+                self._units.pop(key, None)
+                return self._broken_unit_result(path, unit, program, quals, request)
+            fingerprints = _fingerprint.unit_function_fingerprints(
+                program, env, flow_sensitive=request.flow_sensitive
+            )
+            old = (
+                state.functions
+                if state is not None and state.env == env
+                else {}
+            )
+            changed = {
+                name
+                for name, digest in fingerprints.items()
+                if name not in old or old[name].fingerprint != digest
+            }
+            checker = QualifierChecker(
+                program, quals, flow_sensitive=request.flow_sensitive
+            )
+            with obs.span("typecheck", unit=path, incremental=True):
+                check_report = checker.check(functions=changed)
+            per_diag: Dict[str, List[dict]] = {}
+            for diag in check_report.diagnostics:
+                entry = {**diag.to_dict(), "text": str(diag)}
+                per_diag.setdefault(diag.function, []).append(entry)
+            per_rtc: Dict[str, int] = {}
+            for rtc in check_report.runtime_checks:
+                per_rtc[rtc.function] = per_rtc.get(rtc.function, 0) + 1
+            records: Dict[str, _FunctionRecord] = {}
+            for func in program.functions:  # program order = report order
+                name = func.name
+                if name in changed:
+                    records[name] = _FunctionRecord(
+                        fingerprint=fingerprints[name],
+                        diagnostics=per_diag.get(name, []),
+                        runtime_checks=per_rtc.get(name, 0),
+                        dataflow=check_report.dataflow.get(name, {}),
+                    )
+                else:
+                    records[name] = old[name]
+            replayed = len(records) - len(changed)
+            self.counters["functions_checked"] += len(changed)
+            self.counters["functions_replayed"] += replayed
+            obs.incr("serve.incremental_hits", replayed)
+            new_state = _UnitState(
+                source=source_digest, env=env, functions=records
+            )
+            self._units[key] = new_state
+            return self._replay_unit(
+                path, new_state, unit_replayed=False, rechecked=len(changed)
+            )
+
+        return worker
+
+    def _replay_unit(
+        self,
+        path: str,
+        state: _UnitState,
+        unit_replayed: bool,
+        rechecked: int = 0,
+    ) -> batch.UnitResult:
+        """Assemble a unit's result by merging per-function records
+        (freshly checked and replayed alike) in program order."""
+        diagnostics: List[dict] = []
+        runtime_checks = 0
+        dataflow: Dict[str, dict] = {}
+        for name, record in state.functions.items():
+            diagnostics.extend(record.diagnostics)
+            runtime_checks += record.runtime_checks
+            if record.dataflow:
+                dataflow[name] = record.dataflow
+        warnings = sum(
+            1 for d in diagnostics if d.get("severity") == "warning"
         )
-        _aggregate_dataflow_meta(batch_report)
-        return Report("check", batch_report)
+        total = len(state.functions)
+        return batch.UnitResult(
+            unit=path,
+            verdict=batch.WARNINGS if diagnostics else batch.OK,
+            diagnostics=diagnostics,
+            detail={
+                "warnings": warnings,
+                "runtime_checks": runtime_checks,
+                "dataflow": {
+                    "functions": dataflow,
+                    "totals": _sum_dataflow(dataflow),
+                },
+                "incremental": {
+                    "functions": total,
+                    "rechecked": rechecked,
+                    "replayed": total - rechecked,
+                    "unit_replayed": unit_replayed,
+                },
+            },
+        )
+
+    def _broken_unit_result(
+        self, path, unit, program, quals, request: CheckRequest
+    ) -> batch.UnitResult:
+        """Full (non-incremental) check of a unit with parse errors."""
+        diagnostics = [_parse_error_dict(e) for e in unit.errors]
+        checker = QualifierChecker(
+            program, quals, flow_sensitive=request.flow_sensitive
+        )
+        with obs.span("typecheck", unit=path):
+            check_report = checker.check()
+        diagnostics.extend(
+            {**d.to_dict(), "text": str(d)} for d in check_report.diagnostics
+        )
+        self.counters["functions_checked"] += len(program.functions)
+        return batch.UnitResult(
+            unit=path,
+            verdict=batch.ERROR,
+            diagnostics=diagnostics,
+            error=str(unit.errors[0]),
+            detail={
+                "warnings": check_report.warning_count,
+                "runtime_checks": len(check_report.runtime_checks),
+                "dataflow": {
+                    "functions": check_report.dataflow,
+                    "totals": _sum_dataflow(check_report.dataflow),
+                },
+                "incremental": {
+                    "functions": len(program.functions),
+                    "rechecked": len(program.functions),
+                    "replayed": 0,
+                    "unit_replayed": False,
+                    "disabled": "parse errors",
+                },
+            },
+        )
 
     def _prover_calibration(self, quals: QualifierSet) -> None:
         """Profiling-only prover pass for ``check`` invocations.
@@ -394,7 +816,7 @@ class Session:
         untouched, and nothing runs when profiling is off.
         """
         defs: List[QualifierDef] = []
-        for path in self.quals:
+        for path in self.config.quals:
             try:
                 defs.extend(parse_qualifiers(_read_source(path)))
             except Exception:
@@ -408,16 +830,34 @@ class Session:
                 except Exception:
                     continue
 
+    def _proof_cache(self, request: ProveRequest) -> Optional[ProofCache]:
+        """The resident proof cache a prove request should run against
+        (``None`` when caching is off).  The request's explicit
+        settings win over the configuration's defaults; caches stay
+        open for the workspace's lifetime so a warm daemon keeps its
+        in-memory LRU across requests."""
+        if not (request.cache and self.config.cache):
+            return None
+        cache_dir = (
+            request.cache_dir
+            if request.cache_dir != DEFAULT_CACHE_DIR
+            else self.config.cache_dir
+        )
+        cache = self._caches.get(cache_dir)
+        if cache is None:
+            cache = ProofCache(cache_dir=cache_dir)
+            self._caches[cache_dir] = cache
+        return cache
+
     def prove(
         self, request: ProveRequest, on_result=None, on_event=None
     ) -> Report:
         """Soundness-check every qualifier defined in each ``.qual``
         unit, consulting the content-addressed proof cache before any
         prover work and recording settled verdicts back into it."""
+        self.counters["requests"] += 1
         retry = RetryPolicy(max_attempts=request.retries + 1)
-        cache = (
-            ProofCache(cache_dir=request.cache_dir) if request.cache else None
-        )
+        cache = self._proof_cache(request)
 
         def worker(path: str, deadline: Deadline) -> batch.UnitResult:
             before = cache.snapshot() if cache is not None else None
@@ -489,11 +929,10 @@ class Session:
         if cache is not None:
             batch_report.meta["cache"] = {
                 "enabled": True,
-                "dir": request.cache_dir,
+                "dir": cache.cache_dir,
                 "entries": cache.entry_count(),
                 **batch_report.sum_detail_counters("cache"),
             }
-            cache.close()
         else:
             batch_report.meta["cache"] = {"enabled": False}
         return Report("prove", batch_report)
@@ -502,6 +941,7 @@ class Session:
         self, request: InferRequest, on_result=None, on_event=None
     ) -> Report:
         """Infer annotations for one qualifier over each file."""
+        self.counters["requests"] += 1
         quals = self.qualifier_set()
         qdef = quals.get(request.qualifier)
         if qdef is None:
@@ -550,6 +990,7 @@ class Session:
         from repro.difftest import runner as difftest_runner
         from repro.difftest.generator import generate_case
 
+        self.counters["requests"] += 1
         out_dir = request.out_dir or difftest_runner.ARTIFACT_DIR
         budget = Deadline.after(request.budget)
 
@@ -685,6 +1126,90 @@ class Session:
             raise
         _finish_profile(prof, report)
         return report
+
+
+# ------------------------------------------------------------------ session
+
+
+@dataclass(frozen=True)
+class Session:
+    """The original one-shot facade, kept as a thin deprecated alias.
+
+    .. deprecated::
+       Every command builds a fresh one-shot :class:`Workspace` from
+       this session's fields and forwards to it, so existing callers
+       (and the golden payload tests) behave exactly as before.  New
+       code should use :class:`SessionConfig` + :class:`Workspace`,
+       which add resident caches and function-granularity incremental
+       re-checking; ``Session`` will not grow new capabilities.
+    """
+
+    quals: Tuple[str, ...] = ()
+    no_std: bool = False
+    trust_constants: bool = False
+
+    def config(self) -> SessionConfig:
+        """The immutable configuration equivalent of this session."""
+        return SessionConfig(
+            quals=self.quals,
+            no_std=self.no_std,
+            trust_constants=self.trust_constants,
+        )
+
+    def _workspace(self) -> Workspace:
+        return Workspace(self.config(), incremental=False)
+
+    # ------------------------------------------------------------ loading
+
+    def qualifier_set(self) -> QualifierSet:
+        """The composed qualifier set for this session."""
+        return self.config().qualifier_set()
+
+    def load_program(self, path: str, quals: Optional[QualifierSet] = None):
+        """Parse and lower one translation unit under this session."""
+        return self._workspace().load_program(path, quals)
+
+    # ----------------------------------------------------------- commands
+
+    def check(
+        self, request: CheckRequest, on_result=None, on_event=None
+    ) -> Report:
+        """Qualifier-check each file as an isolated batch unit."""
+        with self._workspace() as ws:
+            return ws.check(request, on_result=on_result, on_event=on_event)
+
+    def prove(
+        self, request: ProveRequest, on_result=None, on_event=None
+    ) -> Report:
+        """Soundness-check every qualifier defined in each ``.qual``
+        unit (see :meth:`Workspace.prove`)."""
+        with self._workspace() as ws:
+            return ws.prove(request, on_result=on_result, on_event=on_event)
+
+    def infer(
+        self, request: InferRequest, on_result=None, on_event=None
+    ) -> Report:
+        """Infer annotations for one qualifier over each file."""
+        with self._workspace() as ws:
+            return ws.infer(request, on_result=on_result, on_event=on_event)
+
+    def difftest(
+        self, request: DifftestRequest, on_result=None, on_event=None
+    ) -> Report:
+        """Differentially test the pipeline on generated cases."""
+        with self._workspace() as ws:
+            return ws.difftest(request, on_result=on_result, on_event=on_event)
+
+    def run(self, path: str, entry: str = "main", args=()) -> Tuple[int, List[str]]:
+        """Execute one translation unit with run-time qualifier checks;
+        returns ``(exit_value, printf_output)``."""
+        with self._workspace() as ws:
+            return ws.run(path, entry=entry, args=args)
+
+    def show_ir(self, path: str) -> str:
+        """The lowered CIL-style IR of one unit, rendered as C."""
+        with self._workspace() as ws:
+            return ws.show_ir(path)
 
 
 # -------------------------------------------------------- cache management

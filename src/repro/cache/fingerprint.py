@@ -162,3 +162,113 @@ def proof_key(
         obligation=obligation_key(goal, extra_axioms),
         environment=environment_key(axioms, context=context, salt=salt),
     )
+
+
+# ------------------------------------------------- function granularity
+#
+# Obligation keys address *prover* work; the fingerprints below address
+# *checker* work at function granularity, so a warm workspace (see
+# ``repro.api.Workspace`` and ``repro serve``) can re-check only the
+# functions an edit actually touched and replay the cached per-function
+# verdicts for everything else.
+#
+# A function's fingerprint covers everything its check verdict depends
+# on:
+#
+# * its own lowered body, rendered canonically (so whitespace and
+#   comment edits in the original source change nothing);
+# * the *interface digest* of its translation unit — every declared
+#   signature, struct/union layout, and global type.  This is a sound
+#   over-approximation of "referenced definitions": editing a function
+#   body invalidates only that function, while editing any signature or
+#   type invalidates the whole unit;
+# * the *qualifier environment digest* — the normalized source text of
+#   every loaded qualifier definition (the checker's axiom
+#   environment), so editing a ``.qual`` file re-checks everything;
+# * the checker mode flags that change what is reported
+#   (``flow_sensitive``).
+#
+# Source locations are deliberately **excluded**: an edit that only
+# shifts later functions down the file replays their verdicts
+# unchanged.  Replayed diagnostics therefore carry the spans recorded
+# when the function was last checked (see docs/serve.md).
+
+#: Salt mixed into every function fingerprint.  Bump when the checker's
+#: behaviour changes in a way that could alter a verdict, so warm
+#: workspaces re-check instead of replaying stale verdicts.
+CHECKER_SALT = "repro-checker/1"
+
+
+def source_digest(text: str) -> str:
+    """Content hash of one translation unit's raw source text (the
+    cheapest whole-unit change test — a match skips even the parse)."""
+    return _digest(["src", CHECKER_SALT, text])
+
+
+def qualifier_env_digest(quals) -> str:
+    """Content hash of a composed qualifier set — the checker's axiom
+    environment.  Order-insensitive over the *composed* set: what
+    matters is which definitions won, not how they were loaded."""
+    parts = ["qualenv", CHECKER_SALT]
+    for qdef in sorted(quals, key=lambda d: d.name):
+        parts.append(qdef.name)
+        parts.append(qdef.source or repr(qdef))
+    return _digest(parts)
+
+
+def interface_digest(program) -> str:
+    """Content hash of one unit's declared surface: every signature,
+    struct/union layout, and global type.  Folded into every function
+    fingerprint in the unit, so an interface edit re-checks them all."""
+    from repro.cil.printer import type_to_str
+
+    parts = ["iface", CHECKER_SALT]
+    for name in sorted(program.structs):
+        kind = "union" if name in program.unions else "struct"
+        fields = ";".join(
+            f"{fname}:{type_to_str(ftype)}"
+            for fname, ftype in program.structs[name]
+        )
+        parts.append(f"{kind} {name} {{{fields}}}")
+    for g in sorted(program.globals, key=lambda g: g.name):
+        parts.append(f"global {g.name}:{type_to_str(g.ctype)}")
+    for name in sorted(program.signatures):
+        parts.append(f"sig {name}:{type_to_str(program.signatures[name])}")
+    return _digest(parts)
+
+
+def function_fingerprint(
+    func,
+    interface: str,
+    env: str,
+    flow_sensitive: bool = False,
+) -> str:
+    """The content fingerprint one function's check verdict is keyed
+    by: canonical body + unit interface + qualifier environment +
+    checker mode."""
+    from repro.cil.printer import function_to_c
+
+    return _digest(
+        [
+            "fn",
+            CHECKER_SALT,
+            func.name,
+            function_to_c(func),
+            interface,
+            env,
+            "flow" if flow_sensitive else "noflow",
+        ]
+    )
+
+
+def unit_function_fingerprints(
+    program, env: str, flow_sensitive: bool = False
+) -> "dict[str, str]":
+    """Fingerprint every function in a lowered unit (name -> digest)."""
+    interface = interface_digest(program)
+    return {
+        f.name: function_fingerprint(
+            f, interface, env, flow_sensitive=flow_sensitive
+        )
+        for f in program.functions
+    }

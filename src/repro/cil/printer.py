@@ -31,6 +31,13 @@ def program_to_c(program: ir.Program) -> str:
     return "\n".join(out)
 
 
+def function_to_c(f: ir.Function) -> str:
+    """One function rendered as C — the canonical per-function text the
+    incremental checker fingerprints (whitespace/comment edits in the
+    original source do not change it)."""
+    return "\n".join(_function(f))
+
+
 def _decl(ctype: CType, name: str) -> str:
     return f"{type_to_str(ctype)} {name}"
 

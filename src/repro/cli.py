@@ -6,6 +6,13 @@
     python -m repro show-ir FILE.c
     python -m repro infer FILE.c [MORE.c ...] --qualifier NAME [--quals DEFS.qual]
     python -m repro cache stats|clear [--cache-dir DIR]
+    python -m repro serve [--socket PATH] [--status] [--stop]
+
+``check``, ``prove`` and ``infer`` also take ``--server SOCKET`` (or
+``$REPRO_SERVE_SOCKET``) to proxy the command to a running ``serve``
+daemon — warm state, function-granularity incremental re-checking,
+identical output — falling back to in-process execution when nothing
+is listening (see docs/serve.md).
 
 Every command body is a thin adapter over :mod:`repro.api` — the
 stable library facade — plus terminal formatting; programmatic users
@@ -49,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -87,19 +95,26 @@ def _maybe_note_interrupt(report: api.Report) -> None:
 # ------------------------------------------------------- JSONL streaming
 
 
+def _jsonl_unit_record(command: str, unit: dict) -> None:
+    """One ``record: "unit"`` line, flushed immediately (shared by the
+    in-process streamer and the ``--server`` proxy, which receives the
+    same dicts over the wire)."""
+    record = {
+        "schema_version": api.SCHEMA_VERSION,
+        "command": command,
+        "record": "unit",
+        **unit,
+    }
+    print(json.dumps(record), flush=True)
+
+
 def _jsonl_unit_streamer(command: str):
     """``--format jsonl``: one compact schema-v1 record per unit, written
     (and flushed) the moment the unit settles — completion order, which
     under ``--jobs`` is not input order; consumers key on ``unit``."""
 
     def on_result(result: batch.UnitResult) -> None:
-        record = {
-            "schema_version": api.SCHEMA_VERSION,
-            "command": command,
-            "record": "unit",
-            **result.to_dict(),
-        }
-        print(json.dumps(record), flush=True)
+        _jsonl_unit_record(command, result.to_dict())
 
     return on_result
 
@@ -118,10 +133,79 @@ def _jsonl_summary(report: api.Report) -> None:
     print(json.dumps(record), flush=True)
 
 
+# ------------------------------------------------------- daemon proxying
+
+
+def _server_params(args, op: str) -> dict:
+    """The serve-protocol ``params`` object equivalent to this parsed
+    command line (see repro/serve/protocol.py)."""
+    params = {
+        "quals": list(getattr(args, "quals", None) or ()),
+        "no_std": getattr(args, "no_std", False),
+        "trust_constants": getattr(args, "trust_constants", False),
+        "files": list(args.files),
+        "keep_going": args.keep_going,
+        "jobs": args.jobs,
+        "unit_timeout": args.unit_timeout,
+    }
+    if op in ("check", "infer"):
+        params["flow_sensitive"] = args.flow_sensitive
+    if op == "infer":
+        params["qualifier"] = args.qualifier
+    if op == "prove":
+        params.update(
+            qualifier=args.qualifier,
+            time_limit=args.time_limit,
+            retries=args.retries,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+        )
+    return params
+
+
+def _run_on_server(args, op: str) -> Optional[int]:
+    """Proxy one batch command to the daemon at ``args.server``.
+
+    Returns the exit code, or ``None`` to fall back to in-process
+    execution (nothing listening on the socket).  Output is identical
+    either way: the daemon's final payload is rebuilt into a
+    :class:`repro.api.Report` and rendered by the same formatter the
+    in-process path uses; ``--format jsonl`` unit records stream as
+    the daemon emits them."""
+    from repro.serve import client as serve_client
+
+    try:
+        client = serve_client.connect(args.server)
+    except OSError:
+        print(
+            f"note: no server at {args.server}; running in-process",
+            file=sys.stderr,
+        )
+        return None
+    on_unit = (
+        (lambda unit: _jsonl_unit_record(op, unit))
+        if args.format == "jsonl"
+        else None
+    )
+    try:
+        final = client.request(op, _server_params(args, op), on_unit=on_unit)
+    except serve_client.ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3 if exc.code == "internal" else 2
+    finally:
+        client.close()
+    report = api.report_from_dict(final["report"])
+    return _RENDERERS[op](args, report)
+
+
 # ----------------------------------------------------------------- commands
 
 
 def cmd_check(args) -> int:
+    if getattr(args, "server", None):
+        code = _run_on_server(args, "check")
+        if code is not None:
+            return code
     stream = _jsonl_unit_streamer("check") if args.format == "jsonl" else None
     report = _session(args).check(
         api.CheckRequest(
@@ -133,6 +217,10 @@ def cmd_check(args) -> int:
         ),
         on_result=stream,
     )
+    return _render_check(args, report)
+
+
+def _render_check(args, report: api.Report) -> int:
     if args.format == "jsonl":
         _jsonl_summary(report)
         return report.exit_code
@@ -167,6 +255,10 @@ def cmd_check(args) -> int:
 
 
 def cmd_prove(args) -> int:
+    if getattr(args, "server", None):
+        code = _run_on_server(args, "prove")
+        if code is not None:
+            return code
     report = _session(args).prove(
         api.ProveRequest(
             files=tuple(args.files),
@@ -183,6 +275,10 @@ def cmd_prove(args) -> int:
             _jsonl_unit_streamer("prove") if args.format == "jsonl" else None
         ),
     )
+    return _render_prove(args, report)
+
+
+def _render_prove(args, report: api.Report) -> int:
     if args.format == "jsonl":
         _jsonl_summary(report)
         return report.exit_code
@@ -233,6 +329,10 @@ def cmd_show_ir(args) -> int:
 
 
 def cmd_infer(args) -> int:
+    if getattr(args, "server", None):
+        code = _run_on_server(args, "infer")
+        if code is not None:
+            return code
     try:
         report = _session(args).infer(
             api.InferRequest(
@@ -252,6 +352,10 @@ def cmd_infer(args) -> int:
     except api.UnknownQualifierError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    return _render_infer(args, report)
+
+
+def _render_infer(args, report: api.Report) -> int:
     if args.format == "jsonl":
         _jsonl_summary(report)
         return report.exit_code
@@ -274,6 +378,39 @@ def cmd_infer(args) -> int:
         print(report.summary())
     _maybe_note_interrupt(report)
     return report.exit_code
+
+
+#: Shared by the in-process and ``--server`` paths: both end with a
+#: Report and the same terminal rendering.
+_RENDERERS = {
+    "check": lambda args, report: _render_check(args, report),
+    "prove": lambda args, report: _render_prove(args, report),
+    "infer": lambda args, report: _render_infer(args, report),
+}
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import client as serve_client
+    from repro.serve import server as serve_server
+
+    if args.status or args.stop:
+        try:
+            client = serve_client.connect(args.socket)
+        except OSError as exc:
+            print(f"error: no server at {args.socket}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            if args.status:
+                print(json.dumps(client.status(), indent=2))
+            else:
+                print(json.dumps(client.shutdown()))
+        except serve_client.ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            client.close()
+        return 0
+    return serve_server.serve_main(args.socket)
 
 
 def cmd_difftest(args) -> int:
@@ -405,6 +542,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(implies profiling)",
         )
 
+    def server_flag(p):
+        p.add_argument(
+            "--server",
+            metavar="SOCKET",
+            default=os.environ.get("REPRO_SERVE_SOCKET") or None,
+            help="proxy this command to a running `repro serve` daemon "
+            "on SOCKET (default: $REPRO_SERVE_SOCKET); falls back to "
+            "in-process execution when nothing is listening, with "
+            "identical output either way",
+        )
+
     def batch_flags(p):
         p.add_argument(
             "--keep-going",
@@ -447,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_check)
     batch_flags(p_check)
     profile_flags(p_check)
+    server_flag(p_check)
     p_check.set_defaults(fn=cmd_check)
 
     p_prove = sub.add_parser(
@@ -484,6 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_flags(p_prove)
     profile_flags(p_prove)
+    server_flag(p_prove)
     p_prove.set_defaults(fn=cmd_prove)
 
     p_run = sub.add_parser("run", help="execute a C file with runtime checks")
@@ -506,6 +656,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_infer)
     batch_flags(p_infer)
     profile_flags(p_infer)
+    server_flag(p_infer)
     p_infer.set_defaults(fn=cmd_infer)
 
     p_diff = sub.add_parser(
@@ -609,6 +760,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list suites and exit"
     )
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the checker daemon on a unix socket",
+        description=(
+            "Long-lived checker-as-a-service: keeps workspaces (parsed "
+            "state fingerprints, incremental per-function verdicts, warm "
+            "proof caches) resident and serves check/prove/infer/status/"
+            "shutdown requests as newline-delimited JSON over a unix "
+            "socket.  Point `repro check --server SOCKET` (or "
+            "$REPRO_SERVE_SOCKET) at it; see docs/serve.md."
+        ),
+    )
+    from repro.serve.protocol import DEFAULT_SOCKET
+
+    p_serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=os.environ.get("REPRO_SERVE_SOCKET") or DEFAULT_SOCKET,
+        help="unix socket path to serve on "
+        f"(default: $REPRO_SERVE_SOCKET or {DEFAULT_SOCKET})",
+    )
+    p_serve.add_argument(
+        "--status",
+        action="store_true",
+        help="print a running daemon's status as JSON and exit",
+    )
+    p_serve.add_argument(
+        "--stop",
+        action="store_true",
+        help="ask a running daemon to shut down gracefully and exit",
+    )
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the persistent proof cache"

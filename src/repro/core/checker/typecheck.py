@@ -83,8 +83,13 @@ class QualifierChecker:
 
     # -------------------------------------------------------------- driver
 
-    def check(self) -> Report:
+    def check(self, functions: Optional[Set[str]] = None) -> Report:
+        """Check the program (or, with ``functions``, only the named
+        subset — the incremental re-check path, which replays cached
+        verdicts for everything else; see ``repro.api.Workspace``)."""
         for func in self.program.functions:
+            if functions is not None and func.name not in functions:
+                continue
             self._check_function(func)
         return self.report
 

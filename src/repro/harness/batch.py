@@ -213,23 +213,25 @@ EventCallback = Callable[[dict], None]
 
 # ------------------------------------------------------- progress stream
 
-#: The process-local progress emitter.  In a pool worker it forwards
+#: The thread-local progress emitter.  In a pool worker it forwards
 #: events over the result pipe; in a sequential run it forwards to the
 #: caller's ``on_event``; when unset, emitting is free and dropped.
-_EMITTER: Optional[EventCallback] = None
+#: Thread-local (not process-global) so a serve daemon running several
+#: sequential batches on executor threads streams each request's events
+#: to its own client instead of whichever installed an emitter last.
+_EMITTER_STATE = threading.local()
 
 
 def set_emitter(emitter: Optional[EventCallback]) -> None:
-    """Install (or clear) the process-local progress emitter."""
-    global _EMITTER
-    _EMITTER = emitter
+    """Install (or clear) the calling thread's progress emitter."""
+    _EMITTER_STATE.emitter = emitter
 
 
 def emit_progress(event: dict) -> None:
     """Ship one progress event (e.g. a settled proof obligation) to the
     supervising parent / streaming consumer.  Never raises: a dead pipe
     must not take the unit's real result down with it."""
-    emitter = _EMITTER
+    emitter = getattr(_EMITTER_STATE, "emitter", None)
     if emitter is None:
         return
     try:

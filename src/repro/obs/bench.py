@@ -339,6 +339,32 @@ def run_bench(
             obs.reset()
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{name}.json")
+    # Append, don't overwrite: the latest run stays at top level (the
+    # keys consumers already assert on), and every run — including this
+    # one — adds a compact timestamped entry to the additive ``history``
+    # list, so the file accumulates a perf trajectory across commits.
+    payload["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    history: list = []
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                history = list(json.load(handle).get("history") or ())
+        except (OSError, ValueError):
+            history = []  # corrupt/legacy file: start the trajectory fresh
+    history.append(
+        {
+            "timestamp": payload["timestamp"],
+            "totals": payload["totals"],
+            "suites": {
+                r["suite"]: {
+                    "status": r["status"],
+                    "elapsed_s": r["elapsed_s"],
+                }
+                for r in records
+            },
+        }
+    )
+    payload["history"] = history
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

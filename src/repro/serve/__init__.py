@@ -1,0 +1,30 @@
+"""Checker-as-a-service: the ``repro serve`` daemon and its client.
+
+A long-lived process (:mod:`repro.serve.server`) keeps
+:class:`repro.api.Workspace` state — parsed units, per-function
+fingerprints, the warm proof cache — resident in memory and serves
+``check``/``prove``/``infer``/``status``/``invalidate``/``shutdown``
+requests over a unix socket, so an edit loop pays only for the
+functions that actually changed.  The wire format is newline-delimited
+JSON (:mod:`repro.serve.protocol`); responses embed the same
+schema-v1 ``Report.to_dict()`` payloads the CLI prints, and unit
+results stream back as they settle.
+
+Use :func:`repro.serve.client.connect` (re-exported here) to talk to a
+running daemon, or pass ``--server <socket>`` to ``repro check`` /
+``prove`` / ``infer``.  See docs/serve.md for the protocol spec.
+"""
+
+from repro.serve.client import ServeClient, ServeError, connect
+from repro.serve.protocol import DEFAULT_SOCKET, PROTOCOL_VERSION
+from repro.serve.server import ServeServer, serve_main
+
+__all__ = [
+    "ServeClient",
+    "ServeError",
+    "ServeServer",
+    "connect",
+    "serve_main",
+    "DEFAULT_SOCKET",
+    "PROTOCOL_VERSION",
+]

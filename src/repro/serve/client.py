@@ -1,0 +1,128 @@
+"""Synchronous client for the ``repro serve`` daemon.
+
+:func:`connect` opens the unix socket and returns a
+:class:`ServeClient`; :meth:`ServeClient.request` sends one operation
+and blocks until its ``done`` line, invoking ``on_unit``/``on_event``
+callbacks for stream lines as they arrive — the same shape as the
+``on_result``/``on_event`` callbacks of the in-process
+:mod:`repro.api`, which is what lets the CLI's ``--server`` flag
+produce identical output either way::
+
+    from repro.serve import connect
+
+    with connect(".repro-serve.sock") as client:
+        final = client.request("check", {"files": ["a.c"]})
+        report = repro.api.report_from_dict(final["report"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Callable, Dict, Optional
+
+from repro.serve import protocol
+
+
+class ServeError(Exception):
+    """An error response from the daemon (or a broken conversation)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+    def __str__(self) -> str:
+        return f"{self.code}: {super().__str__()}"
+
+
+class ServeClient:
+    """One connection to a daemon; requests run one at a time."""
+
+    def __init__(self, sock: socket.socket, socket_path: str):
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        self.socket_path = socket_path
+        self._next_id = 0
+
+    def request(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        on_unit: Optional[Callable[[dict], None]] = None,
+        on_event: Optional[Callable[[dict], None]] = None,
+    ) -> Dict[str, Any]:
+        """Send one request; stream lines hit the callbacks as they
+        arrive; returns the final ``done`` message.  Raises
+        :class:`ServeError` on an error response."""
+        self._next_id += 1
+        rid = f"c{self._next_id}"
+        message: Dict[str, Any] = {"id": rid, "op": op}
+        if params is not None:
+            message["params"] = params
+        self._sock.sendall(protocol.encode(message))
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ServeError(
+                    "connection-closed",
+                    "daemon closed the connection mid-request",
+                )
+            response = json.loads(line)
+            if response.get("id") != rid:
+                continue  # a line for some other request on this socket
+            stream = response.get("stream")
+            if stream == "unit":
+                if on_unit is not None:
+                    on_unit(response.get("unit") or {})
+                continue
+            if stream == "event":
+                if on_event is not None:
+                    on_event(response.get("event") or {})
+                continue
+            if response.get("done"):
+                error = response.get("error")
+                if error:
+                    raise ServeError(
+                        error.get("code", protocol.E_INTERNAL),
+                        error.get("message", ""),
+                    )
+                return response
+
+    def status(self) -> Dict[str, Any]:
+        """The daemon's ``status`` payload (see docs/serve.md)."""
+        return self.request("status")["result"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain in-flight work and stop."""
+        return self.request("shutdown")["result"]
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect(socket_path: str, timeout: float = 10.0) -> ServeClient:
+    """Open a connection to the daemon at ``socket_path``.
+
+    ``timeout`` bounds the *connect* only; established requests block
+    until their ``done`` line (a long prove is supposed to take long).
+    Raises :class:`OSError` when nothing is listening — callers that
+    want in-process fallback catch that.
+    """
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(socket_path)
+    except OSError:
+        sock.close()
+        raise
+    sock.settimeout(None)
+    return ServeClient(sock, socket_path)

@@ -1,0 +1,389 @@
+"""The ``repro serve`` daemon: a warm checker on a unix socket.
+
+An asyncio event loop accepts connections and demultiplexes request
+lines; the actual pipeline work (blocking, CPU-bound) runs on executor
+threads against resident :class:`repro.api.Workspace` objects — one
+per distinct :class:`repro.api.SessionConfig`, created on first use
+and kept warm (parsed-state fingerprints, incremental verdict store,
+open proof caches) for the daemon's lifetime.  Requests against
+*different* configurations run concurrently; requests against the same
+workspace serialize on its lock (the workspace is not thread-safe, and
+an edit loop wants the second re-check to see the first one's warm
+state anyway).
+
+Streaming: unit results and progress events are enqueued from the
+worker thread via ``loop.call_soon_threadsafe`` and written back on
+the event loop, so a slow client never blocks the checker and two
+concurrent requests never interleave *within* a line.
+
+Shutdown is graceful by default: ``shutdown`` requests, SIGINT and
+SIGTERM all stop accepting new work (new requests get a
+``shutting-down`` error), wait for in-flight requests to finish,
+close the workspaces (flushing proof caches), and remove the socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import errno
+import json
+import os
+import signal
+import socket as socket_module
+import threading
+import time
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro import api, obs
+from repro.cfront.lexer import LexError
+from repro.cfront.parser import ParseError
+from repro.cil.lower import LowerError
+from repro.core.qualifiers.parser import QualParseError
+from repro.serve import protocol
+
+#: Exceptions that mean "your input was bad", not "the daemon broke" —
+#: the same set the CLI maps to exit code 2 for in-process runs.
+_INPUT_ERRORS = (
+    ParseError,
+    LexError,
+    LowerError,
+    QualParseError,
+    UnicodeDecodeError,
+    OSError,
+    RecursionError,
+    api.UnknownQualifierError,
+)
+
+
+class ServeServer:
+    """One daemon instance bound to one unix-socket path."""
+
+    def __init__(self, socket_path: str):
+        self.socket_path = socket_path
+        self.started = time.monotonic()
+        #: Always-on request counters (independent of the obs
+        #: collector, which is off unless the daemon is profiled).
+        self.counters: Dict[str, int] = {
+            "connections": 0,
+            "requests": 0,
+            "errors": 0,
+        }
+        self._workspaces: Dict[Tuple, api.Workspace] = {}
+        self._locks: Dict[Tuple, threading.Lock] = {}
+        self._ws_guard = threading.Lock()
+        self._inflight: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._shutting_down = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _prepare_socket_path(self) -> None:
+        """Remove a stale socket file (no listener behind it); refuse
+        to displace a live daemon."""
+        if not os.path.exists(self.socket_path):
+            return
+        probe = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        try:
+            probe.settimeout(1.0)
+            probe.connect(self.socket_path)
+        except OSError:
+            os.unlink(self.socket_path)  # stale: nobody listening
+        else:
+            raise OSError(
+                errno.EADDRINUSE,
+                f"a daemon is already serving {self.socket_path}",
+            )
+        finally:
+            probe.close()
+
+    async def run(self) -> None:
+        """Bind, serve until shut down, then clean up."""
+        loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._prepare_socket_path()
+        self._server = await asyncio.start_unix_server(
+            self._serve_connection, path=self.socket_path
+        )
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            # RuntimeError/ValueError: not on the main thread (tests
+            # run the daemon on a side thread) — shutdown then comes
+            # from the protocol, not from signals.
+            with contextlib.suppress(
+                NotImplementedError, RuntimeError, ValueError
+            ):
+                loop.add_signal_handler(sig, self.request_shutdown)
+        try:
+            await self._stopped.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            for writer in list(self._writers):
+                writer.close()
+            for workspace in self._workspaces.values():
+                workspace.close()
+            with contextlib.suppress(OSError):
+                os.unlink(self.socket_path)
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful shutdown (idempotent): drain in-flight
+        requests, then stop the loop in :meth:`run`."""
+        if self._shutting_down:
+            return
+        self._shutting_down = True
+        asyncio.ensure_future(self._drain_and_stop())
+
+    async def _drain_and_stop(self) -> None:
+        pending = [
+            task for task in self._inflight if task is not asyncio.current_task()
+        ]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # ---------------------------------------------------------- connections
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.counters["connections"] += 1
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock)
+                )
+                for registry in (tasks, self._inflight):
+                    registry.add(task)
+                    task.add_done_callback(registry.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels connection handlers mid-readline;
+            # ending cleanly here keeps shutdown quiet.
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        async def send(obj: Dict[str, Any]) -> None:
+            # One protocol line at a time per connection, whole lines
+            # only — concurrent requests interleave lines, never bytes.
+            async with write_lock:
+                if writer.is_closing():
+                    return
+                writer.write(protocol.encode(obj))
+                with contextlib.suppress(ConnectionError):
+                    await writer.drain()
+
+        def error(rid, code: str, message: str) -> Dict[str, Any]:
+            self.counters["errors"] += 1
+            return {
+                "id": rid,
+                "done": True,
+                "error": {"code": code, "message": message},
+            }
+
+        try:
+            msg = protocol.decode_line(line)
+        except protocol.ProtocolError as exc:
+            await send(error(None, exc.code, str(exc)))
+            return
+        rid = msg.get("id")
+        op = msg.get("op")
+        params = msg.get("params")
+        self.counters["requests"] += 1
+        obs.incr("serve.requests")
+        if self._shutting_down and op != "status":
+            await send(
+                error(rid, protocol.E_SHUTTING_DOWN, "daemon is shutting down")
+            )
+            return
+        try:
+            with obs.span("serve.request", op=str(op)):
+                await self._dispatch(rid, op, params, send)
+        except protocol.ProtocolError as exc:
+            await send(error(rid, exc.code, str(exc)))
+        except Exception as exc:  # survived daemon-side bug
+            await send(
+                error(rid, protocol.E_INTERNAL, f"{type(exc).__name__}: {exc}")
+            )
+
+    # ------------------------------------------------------------- dispatch
+
+    async def _dispatch(self, rid, op, params, send) -> None:
+        if op == "status":
+            await send({"id": rid, "done": True, "result": self.status()})
+        elif op == "shutdown":
+            protocol._check_keys("shutdown", protocol._require_params_dict(params))
+            await send(
+                {
+                    "id": rid,
+                    "done": True,
+                    "result": {
+                        "stopping": True,
+                        "inflight": max(0, len(self._inflight) - 1),
+                    },
+                }
+            )
+            self.request_shutdown()
+        elif op == "invalidate":
+            checked = protocol._require_params_dict(params)
+            protocol._check_keys("invalidate", checked)
+            workspace, lock = self._workspace(
+                protocol.config_from_params(checked)
+            )
+            path = checked.get("path")
+            loop = asyncio.get_running_loop()
+
+            def drop() -> int:
+                with lock:
+                    return workspace.invalidate(path)
+
+            dropped = await loop.run_in_executor(None, drop)
+            await send(
+                {"id": rid, "done": True, "result": {"dropped": dropped}}
+            )
+        elif op in ("check", "prove", "infer"):
+            await self._run_batch(rid, op, params, send)
+        else:
+            raise protocol.ProtocolError(
+                protocol.E_UNKNOWN_OP, f"unknown op {op!r}"
+            )
+
+    def _workspace(
+        self, config: api.SessionConfig
+    ) -> Tuple[api.Workspace, threading.Lock]:
+        with self._ws_guard:
+            key = config.key()
+            workspace = self._workspaces.get(key)
+            if workspace is None:
+                workspace = api.Workspace(config, incremental=True)
+                self._workspaces[key] = workspace
+                self._locks[key] = threading.Lock()
+            return workspace, self._locks[key]
+
+    async def _run_batch(self, rid, op, params, send) -> None:
+        config = protocol.config_from_params(params)
+        request = protocol.batch_request(op, params)
+        workspace, lock = self._workspace(config)
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def enqueue(kind: str, payload) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, (kind, payload))
+
+        def work() -> None:
+            with lock:
+                try:
+                    command = getattr(workspace, op)
+                    report = command(
+                        request,
+                        on_result=lambda r: enqueue("unit", r.to_dict()),
+                        on_event=lambda e: enqueue("event", e),
+                    )
+                    enqueue("done", report.to_dict())
+                except _INPUT_ERRORS as exc:
+                    enqueue("error", (protocol.E_INPUT, str(exc)))
+                except Exception as exc:
+                    enqueue(
+                        "error",
+                        (
+                            protocol.E_INTERNAL,
+                            f"{type(exc).__name__}: {exc}",
+                        ),
+                    )
+
+        worker = loop.run_in_executor(None, work)
+        try:
+            while True:
+                kind, payload = await queue.get()
+                if kind == "unit":
+                    await send({"id": rid, "stream": "unit", "unit": payload})
+                elif kind == "event":
+                    await send({"id": rid, "stream": "event", "event": payload})
+                elif kind == "done":
+                    await send({"id": rid, "done": True, "report": payload})
+                    return
+                else:
+                    code, message = payload
+                    self.counters["errors"] += 1
+                    await send(
+                        {
+                            "id": rid,
+                            "done": True,
+                            "error": {"code": code, "message": message},
+                        }
+                    )
+                    return
+        finally:
+            await worker
+
+    # --------------------------------------------------------------- status
+
+    def status(self) -> Dict[str, Any]:
+        """The ``status`` result payload: daemon facts plus one
+        :meth:`repro.api.Workspace.stats` block per live workspace.
+        Workspace counters are always on, so incremental behaviour is
+        observable without enabling the profiling collector."""
+        from repro import __version__
+
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "schema_version": api.SCHEMA_VERSION,
+            "version": __version__,
+            "pid": os.getpid(),
+            "socket": self.socket_path,
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "shutting_down": self._shutting_down,
+            "inflight": len(self._inflight),
+            "counters": dict(self.counters),
+            "workspaces": [
+                workspace.stats() for workspace in self._workspaces.values()
+            ],
+        }
+
+
+def serve_main(socket_path: str) -> int:
+    """Blocking entry point for ``python -m repro serve``."""
+    server = ServeServer(socket_path)
+    print(
+        json.dumps(
+            {
+                "serving": socket_path,
+                "pid": os.getpid(),
+                "protocol": protocol.PROTOCOL_VERSION,
+            }
+        ),
+        flush=True,
+    )
+    try:
+        asyncio.run(server.run())
+    except OSError as exc:
+        print(f"error: {exc}", flush=True)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - loop handles SIGINT
+        pass
+    return 0

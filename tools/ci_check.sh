@@ -217,4 +217,70 @@ deaths = report["supervisor"]["deaths"]
 print(f"   12 case(s), {deaths} worker death(s) survived, oracles agree")
 ' "$tmpdir/chaos-difftest.json"
 
+echo "== serve smoke: daemon up, incremental re-check, clean shutdown"
+cat > "$tmpdir/serve_unit.c" <<'EOF'
+int add1(int x) { return x + 1; }
+int dbl(int y) { return y * 2; }
+int idf(int z) { return z; }
+EOF
+python -m repro serve --socket "$tmpdir/serve.sock" \
+    > "$tmpdir/serve.log" 2>&1 &
+serve_pid=$!
+tries=0
+until [ -S "$tmpdir/serve.sock" ]; do
+    tries=$((tries + 1))
+    test "$tries" -le 100 || {
+        echo "serve daemon never bound its socket" >&2
+        cat "$tmpdir/serve.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+python -m repro check "$tmpdir/serve_unit.c" \
+    --server "$tmpdir/serve.sock" --format json > "$tmpdir/serve1.json"
+cat > "$tmpdir/serve_unit.c" <<'EOF'
+int add1(int x) { return x + 1; }
+int dbl(int y) { return y * 2; }
+int idf(int z) { return z + 0; }
+EOF
+python -m repro check "$tmpdir/serve_unit.c" \
+    --server "$tmpdir/serve.sock" --format json > "$tmpdir/serve2.json"
+python -m repro serve --status --socket "$tmpdir/serve.sock" \
+    > "$tmpdir/serve_status.json"
+python -c '
+import json, sys
+first = json.load(open(sys.argv[1]))
+second = json.load(open(sys.argv[2]))
+status = json.load(open(sys.argv[3]))
+for report in (first, second):
+    assert report["schema_version"] == 1, report["schema_version"]
+    assert report["exit_code"] == 0, report
+    assert [u["verdict"] for u in report["units"]] == ["OK"], report["units"]
+assert first["incremental"]["rechecked"] == 3, first["incremental"]
+# the edit touched one function body: only it re-checked
+assert second["incremental"]["rechecked"] == 1, second["incremental"]
+assert second["incremental"]["replayed"] == 2, second["incremental"]
+counters = status["workspaces"][0]["counters"]
+assert counters["functions_replayed"] == 2, counters
+assert counters["functions_checked"] == 4, counters
+assert status["counters"]["errors"] == 0, status["counters"]
+print("   incremental re-check: 1 function re-proved, 2 replayed")
+' "$tmpdir/serve1.json" "$tmpdir/serve2.json" "$tmpdir/serve_status.json"
+python -m repro serve --stop --socket "$tmpdir/serve.sock" > /dev/null
+tries=0
+while kill -0 "$serve_pid" 2> /dev/null; do
+    tries=$((tries + 1))
+    test "$tries" -le 100 || {
+        echo "serve daemon did not shut down within 10s" >&2
+        kill -9 "$serve_pid" 2> /dev/null || true
+        exit 1
+    }
+    sleep 0.1
+done
+test ! -e "$tmpdir/serve.sock" || {
+    echo "serve daemon left its socket file behind" >&2
+    exit 1
+}
+echo "   daemon shut down cleanly, socket removed"
+
 echo "ci_check: all stages passed"
