@@ -4,10 +4,13 @@ These isolate the prover's cost drivers so regressions in any layer
 (SAT, congruence closure, arithmetic, instantiation) show up
 independently of the soundness-checker pipeline.
 
-Also runnable standalone, to measure the proof cache's effect::
+Also runnable standalone, to measure the proof cache's effect and the
+sharded/session sweep::
 
     PYTHONPATH=src python benchmarks/bench_prover.py          # cold only
     PYTHONPATH=src python benchmarks/bench_prover.py --warm   # cold + warm
+    PYTHONPATH=src python benchmarks/bench_prover.py --cold --jobs 8
+    PYTHONPATH=src python benchmarks/bench_prover.py --cold --no-session
 """
 
 import pytest
@@ -121,6 +124,23 @@ def test_quantified_store_reasoning(benchmark):
     assert result.proved
 
 
+@pytest.mark.benchmark(group="prover")
+def test_session_sweep_standard_library(benchmark):
+    """Full soundness sweep with incremental prover sessions — the
+    number the sharded scheduler's workers see per environment group."""
+    from repro.core.soundness.checker import check_soundness
+    from repro.prover.session import SessionPool
+
+    def run():
+        pool = SessionPool()
+        for qdef in QUALS:
+            check_soundness(qdef, QUALS, time_limit=30, sessions=pool)
+        return pool.counters()
+
+    counters = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert counters["session_reuse"] > 0
+
+
 # --------------------------------------------------------- standalone runner
 
 
@@ -142,6 +162,34 @@ def _soundness_pass(cache) -> tuple:
     return elapsed, discharged, hits
 
 
+def _sharded_sweep(jobs: int, session: bool, shard: bool) -> tuple:
+    """One cache-less sweep through the obligation pipeline; returns
+    (wall seconds, obligation count, stats)."""
+    import time
+
+    from repro.core.soundness.workitems import generate_work_items
+    from repro.harness import shard as shard_mod
+
+    items = []
+    for qdef in QUALS:
+        items.extend(generate_work_items(qdef, QUALS, AXIOMS, unit=qdef.name))
+    start = time.perf_counter()
+    if shard:
+        _outcomes, stats = shard_mod.run_obligations(
+            items, AXIOMS, use_sessions=session, jobs=jobs, time_limit=30
+        )
+    else:
+        from repro.core.soundness.checker import check_soundness
+        from repro.prover.session import SessionPool
+
+        pool = SessionPool() if session else None
+        for qdef in QUALS:
+            check_soundness(qdef, QUALS, time_limit=30, sessions=pool)
+        stats = {"sessions": pool.counters()} if pool else {}
+    elapsed = time.perf_counter() - start
+    return elapsed, len(items), stats
+
+
 def main(argv=None) -> int:
     import argparse
     import tempfile
@@ -158,7 +206,41 @@ def main(argv=None) -> int:
         help="after the cold pass, re-run against the now-populated cache "
         "and report the speedup",
     )
+    parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="time one cache-less sweep through the sharded obligation "
+        "scheduler instead of the cache benchmark",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sharded sweep (with --cold)",
+    )
+    parser.add_argument(
+        "--no-session", dest="session", action="store_false", default=True,
+        help="disable incremental prover sessions (cold prover per "
+        "obligation)",
+    )
+    parser.add_argument(
+        "--no-shard", dest="shard", action="store_false", default=True,
+        help="discharge serially via check_soundness instead of the "
+        "obligation scheduler",
+    )
     args = parser.parse_args(argv)
+
+    if args.cold:
+        elapsed, count, stats = _sharded_sweep(
+            args.jobs, args.session, args.shard
+        )
+        sessions = stats.get("sessions") or {}
+        print(
+            f"cold sweep: {count} obligation(s) in {elapsed:.3f} s "
+            f"(jobs={args.jobs}, sessions={'on' if args.session else 'off'}, "
+            f"shard={'on' if args.shard else 'off'}, "
+            f"session_reuse={sessions.get('session_reuse', 0)}, "
+            f"cores_seeded={sessions.get('cores_seeded', 0)})"
+        )
+        return 0
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         with ProofCache(cache_dir=tmp) as cache:

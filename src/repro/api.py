@@ -48,7 +48,9 @@ Example::
 
 from __future__ import annotations
 
+import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -119,7 +121,16 @@ class CheckRequest(BatchOptions):
 
 @dataclass(frozen=True)
 class ProveRequest(BatchOptions):
-    """One ``prove`` invocation: soundness-check ``.qual`` files."""
+    """One ``prove`` invocation: soundness-check ``.qual`` files.
+
+    ``session=False`` (``--no-session``) disables incremental prover
+    sessions — every obligation then gets a cold prover, the pre-PR-8
+    behavior.  ``shard=False`` (``--no-shard``) keeps parallelism at
+    file granularity: with ``jobs > 1`` the default is to shard the
+    *obligation stream* across the pool instead (see
+    docs/architecture.md, "obligation lifecycle").  Neither flag can
+    change a PROVED/REFUTED verdict.
+    """
 
     files: Tuple[str, ...] = ()
     qualifier: Optional[str] = None  # prove only this qualifier
@@ -127,6 +138,8 @@ class ProveRequest(BatchOptions):
     retries: int = 0
     cache: bool = True
     cache_dir: str = DEFAULT_CACHE_DIR
+    session: bool = True
+    shard: bool = True
 
 
 @dataclass(frozen=True)
@@ -315,6 +328,43 @@ def _aggregate_incremental_meta(batch_report: batch.BatchReport) -> None:
         batch_report.meta["incremental"] = totals
 
 
+def _aggregate_prove_incremental_meta(batch_report: batch.BatchReport) -> None:
+    """Sum per-unit prove replay counters into run-level meta (mirrors
+    :func:`_aggregate_incremental_meta`, at obligation granularity)."""
+    totals = {
+        "units": 0, "units_replayed": 0,
+        "obligations": 0, "rechecked": 0, "replayed": 0,
+    }
+    seen = False
+    for result in batch_report.results:
+        inc = result.detail.get("incremental")
+        if not isinstance(inc, dict):
+            continue
+        seen = True
+        totals["units"] += 1
+        totals["units_replayed"] += 1 if inc.get("unit_replayed") else 0
+        for key in ("obligations", "rechecked", "replayed"):
+            totals[key] += inc.get(key, 0)
+    if seen:
+        batch_report.meta["incremental"] = totals
+
+
+def _obligation_verdicts(results) -> List[str]:
+    """Map a report's per-obligation verdicts onto batch verdicts (the
+    unit verdict is the worst of these plus OK)."""
+    verdicts: List[str] = []
+    for res in results:
+        if res.verdict == "CRASH":
+            verdicts.append(batch.CRASH)
+        elif res.verdict == "TIMEOUT":
+            verdicts.append(batch.TIMEOUT)
+        elif res.verdict == "GAVE_UP":
+            verdicts.append(batch.UNKNOWN)
+        elif not res.proved:
+            verdicts.append(batch.WARNINGS)
+    return verdicts
+
+
 def _start_profile(request: BatchOptions) -> Optional[dict]:
     """Begin profiling one invocation if asked to (``request.profile``)
     or if the collector is already on (``--profile`` at the CLI, or a
@@ -427,6 +477,34 @@ class _UnitState:
     functions: Dict[str, _FunctionRecord] = field(default_factory=dict)
 
 
+@dataclass
+class _ProveUnitState:
+    """Per-unit prove replay state: source digest, the prove-environment
+    digest (axioms + composed qualifiers + budgets + filter, see
+    :func:`repro.cache.fingerprint.prove_environment_digest`), how many
+    obligations the stored report covers, and the settled
+    :class:`batch.UnitResult` itself (stored without its run-scoped
+    ``cache``/``sessions``/``incremental`` detail keys)."""
+
+    source: str
+    env: str
+    obligations: int
+    result: batch.UnitResult
+
+
+#: Incremental stores are LRU-bounded so a long-lived daemon workspace
+#: cannot grow without limit; per-store cap, overridable through
+#: ``REPRO_WORKSPACE_MAX_UNITS``.
+MAX_UNIT_STATES = 256
+
+
+def _max_unit_states() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_WORKSPACE_MAX_UNITS", "")))
+    except ValueError:
+        return MAX_UNIT_STATES
+
+
 # ---------------------------------------------------------------- workspace
 
 
@@ -476,12 +554,21 @@ class Workspace:
             "units_replayed": 0,
             "functions_checked": 0,
             "functions_replayed": 0,
+            "prove_units": 0,
+            "prove_units_replayed": 0,
+            "obligations_proved": 0,
+            "obligations_replayed": 0,
+            "session_reuse": 0,
+            "units_evicted": 0,
         }
+        self.max_units = _max_unit_states()
         self._quals: Optional[QualifierSet] = None
         self._qual_texts: Optional[Tuple[str, ...]] = None
         self._env_digest: str = ""
-        self._units: Dict[Tuple[str, bool], _UnitState] = {}
+        self._units: "OrderedDict[Tuple[str, bool], _UnitState]" = OrderedDict()
+        self._prove_units: "OrderedDict[str, _ProveUnitState]" = OrderedDict()
         self._caches: Dict[str, ProofCache] = {}
+        self._session_pool = None  # lazy repro.prover.session.SessionPool
 
     # ------------------------------------------------------------ loading
 
@@ -522,16 +609,37 @@ class Workspace:
     # ------------------------------------------------------- state control
 
     def invalidate(self, path: Optional[str] = None) -> int:
-        """Drop the incremental verdict store (for one unit path, or
-        all of it); returns how many unit entries were dropped."""
+        """Drop the incremental verdict stores (for one unit path, or
+        all of them); returns how many unit entries were dropped."""
         if path is None:
-            dropped = len(self._units)
+            dropped = len(self._units) + len(self._prove_units)
             self._units.clear()
+            self._prove_units.clear()
             return dropped
         keys = [key for key in self._units if key[0] == path]
         for key in keys:
             del self._units[key]
-        return len(keys)
+        dropped = len(keys)
+        if self._prove_units.pop(path, None) is not None:
+            dropped += 1
+        return dropped
+
+    def _lru_get(self, store: OrderedDict, key):
+        """Fetch from an incremental store, refreshing LRU recency."""
+        state = store.get(key)
+        if state is not None:
+            store.move_to_end(key)
+        return state
+
+    def _lru_put(self, store: OrderedDict, key, state) -> None:
+        """Insert into an incremental store, evicting the least
+        recently used entries past the cap (``units_evicted``)."""
+        store[key] = state
+        store.move_to_end(key)
+        while len(store) > self.max_units:
+            store.popitem(last=False)
+            self.counters["units_evicted"] += 1
+            obs.incr("serve.units_evicted")
 
     def stats(self) -> dict:
         """Workspace facts, JSON-ready (the serve ``status`` payload
@@ -544,6 +652,7 @@ class Workspace:
                 "trust_constants": self.config.trust_constants,
             },
             "units": len(self._units),
+            "prove_units": len(self._prove_units),
             "functions": sum(
                 len(state.functions) for state in self._units.values()
             ),
@@ -647,7 +756,7 @@ class Workspace:
             source = _read_source(path)
             source_digest = _fingerprint.source_digest(source)
             key = (path, request.flow_sensitive)
-            state = self._units.get(key)
+            state = self._lru_get(self._units, key)
             if (
                 state is not None
                 and state.source == source_digest
@@ -718,7 +827,7 @@ class Workspace:
             new_state = _UnitState(
                 source=source_digest, env=env, functions=records
             )
-            self._units[key] = new_state
+            self._lru_put(self._units, key, new_state)
             return self._replay_unit(
                 path, new_state, unit_replayed=False, rechecked=len(changed)
             )
@@ -849,18 +958,58 @@ class Workspace:
             self._caches[cache_dir] = cache
         return cache
 
+    def _session_pool_for(self, request: ProveRequest):
+        """The workspace-resident prover session pool (lazy), so a warm
+        daemon keeps learned solver state across prove requests.
+        ``None`` when the request opted out (``--no-session``)."""
+        if not request.session:
+            return None
+        if self._session_pool is None:
+            from repro.prover.session import SessionPool
+
+            self._session_pool = SessionPool()
+        return self._session_pool
+
     def prove(
         self, request: ProveRequest, on_result=None, on_event=None
     ) -> Report:
         """Soundness-check every qualifier defined in each ``.qual``
         unit, consulting the content-addressed proof cache before any
-        prover work and recording settled verdicts back into it."""
+        prover work and recording settled verdicts back into it.
+
+        With ``jobs > 1`` (and ``shard`` left on) the obligation stream
+        is sharded across the worker pool instead of whole files; an
+        incremental workspace additionally replays a unit's stored
+        report when neither its source nor the prove environment
+        changed.  Neither mode changes any verdict (the CI identity
+        stage asserts this)."""
         self.counters["requests"] += 1
         retry = RetryPolicy(max_attempts=request.retries + 1)
         cache = self._proof_cache(request)
+        if request.shard and request.jobs > 1:
+            return self._prove_sharded(
+                request, retry, cache, on_result, on_event
+            )
+        pool = self._session_pool_for(request)
+        worker = self._prove_unit_worker(request, retry, cache, pool)
+        if self.incremental:
+            # The replay store lives in this process (same reasoning as
+            # incremental check); sharded mode keeps ``jobs`` because
+            # its store is consulted in the parent anyway.
+            request = replace(request, jobs=1)
+            worker = self._incremental_prove_wrapper(request, worker)
+        batch_report = self._run(
+            request, worker, on_result=on_result, on_event=on_event
+        )
+        self._finish_prove_meta(batch_report, request, cache)
+        return Report("prove", batch_report)
 
+    def _prove_unit_worker(
+        self, request: ProveRequest, retry: RetryPolicy, cache, pool
+    ):
         def worker(path: str, deadline: Deadline) -> batch.UnitResult:
             before = cache.snapshot() if cache is not None else None
+            sessions_before = pool.counters() if pool is not None else None
             with obs.span("parse_quals", unit=path):
                 defs = parse_qualifiers(_read_source(path))
             quals = QualifierSet(
@@ -895,20 +1044,22 @@ class Workspace:
                         deadline=deadline,
                         cache=cache,
                         on_result=stream_obligation,
+                        sessions=pool,
                     )
                 entry = report.to_dict()
                 entry["summary"] = report.summary()
                 summaries.append(entry)
-                for res in report.results:
-                    if res.verdict == "CRASH":
-                        verdicts.append(batch.CRASH)
-                    elif res.verdict == "TIMEOUT":
-                        verdicts.append(batch.TIMEOUT)
-                    elif res.verdict == "GAVE_UP":
-                        verdicts.append(batch.UNKNOWN)
-                    elif not res.proved:
-                        verdicts.append(batch.WARNINGS)
+                verdicts.extend(_obligation_verdicts(report.results))
             detail: dict = {"qualifiers": summaries}
+            if pool is not None:
+                # Per-unit session counter delta (additive key), shaped
+                # exactly like the sharded path's per-group counters.
+                after = pool.counters()
+                detail["sessions"] = {
+                    key: value - (sessions_before.get(key) or 0)
+                    for key, value in after.items()
+                    if isinstance(value, (int, float))
+                }
             if cache is not None:
                 # Per-unit counter delta: crosses the process-pool
                 # boundary inside the UnitResult, and is folded into
@@ -923,9 +1074,313 @@ class Workspace:
                 detail=detail,
             )
 
-        batch_report = self._run(
-            request, worker, on_result=on_result, on_event=on_event
+        return worker
+
+    # ------------------------------------------- prove replay (incremental)
+
+    def _prove_env_digest(self, request: ProveRequest) -> str:
+        """The prove-environment digest every stored prove report is
+        keyed under (the unit's own definitions are covered by its
+        source digest, so only request-level inputs appear here)."""
+        from repro.core.soundness.axioms import semantics_axioms
+
+        return _fingerprint.prove_environment_digest(
+            semantics_axioms(),
+            standard_qualifiers(),
+            request.time_limit,
+            request.retries,
+            request.qualifier,
         )
+
+    def _prove_replay(self, path: str, source_digest: str, env: str):
+        """The stored prove result for an unchanged unit, or ``None``.
+        A hit returns a fresh :class:`batch.UnitResult` carrying an
+        ``incremental`` detail block (never the stored object itself —
+        callers stamp ``elapsed`` on what they get back)."""
+        state = self._lru_get(self._prove_units, path)
+        if (
+            state is None
+            or state.source != source_digest
+            or state.env != env
+        ):
+            return None
+        self.counters["prove_units_replayed"] += 1
+        self.counters["obligations_replayed"] += state.obligations
+        obs.incr("serve.prove_replays")
+        obs.incr("serve.incremental_hits", state.obligations)
+        stored = state.result
+        return batch.UnitResult(
+            unit=stored.unit,
+            verdict=stored.verdict,
+            diagnostics=list(stored.diagnostics),
+            error=stored.error,
+            detail={
+                **stored.detail,
+                "incremental": {
+                    "obligations": state.obligations,
+                    "rechecked": 0,
+                    "replayed": state.obligations,
+                    "unit_replayed": True,
+                },
+            },
+        )
+
+    def _store_prove_state(
+        self,
+        path: str,
+        source_digest: str,
+        env: str,
+        result: batch.UnitResult,
+    ) -> None:
+        """Record a freshly-computed prove result for later replay and
+        attach its ``incremental`` detail block.  Only settled reports
+        (OK/WARNINGS) are stored: TIMEOUT/GAVE_UP/CRASH outcomes are
+        budget- or environment-transient and must be recomputed."""
+        total = 0
+        cached = 0
+        for entry in result.detail.get("qualifiers", ()):
+            for obligation in entry.get("obligations", ()):
+                total += 1
+                if obligation.get("cached"):
+                    cached += 1
+        self.counters["obligations_proved"] += total - cached
+        self.counters["obligations_replayed"] += cached
+        if result.verdict in (batch.OK, batch.WARNINGS):
+            stored_detail = {
+                key: value
+                for key, value in result.detail.items()
+                if key not in ("cache", "sessions", "incremental")
+            }
+            self._lru_put(
+                self._prove_units,
+                path,
+                _ProveUnitState(
+                    source=source_digest,
+                    env=env,
+                    obligations=total,
+                    result=batch.UnitResult(
+                        unit=result.unit,
+                        verdict=result.verdict,
+                        diagnostics=list(result.diagnostics),
+                        error=result.error,
+                        detail=stored_detail,
+                    ),
+                ),
+            )
+        result.detail["incremental"] = {
+            "obligations": total,
+            "rechecked": total - cached,
+            "replayed": cached,
+            "unit_replayed": False,
+        }
+
+    def _incremental_prove_wrapper(self, request: ProveRequest, inner):
+        env = self._prove_env_digest(request)
+
+        def worker(path: str, deadline: Deadline) -> batch.UnitResult:
+            self.counters["prove_units"] += 1
+            source_digest = _fingerprint.source_digest(_read_source(path))
+            replayed = self._prove_replay(path, source_digest, env)
+            if replayed is not None:
+                return replayed
+            result = inner(path, deadline)
+            self._store_prove_state(path, source_digest, env, result)
+            return result
+
+        return worker
+
+    # --------------------------------------------------- sharded prove path
+
+    def _prove_sharded(
+        self, request: ProveRequest, retry: RetryPolicy, cache,
+        on_result, on_event,
+    ) -> Report:
+        """Obligation-level fan-out: generate every unit's work items in
+        the parent, shard them across the pool grouped by environment
+        digest (one prover session per group), and re-assemble per-unit
+        reports shaped exactly like the serial path's (see
+        docs/architecture.md, "obligation lifecycle").
+
+        Differences from the serial path are additive-only: per-unit
+        ``cache``/``sessions`` detail deltas are reported at run level
+        instead (group work cannot be attributed to one unit), and
+        ``unit_timeout`` bounds each obligation *group* rather than
+        each file."""
+        from repro.core.soundness import workitems
+        from repro.core.soundness.axioms import semantics_axioms
+        from repro.harness import shard as _shard
+
+        prof = _start_profile(request)
+        start = time.perf_counter()
+        try:
+            axioms = semantics_axioms()
+            std = standard_qualifiers()
+            env = self._prove_env_digest(request) if self.incremental else ""
+            staged: Dict[str, tuple] = {}
+
+            def parse_worker(path: str, deadline: Deadline) -> batch.UnitResult:
+                source = _read_source(path)
+                with obs.span("parse_quals", unit=path):
+                    defs = parse_qualifiers(source)
+                quals = QualifierSet(
+                    list(std) + [d for d in defs if d.name not in std.names]
+                )
+                staged[path] = (source, defs, quals)
+                return batch.UnitResult(unit=path, verdict=batch.OK)
+
+            results_by_path: Dict[str, batch.UnitResult] = {}
+            prove_plan: Dict[str, tuple] = {}
+            all_items: List[workitems.ObligationWorkItem] = []
+            skip_rest = False
+            for path in request.files:
+                if skip_rest:
+                    results_by_path[path] = batch.UnitResult(
+                        unit=path, verdict=batch.SKIPPED
+                    )
+                    continue
+                if self.incremental:
+                    self.counters["prove_units"] += 1
+                    try:
+                        source_digest = _fingerprint.source_digest(
+                            _read_source(path)
+                        )
+                    except Exception:
+                        source_digest = None
+                    if source_digest is not None:
+                        replayed = self._prove_replay(path, source_digest, env)
+                        if replayed is not None:
+                            results_by_path[path] = replayed
+                            continue
+                # run_one supplies the exact parse-stage fault taxonomy
+                # of the serial path (input error -> ERROR, etc.).
+                parse_result = batch.run_one(
+                    path, parse_worker, request.unit_timeout
+                )
+                if path not in staged:
+                    results_by_path[path] = parse_result
+                    if (
+                        not request.keep_going
+                        and parse_result.severity
+                        >= batch._SEVERITY[batch.ERROR]
+                    ):
+                        skip_rest = True
+                    continue
+                source, defs, quals = staged[path]
+                per_qdef = []
+                for qdef in defs:
+                    if request.qualifier and qdef.name != request.qualifier:
+                        continue
+                    items = workitems.generate_work_items(
+                        qdef, quals, axioms, unit=path
+                    )
+                    per_qdef.append((qdef, items))
+                    all_items.extend(items)
+                prove_plan[path] = (source, quals, per_qdef)
+
+            def forward(event) -> None:
+                if on_event is None:
+                    return
+                if isinstance(event, dict) and event.get("event") != "obligation":
+                    # The pool's lifecycle events name synthetic
+                    # ``obl:*`` units; only obligation progress makes
+                    # sense to a prove caller.
+                    return
+                on_event(event)
+
+            outcomes, stats = _shard.run_obligations(
+                all_items,
+                axioms,
+                use_sessions=request.session,
+                jobs=request.jobs,
+                unit_timeout=request.unit_timeout,
+                time_limit=request.time_limit,
+                retry=retry,
+                cache=cache,
+                on_event=forward,
+            )
+
+            for path, (source, quals, per_qdef) in prove_plan.items():
+                verdicts = [batch.OK]
+                summaries: List[dict] = []
+                unit_elapsed = 0.0
+                for qdef, items in per_qdef:
+                    q_elapsed = sum(
+                        (outcomes[i.key].get("proof") or {}).get("elapsed", 0.0)
+                        for i in items
+                    )
+                    unit_elapsed += q_elapsed
+                    qreport = workitems.assemble_report(
+                        qdef, quals, items, outcomes, elapsed=q_elapsed
+                    )
+                    entry = qreport.to_dict()
+                    entry["summary"] = qreport.summary()
+                    summaries.append(entry)
+                    verdicts.extend(_obligation_verdicts(qreport.results))
+                result = batch.UnitResult(
+                    unit=path,
+                    verdict=_worst(verdicts),
+                    elapsed=unit_elapsed,
+                    detail={"qualifiers": summaries},
+                )
+                if self.incremental:
+                    self._store_prove_state(
+                        path, _fingerprint.source_digest(source), env, result
+                    )
+                results_by_path[path] = result
+
+            results = [results_by_path[p] for p in request.files]
+            if not request.keep_going:
+                severe = False
+                for index, result in enumerate(results):
+                    if severe:
+                        results[index] = batch.UnitResult(
+                            unit=result.unit, verdict=batch.SKIPPED
+                        )
+                    elif result.severity >= batch._SEVERITY[batch.ERROR]:
+                        severe = True
+            batch_report = batch.BatchReport(results=results)
+            batch_report.elapsed = time.perf_counter() - start
+            if on_result is not None:
+                for result in results:
+                    try:
+                        on_result(result)
+                    except Exception:
+                        pass
+            if cache is not None:
+                batch_report.meta["cache"] = {
+                    "enabled": True,
+                    "dir": cache.cache_dir,
+                    "entries": cache.entry_count(),
+                    **(stats.get("cache") or {}),
+                }
+            else:
+                batch_report.meta["cache"] = {"enabled": False}
+            if request.session:
+                sessions = stats.get("sessions") or {}
+                batch_report.meta["sessions"] = {"enabled": True, **sessions}
+                self.counters["session_reuse"] += int(
+                    sessions.get("session_reuse", 0)
+                )
+            batch_report.meta["scheduler"] = {
+                key: stats.get(key, 0)
+                for key in (
+                    "groups", "rounds", "obligations", "requeued",
+                    "quarantined",
+                )
+            }
+            if self.incremental:
+                _aggregate_prove_incremental_meta(batch_report)
+        except BaseException:
+            _abort_profile(prof)
+            raise
+        _finish_profile(prof, batch_report)
+        return Report("prove", batch_report)
+
+    def _finish_prove_meta(
+        self, batch_report: batch.BatchReport, request: ProveRequest, cache
+    ) -> None:
+        """Run-level meta for the serial prove path (the sharded path
+        builds the same keys from its scheduler stats)."""
         if cache is not None:
             batch_report.meta["cache"] = {
                 "enabled": True,
@@ -935,7 +1390,14 @@ class Workspace:
             }
         else:
             batch_report.meta["cache"] = {"enabled": False}
-        return Report("prove", batch_report)
+        if request.session:
+            sessions = batch_report.sum_detail_counters("sessions")
+            batch_report.meta["sessions"] = {"enabled": True, **sessions}
+            self.counters["session_reuse"] += int(
+                sessions.get("session_reuse", 0)
+            )
+        if self.incremental:
+            _aggregate_prove_incremental_meta(batch_report)
 
     def infer(
         self, request: InferRequest, on_result=None, on_event=None

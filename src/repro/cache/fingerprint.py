@@ -199,6 +199,33 @@ def proof_key(
 CHECKER_SALT = "repro-checker/1"
 
 
+def prove_environment_digest(
+    axioms: Iterable[Formula],
+    quals,
+    time_limit: float,
+    retries: int,
+    qualifier: "str | None" = None,
+) -> str:
+    """Content hash of everything a unit's *prove report* depends on
+    beyond its own source text: the dynamic-semantics axioms, the
+    composed qualifier environment (standard definitions can shadow or
+    be shadowed), the proof budgets (they can flip ``GAVE_UP`` /
+    ``TIMEOUT`` verdicts), and the ``--qualifier`` filter.  A warm
+    workspace replays a unit's stored prove report only while this
+    digest and the unit's source digest both match."""
+    return _digest(
+        [
+            "proveenv",
+            PROVER_SALT,
+            qualifier_env_digest(quals),
+            f"limit={time_limit!r}",
+            f"retries={retries}",
+            f"only={qualifier or ''}",
+        ]
+        + [canonical_formula(ax) for ax in axioms]
+    )
+
+
 def source_digest(text: str) -> str:
     """Content hash of one translation unit's raw source text (the
     cheapest whole-unit change test — a match skips even the parse)."""

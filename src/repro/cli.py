@@ -159,6 +159,8 @@ def _server_params(args, op: str) -> dict:
             retries=args.retries,
             cache=args.cache,
             cache_dir=args.cache_dir,
+            session=args.session,
+            shard=args.shard,
         )
     return params
 
@@ -267,6 +269,8 @@ def cmd_prove(args) -> int:
             retries=args.retries,
             cache=args.cache,
             cache_dir=args.cache_dir,
+            session=args.session,
+            shard=args.shard,
             keep_going=args.keep_going,
             jobs=args.jobs,
             unit_timeout=args.unit_timeout,
@@ -630,6 +634,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CACHE_DIR,
         metavar="DIR",
         help=f"proof cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_prove.add_argument(
+        "--no-session",
+        dest="session",
+        action="store_false",
+        default=True,
+        help="disable incremental prover sessions (cold prover per "
+        "obligation; verdicts are unaffected either way)",
+    )
+    p_prove.add_argument(
+        "--no-shard",
+        dest="shard",
+        action="store_false",
+        default=True,
+        help="with --jobs N, parallelize at file granularity instead "
+        "of sharding the obligation stream across the pool",
     )
     batch_flags(p_prove)
     profile_flags(p_prove)

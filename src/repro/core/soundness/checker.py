@@ -150,6 +150,70 @@ class SoundnessReport:
         }
 
 
+def discharge_obligation(
+    obligation: Obligation,
+    context: str,
+    axioms,
+    session=None,
+    max_rounds: int = 6,
+    time_limit: float = 45.0,
+    retry: RetryPolicy = NO_RETRY,
+    deadline: Optional[Deadline] = None,
+    cache=None,
+) -> ObligationResult:
+    """Discharge one obligation — the single prover entry point shared
+    by the serial path and the sharded obligation scheduler.
+
+    ``context`` is the qualifier definition's source text (folded into
+    the proof-cache environment key).  ``session`` is an optional
+    :class:`repro.prover.session.ProverSession` for the obligation's
+    axiom environment; when absent a fresh prover is built, which is
+    the behavior ``--no-session`` restores.
+    """
+    if obligation.trivial:
+        return ObligationResult(obligation, None)
+    deadline = deadline or Deadline(None)
+    if deadline.expired():
+        return ObligationResult(
+            obligation,
+            ProofResult(proved=False, reason="time limit", verdict=TIMEOUT),
+        )
+    # Chaos site: an injected stall standing in for a prover whose
+    # budget estimate was wildly off (cooperates with the deadline).
+    faults.maybe_slow_prover(
+        f"{obligation.qualifier}:{obligation.rule}", deadline=deadline
+    )
+    try:
+        with recursion_guard():
+            if session is not None:
+                result = session.prove_with_retry(
+                    obligation.goal,
+                    retry=retry,
+                    deadline=deadline,
+                    cache=cache,
+                    cache_context=context,
+                    max_rounds=max_rounds,
+                    time_limit=time_limit,
+                )
+            else:
+                prover = Prover(max_rounds=max_rounds, time_limit=time_limit)
+                prover.add_axioms(axioms)
+                result = prover.prove_with_retry(
+                    obligation.goal,
+                    retry=retry,
+                    deadline=deadline,
+                    cache=cache,
+                    cache_context=context,
+                )
+        return ObligationResult(obligation, result)
+    except (RecursionError, MemoryError) as exc:
+        return ObligationResult(obligation, None, error=type(exc).__name__)
+    except Exception as exc:  # prover bug: survive, report, continue
+        return ObligationResult(
+            obligation, None, error=f"{type(exc).__name__}: {exc}"
+        )
+
+
 def check_soundness(
     qdef: QualifierDef,
     quals: Optional[QualifierSet] = None,
@@ -159,6 +223,7 @@ def check_soundness(
     deadline: Optional[Deadline] = None,
     cache=None,
     on_result=None,
+    sessions=None,
 ) -> SoundnessReport:
     """Prove every obligation of one qualifier definition.
 
@@ -182,6 +247,14 @@ def check_soundness(
     hook the batch pipeline uses to report per-obligation progress
     while the report is still being built.  Callback errors are
     swallowed: progress reporting must never change a verdict.
+
+    ``sessions`` enables incremental prover sessions: pass a
+    :class:`repro.prover.session.SessionPool` to share solver state
+    across calls, or ``True`` for a pool local to this call.  Learned
+    theory conflicts, the encoded axiom base, and E-matching triggers
+    are then reused across the obligations of this qualifier's axiom
+    environment (see docs/architecture.md, "obligation lifecycle");
+    PROVED/REFUTED verdicts are unaffected by design.
     """
     if quals is None:
         quals = QualifierSet([qdef])
@@ -206,45 +279,31 @@ def check_soundness(
             except Exception:
                 pass
 
-    for obligation in obligations:
-        if obligation.trivial:
-            settle(ObligationResult(obligation, None))
-            continue
-        if deadline.expired():
-            settle(
-                ObligationResult(
-                    obligation,
-                    ProofResult(
-                        proved=False, reason="time limit", verdict=TIMEOUT
-                    ),
-                )
-            )
-            continue
-        # Chaos site: an injected stall standing in for a prover whose
-        # budget estimate was wildly off (cooperates with the deadline).
-        faults.maybe_slow_prover(
-            f"{qdef.name}:{obligation.rule}", deadline=deadline
+    session = None
+    if sessions is not None and sessions is not False:
+        from repro.prover.session import SessionPool
+
+        pool = sessions if isinstance(sessions, SessionPool) else SessionPool()
+        session = pool.get(
+            axioms,
+            context=qdef.source,
+            max_rounds=max_rounds,
+            time_limit=time_limit,
         )
-        prover = Prover(max_rounds=max_rounds, time_limit=time_limit)
-        prover.add_axioms(axioms)
-        try:
-            with recursion_guard():
-                result = prover.prove_with_retry(
-                    obligation.goal,
-                    retry=retry,
-                    deadline=deadline,
-                    cache=cache,
-                    cache_context=qdef.source,
-                )
-            settle(ObligationResult(obligation, result))
-        except (RecursionError, MemoryError) as exc:
-            settle(ObligationResult(obligation, None, error=type(exc).__name__))
-        except Exception as exc:  # prover bug: survive, report, continue
-            settle(
-                ObligationResult(
-                    obligation, None, error=f"{type(exc).__name__}: {exc}"
-                )
+    for obligation in obligations:
+        settle(
+            discharge_obligation(
+                obligation,
+                qdef.source,
+                axioms,
+                session=session,
+                max_rounds=max_rounds,
+                time_limit=time_limit,
+                retry=retry,
+                deadline=deadline,
+                cache=cache,
             )
+        )
     report.elapsed = time.perf_counter() - start
     return report
 

@@ -363,11 +363,13 @@ def metamorphic(
         )
     rng.shuffle(obligations)
 
+    settled_obligations: List[Tuple] = []
     for obligation in obligations[:max_obligations]:
         base = _prove(obligation.goal, axioms, time_limit)
         if base not in SETTLED:
             continue
         counters["obligations"] += 1
+        settled_obligations.append((obligation, base))
         variants = []
         renamed = _alpha_rename(obligation.goal)
         if renamed is not None:
@@ -422,4 +424,43 @@ def metamorphic(
                         },
                     )
                 )
+
+    # Session invariance: discharging the same obligations through one
+    # warm ProverSession — in generation order and in a permuted order —
+    # must reproduce every cold verdict (learned-core seeding and goal
+    # skolem canonicalization are verdict-preserving by design).
+    if settled_obligations:
+        from repro.prover.session import ProverSession
+
+        def session_verdicts(pairs):
+            session = ProverSession(
+                axioms, context="difftest-metamorphic", time_limit=time_limit
+            )
+            return {
+                id(o): session.prove(o.goal).verdict for o, _ in pairs
+            }
+
+        permuted_pairs = list(settled_obligations)
+        rng.shuffle(permuted_pairs)
+        for label, verdicts in (
+            ("session-reuse", session_verdicts(settled_obligations)),
+            ("session-order-permutation", session_verdicts(permuted_pairs)),
+        ):
+            for obligation, base in settled_obligations:
+                counters["variants"] += 1
+                verdict = verdicts[id(obligation)]
+                if verdict in SETTLED and verdict != base:
+                    findings.append(
+                        Finding(
+                            "metamorphic", f"{label}-flips-verdict",
+                            case.name,
+                            {
+                                "qualifier": obligation.qualifier,
+                                "rule": obligation.rule,
+                                "base": base,
+                                "variant": verdict,
+                                "qual_source": case.qual_source,
+                            },
+                        )
+                    )
     return findings, counters

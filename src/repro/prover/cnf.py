@@ -91,23 +91,37 @@ def nnf(f: Formula, positive: bool = True) -> Formula:
 _skolem_counter = itertools.count()
 
 
-def skolemize(f: Formula, scope: Tuple[TVar, ...] = ()) -> Formula:
-    """Replace existentials in an NNF formula with skolem terms."""
+def _default_namer(v: str) -> str:
+    return f"@sk{next(_skolem_counter)}_{v}"
+
+
+def skolemize(
+    f: Formula, scope: Tuple[TVar, ...] = (), namer=None
+) -> Formula:
+    """Replace existentials in an NNF formula with skolem terms.
+
+    ``namer`` maps a bound-variable name to a fresh skolem function
+    name; the default draws from a process-global counter.  A
+    :class:`repro.prover.session.ProverSession` passes a per-goal
+    *canonical* namer instead, so structurally identical goals produce
+    identical skolem constants — the property that lets theory-conflict
+    clauses learned on one obligation transfer to the next."""
+    if namer is None:
+        namer = _default_namer
     if isinstance(f, (FTrue, FFalse, Eq, Le, Lt, Pr, Not)):
         return f
     if isinstance(f, And):
-        return And(*(skolemize(c, scope) for c in f.conjuncts))
+        return And(*(skolemize(c, scope, namer) for c in f.conjuncts))
     if isinstance(f, Or):
-        return Or(*(skolemize(d, scope) for d in f.disjuncts))
+        return Or(*(skolemize(d, scope, namer) for d in f.disjuncts))
     if isinstance(f, ForAll):
         new_scope = scope + tuple(TVar(v) for v in f.vars)
-        return ForAll(f.vars, skolemize(f.body, new_scope), f.triggers)
+        return ForAll(f.vars, skolemize(f.body, new_scope, namer), f.triggers)
     if isinstance(f, Exists):
         subst: Dict[str, Term] = {}
         for v in f.vars:
-            sk_name = f"@sk{next(_skolem_counter)}_{v}"
-            subst[v] = TApp(sk_name, tuple(scope))
-        return skolemize(formula_subst(f.body, subst), scope)
+            subst[v] = TApp(namer(v), tuple(scope))
+        return skolemize(formula_subst(f.body, subst), scope, namer)
     raise TypeError(f"skolemize expects NNF, got {f!r}")
 
 
@@ -161,6 +175,19 @@ class ClauseDb:
     @property
     def num_vars(self) -> int:
         return self._next_var - 1
+
+    def clone(self) -> "ClauseDb":
+        """Independent copy sharing no mutable state.
+
+        Atoms themselves are immutable formula objects, so only the
+        containers are copied.  A :class:`ProverSession` encodes its
+        axiom environment once and clones the result per obligation."""
+        return ClauseDb(
+            clauses=list(self.clauses),
+            atom_of_var=dict(self.atom_of_var),
+            var_of_atom=dict(self.var_of_atom),
+            _next_var=self._next_var,
+        )
 
     def theory_atoms(self):
         """(var, atom) for atoms the theory solver understands."""
@@ -217,7 +244,7 @@ def encode(db: ClauseDb, f: Formula) -> int:
     raise TypeError(f"encode expects NNF without Exists, got {f!r}")
 
 
-def assert_formula(db: ClauseDb, f: Formula) -> None:
+def assert_formula(db: ClauseDb, f: Formula, namer=None) -> None:
     """NNF, skolemize, encode and assert ``f`` as a unit clause."""
-    prepared = skolemize(nnf(f))
+    prepared = skolemize(nnf(f), namer=namer)
     db.add_clause([encode(db, prepared)])

@@ -28,8 +28,12 @@ class CongruenceClosure:
         self._uses: Dict[Term, List[TApp]] = {}
         # Signature table: (fname, arg reps) -> a representative app.
         self._sigs: Dict[Tuple, TApp] = {}
-        # Asserted disequalities, as pairs of terms.
+        # Asserted disequalities, as pairs of terms, plus a watch index
+        # (representative -> disequality indices) so a merge re-checks
+        # only the disequalities touching the merged classes instead of
+        # scanning them all.
         self._diseqs: List[Tuple[Term, Term]] = []
+        self._diseq_watch: Dict[Term, List[int]] = {}
 
     # ------------------------------------------------------------ union-find
 
@@ -46,12 +50,14 @@ class CongruenceClosure:
             self._lookup_or_install(t)
 
     def find(self, t: Term) -> Term:
-        self.add_term(t)
+        parent = self._parent
+        if t not in parent:
+            self.add_term(t)
         root = t
-        while self._parent[root] != root:
-            root = self._parent[root]
-        while self._parent[t] != root:  # path compression
-            self._parent[t], t = root, self._parent[t]
+        while parent[root] != root:
+            root = parent[root]
+        while parent[t] != root:  # path compression
+            parent[t], t = root, parent[t]
         return root
 
     def _signature(self, t: TApp) -> Tuple:
@@ -71,13 +77,15 @@ class CongruenceClosure:
         self.add_term(a)
         self.add_term(b)
         self._merge(a, b)
-        self._check_diseqs()
 
     def assert_neq(self, a: Term, b: Term) -> None:
-        self.add_term(a)
-        self.add_term(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            raise EufConflict(f"disequality violated: {a} != {b}")
+        index = len(self._diseqs)
         self._diseqs.append((a, b))
-        self._check_diseqs()
+        self._diseq_watch.setdefault(ra, []).append(index)
+        self._diseq_watch.setdefault(rb, []).append(index)
 
     def _merge(self, a: Term, b: Term) -> None:
         ra, rb = self.find(a), self.find(b)
@@ -95,17 +103,20 @@ class CongruenceClosure:
         self._parent[rb] = ra
         if self._rank[ra] == self._rank[rb]:
             self._rank[ra] += 1
+        # Only disequalities watching the absorbed class can newly fire.
+        watching = self._diseq_watch.pop(rb, None)
+        if watching:
+            for index in watching:
+                a, b = self._diseqs[index]
+                if self.find(a) == self.find(b):
+                    raise EufConflict(f"disequality violated: {a} != {b}")
+            self._diseq_watch.setdefault(ra, []).extend(watching)
         # Re-check congruences of applications using the merged class.
         pending = self._uses[rb]
         self._uses.setdefault(ra, []).extend(pending)
         self._uses[rb] = []
         for app in list(pending):
             self._lookup_or_install(app)
-
-    def _check_diseqs(self) -> None:
-        for a, b in self._diseqs:
-            if self.find(a) == self.find(b):
-                raise EufConflict(f"disequality violated: {a} != {b}")
 
     # --------------------------------------------------------------- queries
 

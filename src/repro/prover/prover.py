@@ -135,12 +135,59 @@ class Prover:
         self.max_rounds = max_rounds
         self.max_conflicts = max_conflicts
         self.time_limit = time_limit
+        # Optional derive_triggers memo shared across prove calls; a
+        # plain Prover leaves it off (None).
+        self.trigger_cache = None
 
     def add_axiom(self, axiom: Formula) -> None:
         self.axioms.append(axiom)
 
     def add_axioms(self, axioms) -> None:
         self.axioms.extend(axioms)
+
+    # ------------------------------------------------------- session hooks
+    #
+    # ProverSession subclasses Prover and overrides these to reuse
+    # encoded axioms, canonical goal skolems, and learned theory
+    # conflicts across obligations.  The defaults reproduce the
+    # stand-alone prover exactly.
+
+    def _base_db(self) -> ClauseDb:
+        """Clause database with the axioms asserted."""
+        db = ClauseDb()
+        for ax in self.axioms:
+            assert_formula(db, ax)
+        return db
+
+    def _assert(self, db: ClauseDb, f: Formula) -> None:
+        """Assert a goal-side formula (extra axiom or negated goal)."""
+        assert_formula(db, f)
+
+    def _begin_goal(self) -> None:
+        """Called once at the start of every uncached prove call."""
+
+    def _theory_check(self, theory_lits, deadline: Deadline):
+        """Nelson–Oppen consistency check; returns a conflict or None."""
+        return combine.check(theory_lits, deadline=deadline.at)
+
+    def _note_conflict(self, conflict) -> None:
+        """Observe a learned theory conflict ((atom, polarity) pairs)."""
+
+    def _seed_learned(self, db: ClauseDb) -> None:
+        """Inject previously learned clauses before a SAT search."""
+
+    def _spawn(
+        self, max_rounds: int, max_conflicts: int, time_limit: float
+    ) -> "Prover":
+        """A prover for one retry attempt, sharing this one's axioms
+        (and, in a session, its learned state)."""
+        attempt = Prover(
+            max_rounds=max_rounds,
+            max_conflicts=max_conflicts,
+            time_limit=time_limit,
+        )
+        attempt.axioms = self.axioms
+        return attempt
 
     # ----------------------------------------------------------------- prove
 
@@ -193,12 +240,11 @@ class Prover:
         start: float,
     ) -> ProofResult:
         deadline = (deadline or Deadline(None)).tightened(self.time_limit)
-        db = ClauseDb()
-        for ax in self.axioms:
-            assert_formula(db, ax)
+        self._begin_goal()
+        db = self._base_db()
         for ax in extra_axioms:
-            assert_formula(db, ax)
-        assert_formula(db, Not(goal))
+            self._assert(db, ax)
+        self._assert(db, Not(goal))
 
         instantiated: Dict[int, Set[Tuple[Term, ...]]] = {}
         lemma_products = {
@@ -214,6 +260,7 @@ class Prover:
             for round_no in range(self.max_rounds + 1):
                 result.rounds = round_no
                 self._add_product_lemmas(db, lemma_products)
+                self._seed_learned(db)
                 model = self._smt_search(db, result, deadline)
                 if model is None:
                     result.proved = True
@@ -288,12 +335,11 @@ class Prover:
         for attempt in retry.attempts(deadline):
             attempts = attempt
             scale = retry.budget_scale(attempt)
-            attempt_prover = Prover(
+            attempt_prover = self._spawn(
                 max_rounds=max(1, int(self.max_rounds * scale)),
                 max_conflicts=max(1, int(self.max_conflicts * scale)),
                 time_limit=deadline.remaining(),
             )
-            attempt_prover.axioms = self.axioms
             result = attempt_prover.prove(goal, extra_axioms, deadline=deadline)
             result.attempts = attempts
             if result.verdict != GAVE_UP or deadline.expired():
@@ -317,7 +363,7 @@ class Prover:
                 for var, atom in db.theory_atoms()
                 if var in model
             ]
-            conflict = combine.check(theory_lits, deadline=deadline.at)
+            conflict = self._theory_check(theory_lits, deadline)
             if conflict is None:
                 return model
             result.conflicts += 1
@@ -327,6 +373,7 @@ class Prover:
                     for atom, polarity in conflict
                 ]
             )
+            self._note_conflict(conflict)
             if result.conflicts > self.max_conflicts:
                 return "budget"
             if deadline.expired():
@@ -350,7 +397,10 @@ class Prover:
         for var, qatom in list(db.quant_atoms()):
             deadline.check("instantiation round")
             seen = instantiated.setdefault(var, set())
-            for _args, body in instantiate(qatom, pool, seen, deadline=deadline):
+            for _args, body in instantiate(
+                qatom, pool, seen, deadline=deadline,
+                trigger_cache=self.trigger_cache,
+            ):
                 lit = encode(db, body)
                 db.add_clause([-var, lit])
                 result.instances += 1

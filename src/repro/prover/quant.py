@@ -134,6 +134,7 @@ def instantiate(
     pool: List[Term],
     already: Set[Tuple[Term, ...]],
     deadline: Optional[Deadline] = None,
+    trigger_cache: Optional[Dict[QuantAtom, Tuple[Tuple[Term, ...], ...]]] = None,
 ) -> List[Tuple[Tuple[Term, ...], Formula]]:
     """All new instances of ``atom`` over the ground-term ``pool``.
 
@@ -143,8 +144,18 @@ def instantiate(
     ``deadline`` is polled *inside* them (every ``_DEADLINE_STRIDE``
     candidates) — a hard atom raises ``DeadlineExceeded`` mid-round
     instead of overrunning its budget by a whole round.
+
+    ``trigger_cache`` memoizes :func:`derive_triggers` per quantifier
+    atom; a prover session shares one cache across the obligations of
+    an axiom environment, where the same axiom atoms recur.
     """
-    triggers = derive_triggers(atom)
+    if trigger_cache is None:
+        triggers = derive_triggers(atom)
+    else:
+        triggers = trigger_cache.get(atom)
+        if triggers is None:
+            triggers = derive_triggers(atom)
+            trigger_cache[atom] = triggers
     out: List[Tuple[Tuple[Term, ...], Formula]] = []
     bound = list(atom.vars)
     if obs.enabled():

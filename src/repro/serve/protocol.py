@@ -94,7 +94,10 @@ _BATCH_KEYS = frozenset(("files", "keep_going", "jobs", "unit_timeout"))
 _OP_KEYS = {
     "check": _BATCH_KEYS | {"flow_sensitive"},
     "prove": _BATCH_KEYS
-    | {"qualifier", "time_limit", "retries", "cache", "cache_dir"},
+    | {
+        "qualifier", "time_limit", "retries", "cache", "cache_dir",
+        "session", "shard",
+    },
     "infer": _BATCH_KEYS | {"qualifier", "flow_sensitive"},
     "invalidate": frozenset(("path",)),
     "status": frozenset(),
@@ -177,6 +180,8 @@ def batch_request(op: str, params: Any):
                 retries=int(params.get("retries", 0)),
                 cache=bool(params.get("cache", True)),
                 cache_dir=str(params.get("cache_dir", DEFAULT_CACHE_DIR)),
+                session=bool(params.get("session", True)),
+                shard=bool(params.get("shard", True)),
                 **common,
             )
         if op == "infer":

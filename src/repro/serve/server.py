@@ -35,12 +35,27 @@ import threading
 import time
 from typing import Any, Dict, Optional, Set, Tuple
 
+from collections import OrderedDict
+
 from repro import api, obs
 from repro.cfront.lexer import LexError
 from repro.cfront.parser import ParseError
 from repro.cil.lower import LowerError
 from repro.core.qualifiers.parser import QualParseError
 from repro.serve import protocol
+
+#: Default cap on resident workspaces (one per distinct configuration);
+#: override with ``REPRO_SERVE_MAX_WORKSPACES``.  Warm state beyond the
+#: cap is evicted least-recently-used, so a client cycling through many
+#: configurations bounds the daemon's memory instead of growing it.
+MAX_WORKSPACES = 8
+
+
+def _max_workspaces() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_SERVE_MAX_WORKSPACES", "")))
+    except ValueError:
+        return MAX_WORKSPACES
 
 #: Exceptions that mean "your input was bad", not "the daemon broke" —
 #: the same set the CLI maps to exit code 2 for in-process runs.
@@ -68,8 +83,10 @@ class ServeServer:
             "connections": 0,
             "requests": 0,
             "errors": 0,
+            "evictions": 0,
         }
-        self._workspaces: Dict[Tuple, api.Workspace] = {}
+        self.max_workspaces = _max_workspaces()
+        self._workspaces: "OrderedDict[Tuple, api.Workspace]" = OrderedDict()
         self._locks: Dict[Tuple, threading.Lock] = {}
         self._ws_guard = threading.Lock()
         self._inflight: Set[asyncio.Task] = set()
@@ -283,7 +300,36 @@ class ServeServer:
                 workspace = api.Workspace(config, incremental=True)
                 self._workspaces[key] = workspace
                 self._locks[key] = threading.Lock()
+                self._evict_workspaces(keep=key)
+            self._workspaces.move_to_end(key)
             return workspace, self._locks[key]
+
+    def _evict_workspaces(self, keep: Tuple) -> None:
+        """LRU-evict resident workspaces past the cap.  Busy workspaces
+        (request in flight holding the lock) are skipped — their warm
+        state is in use — so the store can transiently exceed the cap
+        rather than ever closing a workspace under a running request.
+        Caller holds ``_ws_guard``."""
+        excess = len(self._workspaces) - self.max_workspaces
+        if excess <= 0:
+            return
+        for key in list(self._workspaces):
+            if excess <= 0:
+                break
+            if key == keep:
+                continue
+            lock = self._locks[key]
+            if not lock.acquire(blocking=False):
+                continue
+            try:
+                workspace = self._workspaces.pop(key)
+                del self._locks[key]
+            finally:
+                lock.release()
+            workspace.close()
+            self.counters["evictions"] += 1
+            obs.incr("serve.workspace_evictions")
+            excess -= 1
 
     async def _run_batch(self, rid, op, params, send) -> None:
         config = protocol.config_from_params(params)
@@ -296,25 +342,32 @@ class ServeServer:
             loop.call_soon_threadsafe(queue.put_nowait, (kind, payload))
 
         def work() -> None:
-            with lock:
-                try:
+            try:
+                with lock:
                     command = getattr(workspace, op)
                     report = command(
                         request,
                         on_result=lambda r: enqueue("unit", r.to_dict()),
                         on_event=lambda e: enqueue("event", e),
                     )
-                    enqueue("done", report.to_dict())
-                except _INPUT_ERRORS as exc:
-                    enqueue("error", (protocol.E_INPUT, str(exc)))
-                except Exception as exc:
-                    enqueue(
-                        "error",
-                        (
-                            protocol.E_INTERNAL,
-                            f"{type(exc).__name__}: {exc}",
-                        ),
-                    )
+                    payload = report.to_dict()
+                # Enforce the workspace cap *before* answering: the
+                # creation-time sweep skips busy workspaces, and once
+                # the client has the response it may immediately ask
+                # ``status`` and expect the cap to hold.
+                with self._ws_guard:
+                    self._evict_workspaces(keep=config.key())
+                enqueue("done", payload)
+            except _INPUT_ERRORS as exc:
+                enqueue("error", (protocol.E_INPUT, str(exc)))
+            except Exception as exc:
+                enqueue(
+                    "error",
+                    (
+                        protocol.E_INTERNAL,
+                        f"{type(exc).__name__}: {exc}",
+                    ),
+                )
 
         worker = loop.run_in_executor(None, work)
         try:

@@ -159,12 +159,16 @@ class TestSchemaContract:
                 files=(qual_file,), cache_dir=str(tmp_path / "cache")
             )
         ).to_dict()
-        assert set(payload) == self.CHECK_TOP | {"cache"}
+        assert set(payload) == self.CHECK_TOP | {"cache", "sessions"}
         assert payload["command"] == "prove"
         assert {
             "enabled", "dir", "entries",
             "hits", "misses", "stores", "evictions", "stale", "errors",
         } <= set(payload["cache"])
+        # Additive since schema v1: incremental prover-session counters
+        # (absent entirely under --no-session).
+        assert payload["sessions"]["enabled"] is True
+        assert {"proofs", "session_reuse"} <= set(payload["sessions"])
         obligation = payload["units"][0]["detail"]["qualifiers"][0][
             "obligations"
         ][0]

@@ -441,3 +441,136 @@ def test_cli_server_fallback_when_no_daemon(tmp_path):
     assert "running in-process" in result.stderr
     payload = json.loads(result.stdout)
     assert payload["schema_version"] == api.SCHEMA_VERSION
+
+
+# ------------------------------------- prove incrementality & eviction
+
+NN_QUAL = """\
+value qualifier nn2(int Expr E)
+  case E of
+      decl int Const C:
+        C, where C >= 0
+    | decl int Expr E1, E2:
+        E1 + E2, where nn2(E1) && nn2(E2)
+  invariant value(E) >= 0
+"""
+
+
+def write_qual(tmp_path, name="defs.qual", text=NN_QUAL):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def _obligations(report):
+    return [
+        (o["rule"], o["verdict"], o["proved"], o["reason"])
+        for u in report["units"]
+        for q in u["detail"]["qualifiers"]
+        for o in q["obligations"]
+    ]
+
+
+def test_serve_prove_replays_unchanged_file(daemon, tmp_path):
+    """``prove`` gets the same fingerprint-aware incrementality over
+    serve that ``check`` has: unchanged files replay whole."""
+    sock, server = daemon
+    path = write_qual(tmp_path)
+    params = {"files": [path], "cache": False}
+    with connect(sock) as client:
+        first = client.request("prove", params)["report"]
+        assert first["incremental"]["units_replayed"] == 0
+        assert first["incremental"]["rechecked"] > 0
+
+        second = client.request("prove", params)["report"]
+        assert second["incremental"]["units_replayed"] == 1
+        assert second["incremental"]["rechecked"] == 0
+        assert (
+            second["incremental"]["replayed"]
+            == first["incremental"]["rechecked"]
+        )
+        unit_inc = second["units"][0]["detail"]["incremental"]
+        assert unit_inc["unit_replayed"] is True
+        assert _obligations(second) == _obligations(first)
+
+        # an edit invalidates the stored verdicts
+        write_qual(tmp_path, text=NN_QUAL.replace("C >= 0", "C >= 1"))
+        third = client.request("prove", params)["report"]
+        assert third["incremental"]["units_replayed"] == 0
+        assert third["incremental"]["rechecked"] > 0
+    stats = server.status()["workspaces"][0]
+    assert stats["counters"]["prove_units_replayed"] == 1
+    assert stats["counters"]["obligations_replayed"] > 0
+    assert stats["prove_units"] >= 1
+
+
+def test_serve_prove_counters_match_in_process(daemon, tmp_path):
+    """The served replay counters are JSON field-identical to an
+    in-process incremental workspace's."""
+    sock, _server = daemon
+    path = write_qual(tmp_path)
+    params = {"files": [path], "cache": False}
+    with connect(sock) as client:
+        client.request("prove", params)
+        served = client.request("prove", params)["report"]
+    workspace = api.Workspace(api.SessionConfig(), incremental=True)
+    request = api.ProveRequest(files=(path,), cache=False)
+    workspace.prove(request)
+    local = workspace.prove(request).to_dict()
+    assert served["incremental"] == local["incremental"]
+    assert (
+        served["units"][0]["detail"]["incremental"]
+        == local["units"][0]["detail"]["incremental"]
+    )
+    assert set(served["sessions"]) == set(local["sessions"])
+
+
+def test_serve_prove_session_and_shard_params(daemon, tmp_path):
+    sock, _server = daemon
+    path = write_qual(tmp_path)
+    with connect(sock) as client:
+        plain = client.request(
+            "prove", {"files": [path], "cache": False}
+        )["report"]
+        assert plain["sessions"]["enabled"] is True
+        cold = client.request(
+            "prove",
+            {"files": [path], "cache": False, "session": False},
+        )["report"]
+        assert "sessions" not in cold
+        assert _obligations(cold) == _obligations(plain)
+
+
+def test_workspace_lru_eviction(daemon, tmp_path):
+    """The daemon keeps at most ``max_workspaces`` resident; the least
+    recently used one is closed and counted."""
+    sock, server = daemon
+    server.max_workspaces = 1
+    path = write_c(tmp_path)
+    with connect(sock) as client:
+        client.request("check", check_params(path))
+        client.request(
+            "check", check_params(path, trust_constants=True)
+        )
+        status = client.request("status")["result"]
+    assert len(status["workspaces"]) == 1
+    assert status["counters"]["evictions"] == 1
+    # the surviving workspace is the most recently used configuration
+    assert server.status()["workspaces"][0]["config"]["trust_constants"]
+
+
+def test_unit_state_lru_eviction(monkeypatch, tmp_path):
+    """Per-workspace verdict stores are bounded: beyond the cap the
+    oldest unit state is dropped and counted."""
+    monkeypatch.setenv("REPRO_WORKSPACE_MAX_UNITS", "1")
+    a = write_qual(tmp_path, "a.qual")
+    b = write_qual(tmp_path, "b.qual")
+    workspace = api.Workspace(api.SessionConfig(), incremental=True)
+    for path in (a, b, a):
+        report = workspace.prove(
+            api.ProveRequest(files=(path,), cache=False)
+        ).to_dict()
+        # nothing ever replays: each request evicts the previous state
+        assert report["incremental"]["units_replayed"] == 0
+    assert workspace.counters["units_evicted"] >= 2
+    assert workspace.stats()["prove_units"] == 1

@@ -75,6 +75,51 @@ print(f"   {hits} hit(s), "
       f"{len(replayed)} PROVED obligation(s) replayed, verdicts identical")
 ' "$tmpdir/cold.json" "$tmpdir/warm.json"
 
+echo "== sharded prove: --jobs 2 verdicts identical to serial, sessions reused"
+python -m repro prove examples/*.qual --keep-going --time-limit 30 \
+    --no-cache --format json > "$tmpdir/serial.json"
+python -m repro prove examples/*.qual --keep-going --time-limit 30 \
+    --no-cache --jobs 2 --format json > "$tmpdir/sharded.json"
+python -m repro prove examples/*.qual --keep-going --time-limit 30 \
+    --no-cache --jobs 2 --no-shard --format json > "$tmpdir/pooled.json"
+python -c '
+import json, sys
+serial = json.load(open(sys.argv[1]))
+sharded = json.load(open(sys.argv[2]))
+pooled = json.load(open(sys.argv[3]))
+
+
+def obligations(report):
+    return [
+        (u["unit"], q["qualifier"], o["rule"], o["verdict"], o["proved"],
+         o["reason"])
+        for u in report["units"]
+        for q in u["detail"]["qualifiers"]
+        for o in q["obligations"]
+    ]
+
+
+want = obligations(serial)
+assert want, "no obligations proved"
+assert obligations(sharded) == want, "sharded verdict drift vs serial"
+assert obligations(pooled) == want, "--no-shard verdict drift vs serial"
+assert [u["verdict"] for u in sharded["units"]] == [
+    u["verdict"] for u in serial["units"]
+], "unit verdict drift"
+assert sharded["exit_code"] == serial["exit_code"], "exit code drift"
+for report, label in ((serial, "serial"), (sharded, "sharded")):
+    sessions = report["sessions"]
+    assert sessions["enabled"] is True, (label, sessions)
+    assert sessions["session_reuse"] > 0, (label, sessions)
+scheduler = sharded["scheduler"]
+assert scheduler["groups"] > 0 and scheduler["obligations"] > 0, scheduler
+assert "scheduler" not in serial and "scheduler" not in pooled
+reuse = sharded["sessions"]["session_reuse"]
+groups = scheduler["groups"]
+print(f"   {len(want)} obligation(s) identical across serial/sharded/pooled, "
+      f"session_reuse={reuse}, groups={groups}")
+' "$tmpdir/serial.json" "$tmpdir/sharded.json" "$tmpdir/pooled.json"
+
 echo "== differential testing smoke run (expect exit 0, no disagreements)"
 python -m repro difftest --seed 0 --count 50 --budget 60 \
     --out-dir "$tmpdir/difftest-artifacts" --format json \
