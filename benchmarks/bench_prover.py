@@ -11,6 +11,14 @@ sharded/session sweep::
     PYTHONPATH=src python benchmarks/bench_prover.py --warm   # cold + warm
     PYTHONPATH=src python benchmarks/bench_prover.py --cold --jobs 8
     PYTHONPATH=src python benchmarks/bench_prover.py --cold --no-session
+    PYTHONPATH=src python benchmarks/bench_prover.py --cold --no-explain
+    PYTHONPATH=src python benchmarks/bench_prover.py --cold --quick --json
+
+``--cold --json`` emits a machine-readable record (theory/explain
+times plus the per-obligation verdict map) for the CI stage that
+cross-checks the explanation and ddmin core strategies; ``--record``
+appends the same record to ``BENCH_prover.json``'s history, growing
+the committed perf trajectory.
 """
 
 import pytest
@@ -162,32 +170,127 @@ def _soundness_pass(cache) -> tuple:
     return elapsed, discharged, hits
 
 
-def _sharded_sweep(jobs: int, session: bool, shard: bool) -> tuple:
+#: The ``--quick`` workload: a prefix of the standard library that
+#: still crosses every theory (EUF chains, arithmetic, quantifiers)
+#: but keeps the CI cross-check stage cheap.
+QUICK_COUNT = 5
+
+
+def _sweep_quals(quick: bool):
+    quals = list(QUALS)
+    return quals[:QUICK_COUNT] if quick else quals
+
+
+def _sharded_sweep(
+    jobs: int, session: bool, shard: bool,
+    explain: bool = True, quick: bool = False,
+) -> tuple:
     """One cache-less sweep through the obligation pipeline; returns
-    (wall seconds, obligation count, stats)."""
+    (wall seconds, obligation count, stats, verdict map)."""
     import time
 
     from repro.core.soundness.workitems import generate_work_items
     from repro.harness import shard as shard_mod
 
     items = []
-    for qdef in QUALS:
+    for qdef in _sweep_quals(quick):
         items.extend(generate_work_items(qdef, QUALS, AXIOMS, unit=qdef.name))
+    verdicts = {}
     start = time.perf_counter()
     if shard:
-        _outcomes, stats = shard_mod.run_obligations(
-            items, AXIOMS, use_sessions=session, jobs=jobs, time_limit=30
+        outcomes, stats = shard_mod.run_obligations(
+            items, AXIOMS, use_sessions=session, jobs=jobs, time_limit=30,
+            explain=explain,
         )
+        verdicts = {key: out["verdict"] for key, out in outcomes.items()}
     else:
         from repro.core.soundness.checker import check_soundness
         from repro.prover.session import SessionPool
 
         pool = SessionPool() if session else None
-        for qdef in QUALS:
-            check_soundness(qdef, QUALS, time_limit=30, sessions=pool)
+        for qdef in _sweep_quals(quick):
+            report = check_soundness(
+                qdef, QUALS, time_limit=30, sessions=pool, explain=explain
+            )
+            for index, res in enumerate(report.results):
+                verdicts[f"{qdef.name}|{qdef.name}|{index}"] = res.verdict
         stats = {"sessions": pool.counters()} if pool else {}
     elapsed = time.perf_counter() - start
-    return elapsed, len(items), stats
+    return elapsed, len(items), stats, verdicts
+
+
+def _cold_sweep_record(args) -> dict:
+    """Run one cold sweep with the collector on and flatten the result
+    into the JSON-ready record ``--json`` prints and ``--record``
+    appends to the history."""
+    from repro import obs
+
+    owner = not obs.enabled()
+    if owner:
+        obs.enable()
+    marker = obs.mark()
+    try:
+        elapsed, count, stats, verdicts = _sharded_sweep(
+            args.jobs, args.session, args.shard,
+            explain=args.explain, quick=args.quick,
+        )
+        counters = obs.since(marker).get("counters", {})
+    finally:
+        if owner:
+            obs.disable()
+            obs.reset()
+    return {
+        "kind": "cold_sweep",
+        "workload": "quick" if args.quick else "full",
+        "jobs": args.jobs,
+        "sessions": args.session,
+        "shard": args.shard,
+        "explain": args.explain,
+        "obligations": count,
+        "elapsed_s": round(elapsed, 3),
+        "theory_ms": round(counters.get("prover.theory_ms", 0.0), 3),
+        "explain_ms": round(counters.get("prover.explain_ms", 0.0), 3),
+        "linarith_ms": round(counters.get("prover.linarith_ms", 0.0), 3),
+        "cores": int(counters.get("prover.cores", 0)),
+        "cores_nonminimal": int(
+            counters.get("prover.cores_nonminimal", 0)
+        ),
+        "explain_fallbacks": int(
+            counters.get("prover.explain_fallbacks", 0)
+        ),
+        "verdicts": dict(sorted(verdicts.items())),
+        "stats": {"sessions": (stats.get("sessions") or {})},
+    }
+
+
+def _append_history(path: str, record: dict) -> None:
+    """Append a timestamped cold-sweep entry to the ``history`` list of
+    ``BENCH_prover.json`` (creating the file if absent), preserving
+    everything else the ``python -m repro bench`` runner wrote."""
+    import json
+    import time as time_mod
+
+    payload = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        payload = {"name": "prover", "schema_version": 1}
+    history = list(payload.get("history") or ())
+    entry = {
+        "timestamp": time_mod.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time_mod.gmtime()
+        ),
+        "cold_sweep": {
+            k: v for k, v in record.items()
+            if k not in ("verdicts", "stats", "kind")
+        },
+    }
+    history.append(entry)
+    payload["history"] = history
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def main(argv=None) -> int:
@@ -226,20 +329,54 @@ def main(argv=None) -> int:
         help="discharge serially via check_soundness instead of the "
         "obligation scheduler",
     )
+    parser.add_argument(
+        "--no-explain", dest="explain", action="store_false", default=True,
+        help="use the search-based ddmin core minimizer instead of "
+        "proof-forest conflict explanations (with --cold)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"sweep only the first {QUICK_COUNT} standard qualifiers "
+        "(the cheap CI cross-check workload, with --cold)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the cold-sweep record as JSON on stdout (with --cold): "
+        "timings plus the per-obligation verdict map",
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="append the cold-sweep record to BENCH_prover.json's "
+        "history (with --cold)",
+    )
+    parser.add_argument(
+        "--bench-file", default="BENCH_prover.json",
+        help="history file for --record (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     if args.cold:
-        elapsed, count, stats = _sharded_sweep(
-            args.jobs, args.session, args.shard
-        )
-        sessions = stats.get("sessions") or {}
-        print(
-            f"cold sweep: {count} obligation(s) in {elapsed:.3f} s "
-            f"(jobs={args.jobs}, sessions={'on' if args.session else 'off'}, "
-            f"shard={'on' if args.shard else 'off'}, "
-            f"session_reuse={sessions.get('session_reuse', 0)}, "
-            f"cores_seeded={sessions.get('cores_seeded', 0)})"
-        )
+        record = _cold_sweep_record(args)
+        if args.record:
+            _append_history(args.bench_file, record)
+        if args.json:
+            import json
+
+            print(json.dumps(record, indent=2, sort_keys=True))
+        else:
+            sessions = record["stats"].get("sessions") or {}
+            print(
+                f"cold sweep: {record['obligations']} obligation(s) in "
+                f"{record['elapsed_s']:.3f} s "
+                f"(workload={record['workload']}, jobs={args.jobs}, "
+                f"sessions={'on' if args.session else 'off'}, "
+                f"shard={'on' if args.shard else 'off'}, "
+                f"explain={'on' if args.explain else 'off'}, "
+                f"theory_ms={record['theory_ms']:.1f}, "
+                f"explain_ms={record['explain_ms']:.1f}, "
+                f"session_reuse={sessions.get('session_reuse', 0)}, "
+                f"cores_seeded={sessions.get('cores_seeded', 0)})"
+            )
         return 0
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:

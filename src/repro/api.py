@@ -128,7 +128,9 @@ class ProveRequest(BatchOptions):
     behavior.  ``shard=False`` (``--no-shard``) keeps parallelism at
     file granularity: with ``jobs > 1`` the default is to shard the
     *obligation stream* across the pool instead (see
-    docs/architecture.md, "obligation lifecycle").  Neither flag can
+    docs/architecture.md, "obligation lifecycle").  ``explain=False``
+    (``--no-explain``) swaps proof-forest conflict explanations for the
+    older search-based ddmin core minimizer.  None of these flags can
     change a PROVED/REFUTED verdict.
     """
 
@@ -140,6 +142,7 @@ class ProveRequest(BatchOptions):
     cache_dir: str = DEFAULT_CACHE_DIR
     session: bool = True
     shard: bool = True
+    explain: bool = True
 
 
 @dataclass(frozen=True)
@@ -1045,6 +1048,7 @@ class Workspace:
                         cache=cache,
                         on_result=stream_obligation,
                         sessions=pool,
+                        explain=request.explain,
                     )
                 entry = report.to_dict()
                 entry["summary"] = report.summary()
@@ -1297,6 +1301,7 @@ class Workspace:
                 retry=retry,
                 cache=cache,
                 on_event=forward,
+                explain=request.explain,
             )
 
             for path, (source, quals, per_qdef) in prove_plan.items():
@@ -1443,9 +1448,10 @@ class Workspace:
     ) -> Report:
         """Differentially test the pipeline on generated cases.
 
-        Every case runs through three oracles (prover vs. brute-force
+        Every case runs through four oracles (prover vs. brute-force
         enumeration, native vs. instrumented execution, metamorphic
-        prover invariance); any disagreement makes the unit
+        prover invariance, forest vs. ddmin conflict cores); any
+        disagreement makes the unit
         ``WARNINGS`` (exit 1) and drops a minimized, replayable
         artifact under ``request.out_dir``.
         """

@@ -161,6 +161,7 @@ def _server_params(args, op: str) -> dict:
             cache_dir=args.cache_dir,
             session=args.session,
             shard=args.shard,
+            explain=args.explain,
         )
     return params
 
@@ -271,6 +272,7 @@ def cmd_prove(args) -> int:
             cache_dir=args.cache_dir,
             session=args.session,
             shard=args.shard,
+            explain=args.explain,
             keep_going=args.keep_going,
             jobs=args.jobs,
             unit_timeout=args.unit_timeout,
@@ -650,6 +652,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="with --jobs N, parallelize at file granularity instead "
         "of sharding the obligation stream across the pool",
+    )
+    p_prove.add_argument(
+        "--no-explain",
+        dest="explain",
+        action="store_false",
+        default=True,
+        help="find conflict cores by ddmin search instead of proof-"
+        "forest explanations (slower ablation; verdicts are unaffected "
+        "either way)",
     )
     batch_flags(p_prove)
     profile_flags(p_prove)

@@ -160,6 +160,7 @@ def discharge_obligation(
     retry: RetryPolicy = NO_RETRY,
     deadline: Optional[Deadline] = None,
     cache=None,
+    explain: bool = True,
 ) -> ObligationResult:
     """Discharge one obligation — the single prover entry point shared
     by the serial path and the sharded obligation scheduler.
@@ -168,7 +169,10 @@ def discharge_obligation(
     the proof-cache environment key).  ``session`` is an optional
     :class:`repro.prover.session.ProverSession` for the obligation's
     axiom environment; when absent a fresh prover is built, which is
-    the behavior ``--no-session`` restores.
+    the behavior ``--no-session`` restores.  ``explain`` selects
+    proof-forest conflict cores for that fresh prover (``False`` is the
+    ``--no-explain`` ddmin ablation; a supplied session carries its own
+    setting).
     """
     if obligation.trivial:
         return ObligationResult(obligation, None)
@@ -196,7 +200,11 @@ def discharge_obligation(
                     time_limit=time_limit,
                 )
             else:
-                prover = Prover(max_rounds=max_rounds, time_limit=time_limit)
+                prover = Prover(
+                    max_rounds=max_rounds,
+                    time_limit=time_limit,
+                    explain=explain,
+                )
                 prover.add_axioms(axioms)
                 result = prover.prove_with_retry(
                     obligation.goal,
@@ -224,6 +232,7 @@ def check_soundness(
     cache=None,
     on_result=None,
     sessions=None,
+    explain: bool = True,
 ) -> SoundnessReport:
     """Prove every obligation of one qualifier definition.
 
@@ -255,6 +264,11 @@ def check_soundness(
     are then reused across the obligations of this qualifier's axiom
     environment (see docs/architecture.md, "obligation lifecycle");
     PROVED/REFUTED verdicts are unaffected by design.
+
+    ``explain`` selects explanation-producing conflict cores (the
+    proof-forest engine); ``False`` falls back to search-based ddmin
+    minimization.  Verdicts are identical either way — the flag trades
+    core-finding strategies, not logic.
     """
     if quals is None:
         quals = QualifierSet([qdef])
@@ -289,6 +303,7 @@ def check_soundness(
             context=qdef.source,
             max_rounds=max_rounds,
             time_limit=time_limit,
+            explain=explain,
         )
     for obligation in obligations:
         settle(
@@ -302,6 +317,7 @@ def check_soundness(
                 retry=retry,
                 deadline=deadline,
                 cache=cache,
+                explain=explain,
             )
         )
     report.elapsed = time.perf_counter() - start

@@ -16,9 +16,9 @@ Modules:
   box, used as ground truth against prover verdicts.
 * :mod:`audit`     — an interpreter subclass that re-checks declared
   qualifier invariants after every store (dynamic Thm. 5.1).
-* :mod:`oracles`   — the three differential oracles (prover vs.
+* :mod:`oracles`   — the four differential oracles (prover vs.
   enumeration, static vs. dynamic preservation, metamorphic prover
-  invariance).
+  invariance, forest vs. ddmin conflict cores).
 * :mod:`minimize`  — ddmin-style shrinking of failing cases.
 * :mod:`runner`    — per-case orchestration, artifact files, and the
   batch worker the CLI rides.

@@ -1,4 +1,4 @@
-"""The three differential oracles.
+"""The four differential oracles.
 
 Each oracle takes a generated case plus the composed qualifier set and
 returns ``(findings, counters)``: findings are concrete disagreements
@@ -25,6 +25,12 @@ vacuous run is visible in reports).
    permuting the axioms, reordering hypothesis conjuncts, and
    cache-cold vs. cache-warm replay must never flip a settled
    PROVED/REFUTED verdict.
+
+4. *Forest vs. ddmin cores* — discharging the same qualifier with
+   proof-forest conflict explanations (the default) and with the
+   search-based ddmin core minimizer (``--no-explain``) must yield the
+   same verdict on every obligation.  Conflict cores only prune the
+   SAT search; the strategy that produced them must never decide it.
 """
 
 from __future__ import annotations
@@ -70,6 +76,7 @@ class Finding:
     """One concrete disagreement between two implementations."""
 
     oracle: str  # "prover-vs-enum" | "preservation" | "metamorphic"
+                 # | "explain-vs-ddmin"
     kind: str    # short machine-readable failure class
     case: str
     detail: dict = field(default_factory=dict)
@@ -463,4 +470,53 @@ def metamorphic(
                             },
                         )
                     )
+    return findings, counters
+
+
+# ------------------------------------- oracle 4: forest vs ddmin cores
+
+
+def explain_vs_ddmin(
+    case: GeneratedCase,
+    quals: QualifierSet,
+    gen_names: List[str],
+    time_limit: float = 10.0,
+) -> Tuple[List[Finding], Dict[str, int]]:
+    """Core-strategy invariance: every obligation verdict must agree
+    between the explanation path and the ddmin path.
+
+    Both sweeps run cold (no session, no cache) so the only variable is
+    the conflict-core strategy inside the theory solver.
+    """
+    findings: List[Finding] = []
+    counters = {"obligations": 0, "compared": 0}
+    for name in gen_names:
+        qdef = quals.get(name)
+        if qdef is None or not qdef.is_value:
+            continue
+        forest = check_soundness(
+            qdef, quals, time_limit=time_limit, explain=True
+        )
+        ddmin = check_soundness(
+            qdef, quals, time_limit=time_limit, explain=False
+        )
+        for res_f, res_d in zip(forest.results, ddmin.results):
+            counters["obligations"] += 1
+            if res_f.obligation.trivial:
+                continue
+            counters["compared"] += 1
+            if (res_f.verdict, res_f.proved) != (res_d.verdict, res_d.proved):
+                findings.append(
+                    Finding(
+                        "explain-vs-ddmin", "core-strategy-flips-verdict",
+                        case.name,
+                        {
+                            "qualifier": name,
+                            "rule": res_f.obligation.rule,
+                            "explain": res_f.verdict,
+                            "ddmin": res_d.verdict,
+                            "qual_source": case.qual_source,
+                        },
+                    )
+                )
     return findings, counters

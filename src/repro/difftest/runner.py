@@ -1,6 +1,6 @@
 """Per-case orchestration, failure artifacts, and replay.
 
-:func:`run_case` takes one generated case through all three oracles and
+:func:`run_case` takes one generated case through all four oracles and
 returns the findings plus namespaced counters.  When a finding
 survives, :func:`minimize_finding` shrinks the triggering source with
 :mod:`repro.difftest.minimize` and :func:`write_artifact` records a
@@ -30,7 +30,9 @@ from repro.difftest.oracles import Finding
 #: Where failure artifacts land, relative to the working directory.
 ARTIFACT_DIR = ".repro-difftest"
 
-ORACLES = ("prover-vs-enum", "preservation", "metamorphic")
+ORACLES = (
+    "prover-vs-enum", "preservation", "metamorphic", "explain-vs-ddmin"
+)
 
 
 @dataclass
@@ -90,6 +92,13 @@ def run_case(
                     cache_dir=tmp,
                 ),
             )
+    if "explain-vs-ddmin" in which:
+        merge(
+            "explain_vs_ddmin",
+            *oracles.explain_vs_ddmin(
+                case, quals, gen_names, time_limit=time_limit
+            ),
+        )
     return outcome
 
 
@@ -156,6 +165,10 @@ def minimize_finding(
         quals, gen_names = build_qualifier_set(trial)
         if finding.oracle == "prover-vs-enum":
             found, _ = oracles.prover_vs_enum(
+                trial, quals, [target], time_limit=time_limit
+            )
+        elif finding.oracle == "explain-vs-ddmin":
+            found, _ = oracles.explain_vs_ddmin(
                 trial, quals, [target], time_limit=time_limit
             )
         else:

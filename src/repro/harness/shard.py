@@ -49,13 +49,16 @@ def run_obligations(
     cache=None,
     on_event=None,
     max_obligation_deaths: int = MAX_OBLIGATION_DEATHS,
+    explain: bool = True,
 ) -> Tuple[Dict[str, Dict], Dict]:
     """Discharge every work item; returns (outcomes by item key, stats).
 
     ``stats`` carries scheduler counters (groups/rounds/requeued/
     quarantined), aggregated session counters under ``"sessions"`` when
     sessions are on, and summed proof-cache deltas under ``"cache"``
-    when a cache is live.
+    when a cache is live.  ``explain`` picks the workers' conflict-core
+    strategy (proof forests vs the ddmin ablation); verdicts do not
+    depend on it.
     """
     scheduler = _ObligationScheduler(
         items,
@@ -69,6 +72,7 @@ def run_obligations(
         cache=cache,
         on_event=on_event,
         max_obligation_deaths=max_obligation_deaths,
+        explain=explain,
     )
     return scheduler.run()
 
@@ -87,6 +91,7 @@ class _ObligationScheduler:
         cache,
         on_event,
         max_obligation_deaths: int,
+        explain: bool = True,
     ):
         self.items = list(items)
         self.axioms = axioms
@@ -99,6 +104,7 @@ class _ObligationScheduler:
         self.cache = cache
         self.on_event = on_event
         self.max_obligation_deaths = max_obligation_deaths
+        self.explain = explain
         self.outcomes: Dict[str, Dict] = {}
         self.deaths: Dict[str, int] = {}
         self.stats: Dict = {
@@ -174,6 +180,7 @@ class _ObligationScheduler:
         max_rounds = self.max_rounds
         retry = self.retry
         cache = self.cache
+        explain = self.explain
 
         def worker(unit_name: str, deadline) -> batch.UnitResult:
             group = registry[unit_name]
@@ -186,6 +193,7 @@ class _ObligationScheduler:
                     context=group[0].context,
                     max_rounds=max_rounds,
                     time_limit=time_limit,
+                    explain=explain,
                 )
             before = cache.snapshot() if cache is not None else None
             outcomes = []
@@ -199,6 +207,7 @@ class _ObligationScheduler:
                     retry=retry,
                     deadline=deadline,
                     cache=cache,
+                    explain=explain,
                 )
                 outcomes.append(outcome)
                 # The outcome rides along on the progress event so the

@@ -198,8 +198,9 @@ def build_timings(slice_: dict, total_ms: Optional[float] = None) -> dict:
           "total_ms": ...,
           "phases":  {"parse": {"ms": ..., "count": ...}, ...},
           "prover":  {"calls", "proofs_ms", "sat_ms", "theory_ms",
-                      "euf_ms", "linarith_ms", "quant_ms",
+                      "euf_ms", "linarith_ms", "explain_ms", "quant_ms",
                       "ematch_rounds", "instances", "conflicts",
+                      "cores", "cores_minimal", "cores_nonminimal",
                       "sat_calls", "clauses_peak"},
           "cache":   {"hits", "misses", "stores"},
           "counters": {...every raw counter...},
@@ -234,10 +235,19 @@ def build_timings(slice_: dict, total_ms: Optional[float] = None) -> dict:
         "theory_ms": round(theory_ms, 3),
         "linarith_ms": round(linarith_ms, 3),
         "euf_ms": round(max(0.0, theory_ms - linarith_ms), 3),
+        # Explanation overhead: core ordering, the soundness check, and
+        # the 1-minimality polish (a sub-interval of theory_ms; zero on
+        # the --no-explain ddmin path).
+        "explain_ms": round(c("prover.explain_ms"), 3),
         "quant_ms": round(c("prover.quant_ms"), 3),
         "ematch_rounds": int(c("prover.ematch_rounds")),
         "instances": int(c("prover.instances")),
         "conflicts": int(c("prover.conflicts")),
+        # Conflict cores by minimality: cores == minimal + nonminimal
+        # (a nonminimal core means a minimization deadline tripped).
+        "cores": int(c("prover.cores")),
+        "cores_minimal": int(c("prover.cores_minimal")),
+        "cores_nonminimal": int(c("prover.cores_nonminimal")),
         "clauses_peak": int(c("prover.clauses_peak")),
     }
     cache = {
@@ -277,14 +287,16 @@ def format_timings(timings: dict) -> str:
             f"  prover       {prover['proofs_ms']:10.1f} ms  "
             f"({prover['calls']} proof(s))"
         )
-        for key in ("sat_ms", "euf_ms", "linarith_ms", "quant_ms"):
+        for key in ("sat_ms", "euf_ms", "linarith_ms", "explain_ms", "quant_ms"):
             lines.append(
-                f"    {key[:-3]:<10} {prover[key]:10.1f} ms"
+                f"    {key[:-3]:<10} {prover.get(key, 0.0):10.1f} ms"
             )
         lines.append(
             f"    rounds={prover['ematch_rounds']} "
             f"instances={prover['instances']} "
             f"conflicts={prover['conflicts']} "
+            f"cores={prover.get('cores', 0)} "
+            f"(nonminimal={prover.get('cores_nonminimal', 0)}) "
             f"clauses_peak={prover['clauses_peak']}"
         )
     cache = timings.get("cache", {})

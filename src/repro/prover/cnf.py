@@ -172,6 +172,19 @@ class ClauseDb:
             return
         self.clauses.append(clause)
 
+    def learn_theory_conflict(self, conflict) -> None:
+        """Learn a theory conflict — a list of (atom, polarity) pairs
+        whose conjunction is theory-inconsistent — as the clause ruling
+        that assignment out.  Every atom must already have a variable
+        (conflict cores are subsets of the checked literals, which come
+        from this db's theory atoms)."""
+        self.add_clause(
+            [
+                (-self.var_of_atom[atom] if polarity else self.var_of_atom[atom])
+                for atom, polarity in conflict
+            ]
+        )
+
     @property
     def num_vars(self) -> int:
         return self._next_var - 1

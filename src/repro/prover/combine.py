@@ -7,6 +7,23 @@ are exchanged between them until fixpoint (the theories are convex
 enough over our obligations for this to be complete in practice).
 Uninterpreted predicates are encoded as equations with distinguished
 boolean constants, the standard Simplify trick.
+
+Two conflict-core strategies coexist:
+
+* **Explained cores** (the default; pass a :class:`TheoryState`): the
+  congruence closure runs with a proof forest and every constraint
+  carries provenance tags, so a conflict *names* the responsible input
+  literals directly — no re-closure, no search.  The state is also
+  incremental: literals are pushed as journaled frames and only the
+  suffix that differs from the previous check is retracted/re-asserted,
+  so successive checks along a SAT trail share their common prefix.
+* **Search-based cores** (``state=None``, the ``--no-explain``
+  ablation): the original cold path — rebuild the closure per check and
+  shrink the conflict by chunked deletion (ddmin).
+
+Both strategies decide consistency with the same procedures, so the
+sat/unsat verdict of every check is identical across them; only how a
+core is *located* differs.
 """
 
 from __future__ import annotations
@@ -15,14 +32,14 @@ import time
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs
-from repro.prover.euf import CongruenceClosure, EufConflict
+from repro.prover.euf import CongruenceClosure, EufConflict, Tags
 from repro.prover.linarith import (
     Constraint,
-    entails_eq,
+    entails_eq_core,
+    explain_unsat,
     linearize,
     make_eq,
     make_le,
-    satisfiable,
 )
 from repro.prover.terms import (
     ARITH_FNS,
@@ -44,20 +61,31 @@ Literal = Tuple[Formula, bool]
 _TRUE = fn("@true")
 _FALSE = fn("@false")
 
+_NO_TAGS: Tags = frozenset()
+
 #: Cap on pairwise LA->EUF equality propagation (quadratic in shared
 #: atoms); beyond this only disequality-relevant pairs are tested.
 _PAIR_LIMIT = 14
 
 
 class _Conflict(Exception):
-    pass
+    def __init__(self, core: Tags = _NO_TAGS):
+        super().__init__()
+        self.core = core
 
 
 def check(
-    literals: List[Literal], deadline: Optional[float] = None
+    literals: List[Literal],
+    deadline: Optional[float] = None,
+    state: Optional["TheoryState"] = None,
 ) -> Optional[List[Literal]]:
     """Return None when the conjunction is theory-consistent, else a
     conflicting subset of the literals (minimized as time allows).
+
+    With ``state`` (a :class:`TheoryState`), the check runs
+    incrementally against that state's warm congruence closure and the
+    conflict core is read off the proof forest; without it, the closure
+    is rebuilt cold and the core found by ddmin.
 
     ``deadline`` is an absolute ``time.perf_counter()`` value; past it,
     minimization stops and the current core is returned (a larger
@@ -68,10 +96,23 @@ def check(
     separately inside :mod:`repro.prover.linarith`, and the EUF share
     is reported as the difference (see docs/observability.md)."""
     if not obs.enabled():
-        return _check(literals, deadline)
+        return _dispatch(literals, deadline, state)
     obs.incr("prover.theory_checks")
     with obs.timer("prover.theory_ms"):
+        return _dispatch(literals, deadline, state)
+
+
+def _dispatch(
+    literals: List[Literal],
+    deadline: Optional[float],
+    state: Optional["TheoryState"],
+) -> Optional[List[Literal]]:
+    if state is None:
         return _check(literals, deadline)
+    return state.check(literals, deadline)
+
+
+# --------------------------------------------------------------- cold path
 
 
 def _check(
@@ -87,6 +128,11 @@ def _check(
         index = 0
         while index < len(core):
             if deadline is not None and time.perf_counter() > deadline:
+                # Budget tripped mid-chunk: the core is sound but may
+                # not be minimal — record it as such so solver stats
+                # can tell it apart from a fully minimized one.
+                obs.incr("prover.cores")
+                obs.incr("prover.cores_nonminimal")
                 return core
             candidate = core[:index] + core[index + chunk :]
             if candidate and not _consistent(candidate):
@@ -96,6 +142,8 @@ def _check(
         if chunk == 1:
             break
         chunk //= 2
+    obs.incr("prover.cores")
+    obs.incr("prover.cores_minimal")
     return core
 
 
@@ -149,6 +197,253 @@ def _check_raw(literals: List[Literal]) -> None:
             raise TypeError(f"not an atom: {atom!r}")
 
     _propagate(cc, constraints, diseq_pairs)
+
+
+# -------------------------------------------------------- incremental path
+
+
+class TheoryState:
+    """Push/pop theory solver state with explanation-producing cores.
+
+    One explain-mode congruence closure plus a tagged constraint list,
+    mirrored by a stack of *frames* — one per asserted input literal,
+    each remembering the trail mark and constraint count it started at
+    so it can be retracted exactly.  ``check`` diffs the incoming
+    literal list against the stack, pops the divergent suffix, pushes
+    the new literals, and runs Nelson–Oppen propagation in a scratch
+    frame that is always popped afterwards (so the persistent state is
+    exactly the asserted literals).  A :class:`~repro.prover.session`
+    keeps one instance warm across obligations sharing an environment,
+    which is where the prefix reuse pays off most: canonical goal
+    skolems make successive obligations' literal lists near-identical.
+    """
+
+    def __init__(self) -> None:
+        self.cc = CongruenceClosure(explain=True)
+        self.cc.assert_neq(_TRUE, _FALSE)  # axiom: carries no tags
+        self.constraints: List[Constraint] = []
+        self.diseq_pairs: List[Tuple[Term, Term]] = []
+        # frames[i] = (literal, fed_la, cc_mark, n_constraints, n_diseqs)
+        self.frames: List[Tuple] = []
+
+    # Public push/pop face (the SMT loop's assert/retract protocol).
+
+    def push(self, literal: Literal, fed_la: Optional[bool] = None) -> None:
+        """Assert one literal as a retractable frame.  ``fed_la``
+        overrides the purification decision (by default it is computed
+        against the currently asserted literals plus this one)."""
+        if fed_la is None:
+            lits = [f[0] for f in self.frames] + [literal]
+            relevant = _arith_relevant_atoms(lits)
+            fed_la = self._feeds_la(literal, relevant)
+        self._push_frame(literal, fed_la)
+
+    def pop(self, count: int = 1) -> None:
+        """Retract the ``count`` most recent frames."""
+        self.rewind(len(self.frames) - count)
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    def rewind(self, keep: int) -> None:
+        """Retract frames until only the first ``keep`` remain."""
+        frames = self.frames
+        if keep < 0 or keep > len(frames):
+            raise IndexError(f"rewind to {keep} of {len(frames)} frames")
+        if keep == len(frames):
+            return
+        _lit, _fed, cc_mark, n_con, n_dis = frames[keep]
+        self.cc.pop_to(cc_mark)
+        del self.constraints[n_con:]
+        del self.diseq_pairs[n_dis:]
+        del frames[keep:]
+
+    # The full check: diff, retract, assert, propagate, explain.
+
+    def check(
+        self, literals: List[Literal], deadline: Optional[float] = None
+    ) -> Optional[List[Literal]]:
+        relevant = _arith_relevant_atoms(literals)
+        desired = [
+            (lit, self._feeds_la(lit, relevant)) for lit in literals
+        ]
+        # Longest reusable prefix: a frame survives only if both the
+        # literal and its purification decision are unchanged (the
+        # latter depends on the whole literal list, so it can flip for
+        # an unchanged literal).
+        frames = self.frames
+        keep = 0
+        limit = min(len(frames), len(desired))
+        while (
+            keep < limit
+            and frames[keep][0] == desired[keep][0]
+            and frames[keep][1] == desired[keep][1]
+        ):
+            keep += 1
+        obs.incr("prover.theory_frames_reused", keep)
+        obs.incr("prover.theory_frames_pushed", len(desired) - keep)
+        self.rewind(keep)
+
+        core: Optional[Tags] = None
+        for lit, fed in desired[keep:]:
+            try:
+                self._push_frame(lit, fed)
+            except EufConflict as exc:
+                core = exc.core if exc.core is not None else _NO_TAGS
+                break
+        if core is None:
+            core = self._propagate_scratch()
+        if core is None:
+            return None
+        return self._finish_core(core, literals, deadline)
+
+    # ------------------------------------------------------------ internals
+
+    @staticmethod
+    def _feeds_la(literal: Literal, relevant: Set[Term]) -> bool:
+        atom, polarity = literal
+        return (
+            polarity
+            and isinstance(atom, Eq)
+            and _touches(relevant, atom.left, atom.right)
+        )
+
+    def _push_frame(self, lit: Literal, fed: bool) -> None:
+        cc = self.cc
+        cc_mark = cc.mark
+        n_con = len(self.constraints)
+        n_dis = len(self.diseq_pairs)
+        try:
+            self._assert_literal(lit, fed)
+        except EufConflict:
+            # Roll back the partial frame so the stack stays a prefix
+            # of successfully asserted literals.
+            cc.pop_to(cc_mark)
+            del self.constraints[n_con:]
+            del self.diseq_pairs[n_dis:]
+            raise
+        self.frames.append((lit, fed, cc_mark, n_con, n_dis))
+
+    def _assert_literal(self, lit: Literal, fed: bool) -> None:
+        atom, polarity = lit
+        tags = frozenset((lit,))
+        cc = self.cc
+        if isinstance(atom, Eq):
+            cc.add_term(atom.left)
+            cc.add_term(atom.right)
+            if polarity:
+                cc.assert_eq(atom.left, atom.right, tags=tags)
+                if fed:
+                    self.constraints.extend(
+                        make_eq(atom.left, atom.right, tags=tags)
+                    )
+            else:
+                cc.assert_neq(atom.left, atom.right, tags=tags)
+                self.diseq_pairs.append((atom.left, atom.right))
+        elif isinstance(atom, Le):
+            cc.add_term(atom.left)
+            cc.add_term(atom.right)
+            if polarity:
+                self.constraints.append(
+                    make_le(atom.left, atom.right, strict=False, tags=tags)
+                )
+            else:
+                self.constraints.append(
+                    make_le(atom.right, atom.left, strict=True, tags=tags)
+                )
+        elif isinstance(atom, Lt):
+            cc.add_term(atom.left)
+            cc.add_term(atom.right)
+            if polarity:
+                self.constraints.append(
+                    make_le(atom.left, atom.right, strict=True, tags=tags)
+                )
+            else:
+                self.constraints.append(
+                    make_le(atom.right, atom.left, strict=False, tags=tags)
+                )
+        elif isinstance(atom, Pr):
+            app = fn(f"@p_{atom.name}", *atom.args)
+            cc.assert_eq(app, _TRUE if polarity else _FALSE, tags=tags)
+        else:  # pragma: no cover - the CNF layer only produces atoms
+            raise TypeError(f"not an atom: {atom!r}")
+
+    def _propagate_scratch(self) -> Optional[Tags]:
+        """Run Nelson–Oppen propagation in a frame that is popped
+        whether it conflicts or not, so derived facts never outlive the
+        check that produced them."""
+        cc = self.cc
+        cc_mark = cc.mark
+        n_con = len(self.constraints)
+        n_dis = len(self.diseq_pairs)
+        try:
+            _propagate(cc, self.constraints, self.diseq_pairs)
+            return None
+        except _Conflict as exc:
+            return exc.core
+        except EufConflict as exc:
+            return exc.core if exc.core is not None else _NO_TAGS
+        finally:
+            cc.pop_to(cc_mark)
+            del self.constraints[n_con:]
+            del self.diseq_pairs[n_dis:]
+
+    def _finish_core(
+        self,
+        core: Tags,
+        literals: List[Literal],
+        deadline: Optional[float],
+    ) -> List[Literal]:
+        """Order an explained core by input position, verify it, and
+        polish it to 1-minimality (timed as ``prover.explain_ms``)."""
+        if not obs.enabled():
+            return self._finish_core_raw(core, literals, deadline)
+        with obs.timer("prover.explain_ms"):
+            return self._finish_core_raw(core, literals, deadline)
+
+    def _finish_core_raw(
+        self,
+        core: Tags,
+        literals: List[Literal],
+        deadline: Optional[float],
+    ) -> List[Literal]:
+        index_of = {lit: i for i, lit in enumerate(literals)}
+        core_list = sorted(
+            (lit for lit in core if lit in index_of),
+            key=index_of.__getitem__,
+        )
+        if not core_list or _consistent(core_list):
+            # Safety net: a core that does not check out as a genuine
+            # conflict must never be learned (an unsound clause could
+            # flip verdicts), so fall back to the search-based path.
+            obs.incr("prover.explain_fallbacks")
+            return _check(literals, deadline)
+        # 1-minimality polish: explained cores are tiny, so drop-one
+        # passes until a full pass removes nothing (each survivor is
+        # then certified against the final core).
+        while len(core_list) > 1:
+            dropped = False
+            index = 0
+            while index < len(core_list):
+                if deadline is not None and time.perf_counter() > deadline:
+                    obs.incr("prover.cores")
+                    obs.incr("prover.cores_nonminimal")
+                    return core_list
+                candidate = core_list[:index] + core_list[index + 1 :]
+                if candidate and not _consistent(candidate):
+                    core_list = candidate
+                    dropped = True
+                else:
+                    index += 1
+            if not dropped:
+                break
+        obs.incr("prover.cores")
+        obs.incr("prover.cores_minimal")
+        return core_list
+
+
+# ------------------------------------------------------------- propagation
 
 
 def _arith_relevant_atoms(literals: List[Literal]) -> Set[Term]:
@@ -207,23 +502,27 @@ def _propagate(
 ) -> None:
     known_eqs: Set[Tuple[Term, Term]] = set()
     checked_at = -1  # constraint count at the last satisfiability check
+    explains = cc.explains
     for _ in range(24):  # fixpoint loop, bounded defensively
         changed = False
         shared = _shared_atoms(constraints)
 
-        # EUF -> LA: congruent shared atoms become arithmetic equalities.
+        # EUF -> LA: congruent shared atoms become arithmetic equalities
+        # (tagged, in explain mode, with the literals that merged them).
         for rep, members in cc.classes().items():
             arith_members = [m for m in members if m in shared or isinstance(m, TInt)]
             for i in range(1, len(arith_members)):
                 pair = _norm_pair(arith_members[0], arith_members[i])
                 if pair not in known_eqs:
                     known_eqs.add(pair)
-                    constraints.extend(make_eq(*pair))
+                    tags = cc.explain(*pair) if explains else _NO_TAGS
+                    constraints.extend(make_eq(*pair, tags=tags))
                     changed = True
 
         if len(constraints) != checked_at:
-            if not satisfiable(constraints):
-                raise _Conflict()
+            conflict_tags = explain_unsat(constraints)
+            if conflict_tags is not None:
+                raise _Conflict(conflict_tags)
             checked_at = len(constraints)
 
         # LA -> EUF: arithmetic-forced equalities feed congruence.
@@ -232,10 +531,12 @@ def _propagate(
                 pair = _norm_pair(a, b)
                 if pair in known_eqs or cc.are_equal(a, b):
                     continue
-                if entails_eq(constraints, a, b):
-                    cc.assert_eq(a, b)  # may raise EufConflict via diseqs
+                eq_tags = entails_eq_core(constraints, a, b)
+                if eq_tags is not None:
+                    # may raise EufConflict via diseqs
+                    cc.assert_eq(a, b, tags=eq_tags)
                     known_eqs.add(pair)
-                    constraints.extend(make_eq(a, b))
+                    constraints.extend(make_eq(a, b, tags=eq_tags))
                     changed = True
 
         if not changed:

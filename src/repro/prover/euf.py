@@ -5,22 +5,56 @@ the same lineage as Simplify's E-graph).  Terms are the frozen
 dataclasses from :mod:`repro.prover.terms`; constants are nullary
 applications; integer literals are distinct constants that are never
 equal to each other.
+
+Two optional capabilities, both off by default so the cold path stays
+exactly the classic algorithm:
+
+* **Explanations** (``explain=True``): alongside union-find the engine
+  maintains a *proof forest* (Nieuwenhuis & Oliveras 2005) — a second
+  parent pointer per term whose edges are tagged with the reason the
+  two endpoints were merged: either an input assertion (a frozenset of
+  caller-supplied tags) or a congruence step between two applications.
+  :meth:`explain` walks the two paths to their nearest common ancestor,
+  recursing through congruence edges into argument pairs, and returns
+  the union of input tags — the exact input literals responsible for an
+  equality, with no re-closure and no search.
+
+* **Push/pop** (implied by ``explain=True``): every mutation is
+  journaled on a trail; :meth:`push` marks the trail and :meth:`pop`
+  undoes back to the mark, so a caller can assert and retract literals
+  along a SAT trail instead of rebuilding the closure.  Path
+  compression is disabled in this mode (compressions are writes that
+  would bloat the trail; union-by-rank alone keeps finds logarithmic).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.prover.terms import TApp, TInt, Term
 
+#: An explanation tag set: opaque to this module, unioned along proof
+#: paths.  The Nelson–Oppen layer uses frozensets of input literals.
+Tags = FrozenSet
+
+_NO_TAGS: Tags = frozenset()
+
 
 class EufConflict(Exception):
-    """Raised when an asserted disequality is violated."""
+    """Raised when an asserted disequality is violated.
+
+    In explain mode :attr:`core` carries the union of input tags
+    responsible for the conflict (``None`` when the closure was built
+    without explanations)."""
+
+    def __init__(self, message: str, core: Optional[Tags] = None):
+        super().__init__(message)
+        self.core = core
 
 
 class CongruenceClosure:
-    def __init__(self) -> None:
+    def __init__(self, explain: bool = False) -> None:
         self._parent: Dict[Term, Term] = {}
         self._rank: Dict[Term, int] = {}
         # For each representative, the applications that have an
@@ -34,6 +68,17 @@ class CongruenceClosure:
         # scanning them all.
         self._diseqs: List[Tuple[Term, Term]] = []
         self._diseq_watch: Dict[Term, List[int]] = {}
+        self.explains = explain
+        if explain:
+            # Proof forest: a second, never-compressed parent pointer
+            # with the merge reason on each edge.  Reasons are either
+            # ("lit", tags) for an input assertion or ("cong", a, b)
+            # for a congruence between applications a and b.
+            self._proof_parent: Dict[Term, Term] = {}
+            self._proof_reason: Dict[Term, Tuple] = {}
+            self._diseq_tags: List[Tags] = []
+            self._trail: List[Tuple] = []
+            self._marks: List[int] = []
 
     # ------------------------------------------------------------ union-find
 
@@ -43,10 +88,15 @@ class CongruenceClosure:
         self._parent[t] = t
         self._rank[t] = 0
         self._uses[t] = []
+        if self.explains:
+            self._trail.append(("term", t))
         if isinstance(t, TApp) and t.args:
             for a in t.args:
                 self.add_term(a)
-                self._uses[self.find(a)].append(t)
+                rep = self.find(a)
+                self._uses[rep].append(t)
+                if self.explains:
+                    self._trail.append(("use", rep))
             self._lookup_or_install(t)
 
     def find(self, t: Term) -> Term:
@@ -56,8 +106,9 @@ class CongruenceClosure:
         root = t
         while parent[root] != root:
             root = parent[root]
-        while parent[t] != root:  # path compression
-            parent[t], t = root, parent[t]
+        if not self.explains:  # path compression (journal-free mode only)
+            while parent[t] != root:
+                parent[t], t = root, parent[t]
         return root
 
     def _signature(self, t: TApp) -> Tuple:
@@ -68,55 +119,215 @@ class CongruenceClosure:
         existing = self._sigs.get(sig)
         if existing is None:
             self._sigs[sig] = t
+            if self.explains:
+                self._trail.append(("sig", sig))
         elif self.find(existing) != self.find(t):
-            self._merge(existing, t)
+            self._merge(existing, t, ("cong", existing, t))
+
+    # -------------------------------------------------------------- push/pop
+
+    def push(self) -> None:
+        """Mark the trail; a later :meth:`pop` undoes everything since."""
+        if not self.explains:
+            raise RuntimeError("push/pop requires explain mode")
+        self._marks.append(len(self._trail))
+
+    def pop(self) -> None:
+        """Undo every mutation since the matching :meth:`push`."""
+        self.pop_to(self._marks.pop())
+
+    @property
+    def mark(self) -> int:
+        """Current trail position (for :meth:`pop_to`)."""
+        if not self.explains:
+            raise RuntimeError("push/pop requires explain mode")
+        return len(self._trail)
+
+    def pop_to(self, mark: int) -> None:
+        """Undo the trail back to an explicit mark (finer-grained than
+        the push/pop stack; used by the literal-frame layer above)."""
+        trail = self._trail
+        while len(trail) > mark:
+            entry = trail.pop()
+            kind = entry[0]
+            if kind == "parent":
+                self._parent[entry[1]] = entry[2]
+            elif kind == "rank":
+                self._rank[entry[1]] = entry[2]
+            elif kind == "uses":
+                # _merge moved entry[4] (the absorbed rep's list, by
+                # reference) onto entry[1]'s list; undo both moves.
+                del self._uses[entry[1]][entry[2] :]
+                self._uses[entry[3]] = entry[4]
+            elif kind == "use":
+                self._uses[entry[1]].pop()
+            elif kind == "proof":
+                node = entry[1]
+                if entry[2] is None:
+                    del self._proof_parent[node]
+                    del self._proof_reason[node]
+                else:
+                    self._proof_parent[node] = entry[2]
+                    self._proof_reason[node] = entry[3]
+            elif kind == "sig":
+                del self._sigs[entry[1]]
+            elif kind == "diseq":
+                index = len(self._diseqs) - 1
+                self._diseqs.pop()
+                self._diseq_tags.pop()
+                for rep in (entry[1], entry[2]):
+                    watchers = self._diseq_watch.get(rep)
+                    if watchers and watchers[-1] == index:
+                        watchers.pop()
+            elif kind == "watch":
+                # _merge moved the absorbed rep's watcher list onto the
+                # surviving rep's; restore both.
+                del self._diseq_watch[entry[1]][entry[2] :]
+                self._diseq_watch[entry[3]] = entry[4]
+            elif kind == "term":
+                t = entry[1]
+                del self._parent[t]
+                del self._rank[t]
+                del self._uses[t]
+            else:  # pragma: no cover - exhaustive
+                raise AssertionError(f"unknown trail entry {kind!r}")
 
     # ------------------------------------------------------------- assertion
 
-    def assert_eq(self, a: Term, b: Term) -> None:
+    def assert_eq(self, a: Term, b: Term, tags: Optional[Tags] = None) -> None:
         self.add_term(a)
         self.add_term(b)
-        self._merge(a, b)
+        self._merge(a, b, ("lit", tags if tags is not None else _NO_TAGS))
 
-    def assert_neq(self, a: Term, b: Term) -> None:
+    def assert_neq(self, a: Term, b: Term, tags: Optional[Tags] = None) -> None:
+        tags = tags if tags is not None else _NO_TAGS
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
-            raise EufConflict(f"disequality violated: {a} != {b}")
+            core = self.explain(a, b) | tags if self.explains else None
+            raise EufConflict(f"disequality violated: {a} != {b}", core)
         index = len(self._diseqs)
         self._diseqs.append((a, b))
         self._diseq_watch.setdefault(ra, []).append(index)
         self._diseq_watch.setdefault(rb, []).append(index)
+        if self.explains:
+            self._diseq_tags.append(tags)
+            self._trail.append(("diseq", ra, rb))
 
-    def _merge(self, a: Term, b: Term) -> None:
+    def _merge(self, a: Term, b: Term, reason: Tuple) -> None:
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
             return
         obs.incr("prover.euf_merges")
+        explains = self.explains
+        if explains:
+            # Proof forest first, so a conflict raised below can already
+            # explain why the two classes touched (the trail undoes the
+            # edge if the caller rewinds).
+            self._proof_link(a, b, reason)
         if isinstance(ra, TInt) and isinstance(rb, TInt) and ra.value != rb.value:
-            raise EufConflict(f"distinct integers merged: {ra} = {rb}")
+            core = self.explain(ra, rb) if explains else None
+            raise EufConflict(f"distinct integers merged: {ra} = {rb}", core)
         # Union by rank, but keep integer literals as representatives so
         # numeric facts stay visible.
         if isinstance(rb, TInt):
             ra, rb = rb, ra
         elif not isinstance(ra, TInt) and self._rank[ra] < self._rank[rb]:
             ra, rb = rb, ra
+        if explains:
+            self._trail.append(("parent", rb, self._parent[rb]))
         self._parent[rb] = ra
         if self._rank[ra] == self._rank[rb]:
+            if explains:
+                self._trail.append(("rank", ra, self._rank[ra]))
             self._rank[ra] += 1
         # Only disequalities watching the absorbed class can newly fire.
         watching = self._diseq_watch.pop(rb, None)
         if watching:
+            target = self._diseq_watch.setdefault(ra, [])
+            if explains:
+                self._trail.append(("watch", ra, len(target), rb, watching))
+            target.extend(watching)
             for index in watching:
-                a, b = self._diseqs[index]
-                if self.find(a) == self.find(b):
-                    raise EufConflict(f"disequality violated: {a} != {b}")
-            self._diseq_watch.setdefault(ra, []).extend(watching)
+                da, db = self._diseqs[index]
+                if self.find(da) == self.find(db):
+                    core = None
+                    if explains:
+                        core = self.explain(da, db) | self._diseq_tags[index]
+                    raise EufConflict(
+                        f"disequality violated: {da} != {db}", core
+                    )
         # Re-check congruences of applications using the merged class.
         pending = self._uses[rb]
-        self._uses.setdefault(ra, []).extend(pending)
+        target_uses = self._uses.setdefault(ra, [])
+        if explains:
+            self._trail.append(("uses", ra, len(target_uses), rb, pending))
+        target_uses.extend(pending)
         self._uses[rb] = []
         for app in list(pending):
             self._lookup_or_install(app)
+
+    # ---------------------------------------------------------- proof forest
+
+    def _proof_link(self, a: Term, b: Term, reason: Tuple) -> None:
+        """Add the proof edge ``a —reason— b`` by reversing the path
+        from ``a`` to its proof root, then pointing ``a`` at ``b``."""
+        parent = self._proof_parent
+        reasons = self._proof_reason
+        trail = self._trail
+        node, prev, prev_reason = a, b, reason
+        while True:
+            old_parent = parent.get(node)
+            old_reason = reasons.get(node)
+            trail.append(("proof", node, old_parent, old_reason))
+            parent[node] = prev
+            reasons[node] = prev_reason
+            if old_parent is None:
+                return
+            node, prev, prev_reason = old_parent, node, old_reason
+
+    def explain(self, a: Term, b: Term) -> Tags:
+        """The union of input tags responsible for ``a = b`` holding.
+
+        Walks the proof-forest paths from both terms to their nearest
+        common ancestor; congruence edges recurse into the argument
+        pairs of the two applications (well-founded: those arguments
+        were merged strictly earlier)."""
+        if not self.explains:
+            raise RuntimeError("explanations require explain mode")
+        out: Set = set()
+        pending: List[Tuple[Term, Term]] = [(a, b)]
+        seen: Set[Tuple[Term, Term]] = set()
+        parent = self._proof_parent
+        reasons = self._proof_reason
+        while pending:
+            x, y = pending.pop()
+            if x == y:
+                continue
+            key = (x, y) if repr(x) <= repr(y) else (y, x)
+            if key in seen:
+                continue
+            seen.add(key)
+            # Nearest common ancestor: collect x's ancestor chain, then
+            # climb from y until the chain is hit.
+            chain = {x}
+            node = x
+            while node in parent:
+                node = parent[node]
+                chain.add(node)
+            lca = y
+            while lca not in chain:
+                lca = parent[lca]
+            for start in (x, y):
+                node = start
+                while node != lca:
+                    reason = reasons[node]
+                    if reason[0] == "lit":
+                        out.update(reason[1])
+                    else:  # ("cong", app1, app2)
+                        for arg_a, arg_b in zip(reason[1].args, reason[2].args):
+                            pending.append((arg_a, arg_b))
+                    node = parent[node]
+        return frozenset(out)
 
     # --------------------------------------------------------------- queries
 

@@ -16,13 +16,20 @@ case exponential) Fourier–Motzkin step tiny.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro import obs
 from repro.prover.terms import ARITH_FNS, TApp, TInt, Term
 
 _ZERO = Fraction(0)
 _ONE = Fraction(1)
+
+#: Explanation tags carried by constraints (opaque; the Nelson–Oppen
+#: layer uses frozensets of input literals).  Every derived constraint
+#: unions the tags of its parents — Farkas-style provenance — so an
+#: infeasibility can name the input constraints responsible.
+Tags = FrozenSet
+_NO_TAGS: Tags = frozenset()
 
 
 class NotLinear(Exception):
@@ -82,12 +89,19 @@ def _accumulate(
 class Constraint:
     """``expr (op) 0`` where op is '=', '<=' or '<'."""
 
-    __slots__ = ("coeffs", "const", "op")
+    __slots__ = ("coeffs", "const", "op", "tags")
 
-    def __init__(self, coeffs: Dict[Term, Fraction], const: Fraction, op: str):
+    def __init__(
+        self,
+        coeffs: Dict[Term, Fraction],
+        const: Fraction,
+        op: str,
+        tags: Tags = _NO_TAGS,
+    ):
         self.coeffs = {v: f for v, f in coeffs.items() if f != 0}
         self.const = const
         self.op = op
+        self.tags = tags
 
     def tightened(self) -> "Constraint":
         """Integer tightening.
@@ -107,22 +121,24 @@ class Constraint:
         if not integral or not c.coeffs:
             return c
         if c.op == "<":
-            c = Constraint(c.coeffs, c.const + 1, "<=")
+            c = Constraint(c.coeffs, c.const + 1, "<=", c.tags)
         g = 0
         for f in c.coeffs.values():
             g = math.gcd(g, abs(int(f)))
         if g > 1:
             if c.op == "=":
-                if int(c.const) % g != 0:
-                    return Constraint({}, Fraction(1), "=")  # infeasible
+                if int(c.const) % g != 0:  # infeasible
+                    return Constraint({}, Fraction(1), "=", c.tags)
                 return Constraint(
-                    {v: f / g for v, f in c.coeffs.items()}, c.const / g, "="
+                    {v: f / g for v, f in c.coeffs.items()},
+                    c.const / g, "=", c.tags,
                 )
             # coeffs·x <= -const  ==>  (coeffs/g)·x <= floor(-const/g)
             bound = -c.const
             new_bound = Fraction(int(bound) // g)
             return Constraint(
-                {v: f / g for v, f in c.coeffs.items()}, -new_bound, c.op
+                {v: f / g for v, f in c.coeffs.items()}, -new_bound, c.op,
+                c.tags,
             )
         return c
 
@@ -136,35 +152,45 @@ class Constraint:
     def is_trivial_false(self) -> bool:
         return not self.coeffs and not self.is_trivial_true()
 
-    def substitute(self, var: Term, solution: "Tuple[Dict[Term, Fraction], Fraction]") -> "Constraint":
-        """Replace ``var`` by the linear expression ``solution``."""
+    def substitute(
+        self,
+        var: Term,
+        solution: "Tuple[Dict[Term, Fraction], Fraction, Tags]",
+    ) -> "Constraint":
+        """Replace ``var`` by the linear expression ``solution``; the
+        result inherits the tags of the defining equality."""
         factor = self.coeffs.get(var)
         if factor is None or factor == 0:
             return self
-        sol_coeffs, sol_const = solution
+        sol_coeffs, sol_const, sol_tags = solution
         coeffs = dict(self.coeffs)
         del coeffs[var]
         _accumulate(coeffs, sol_coeffs, factor)
-        return Constraint(coeffs, self.const + factor * sol_const, self.op)
+        return Constraint(
+            coeffs, self.const + factor * sol_const, self.op,
+            self.tags | sol_tags,
+        )
 
     def __repr__(self) -> str:
         parts = [f"{f}*{v}" for v, f in self.coeffs.items()]
         return f"{' + '.join(parts) or '0'} + {self.const} {self.op} 0"
 
 
-def make_le(left: Term, right: Term, strict: bool) -> Constraint:
+def make_le(
+    left: Term, right: Term, strict: bool, tags: Tags = _NO_TAGS
+) -> Constraint:
     """Build ``left <= right`` / ``left < right`` as a Constraint."""
     lc, lk = linearize(left)
     rc, rk = linearize(right)
     _accumulate(lc, rc, -_ONE)
-    return Constraint(lc, lk - rk, "<" if strict else "<=").tightened()
+    return Constraint(lc, lk - rk, "<" if strict else "<=", tags).tightened()
 
 
-def make_eq(left: Term, right: Term) -> List[Constraint]:
+def make_eq(left: Term, right: Term, tags: Tags = _NO_TAGS) -> List[Constraint]:
     lc, lk = linearize(left)
     rc, rk = linearize(right)
     _accumulate(lc, rc, -_ONE)
-    return [Constraint(lc, lk - rk, "=").tightened()]
+    return [Constraint(lc, lk - rk, "=", tags).tightened()]
 
 
 def satisfiable(constraints: List[Constraint], limit: int = 4000) -> bool:
@@ -177,14 +203,24 @@ def satisfiable(constraints: List[Constraint], limit: int = 4000) -> bool:
 
     Calls are timed into ``prover.linarith_ms`` when profiling is on
     (including the pair of calls behind every ``entails_eq`` probe)."""
+    return explain_unsat(constraints, limit) is None
+
+
+def explain_unsat(
+    constraints: List[Constraint], limit: int = 4000
+) -> Optional[Tags]:
+    """Like :func:`satisfiable`, but an infeasible system answers with
+    the union of tags of the constraints its refutation combined
+    (``None`` means satisfiable / unknown-sat).  Same decision
+    procedure, so the verdict always agrees with :func:`satisfiable`."""
     if not obs.enabled():
-        return _satisfiable(constraints, limit)
+        return _solve(constraints, limit)
     obs.incr("prover.linarith_calls")
     with obs.timer("prover.linarith_ms"):
-        return _satisfiable(constraints, limit)
+        return _solve(constraints, limit)
 
 
-def _satisfiable(constraints: List[Constraint], limit: int = 4000) -> bool:
+def _solve(constraints: List[Constraint], limit: int = 4000) -> Optional[Tags]:
     eqs = [c for c in constraints if c.op == "="]
     ineqs = [c for c in constraints if c.op != "="]
 
@@ -203,7 +239,7 @@ def _satisfiable(constraints: List[Constraint], limit: int = 4000) -> bool:
         )
         eq = eqs.pop(index).tightened()
         if eq.is_trivial_false():
-            return False
+            return eq.tags
         if not eq.coeffs:
             continue
         var, coeff = min(
@@ -214,13 +250,13 @@ def _satisfiable(constraints: List[Constraint], limit: int = 4000) -> bool:
             v: -f / coeff for v, f in eq.coeffs.items() if v != var
         }
         sol_const = -eq.const / coeff
-        solution = (sol_coeffs, sol_const)
+        solution = (sol_coeffs, sol_const, eq.tags)
         eqs = [c.substitute(var, solution) for c in eqs]
         new_ineqs = []
         for c in ineqs:
             c2 = c.substitute(var, solution).tightened()
             if c2.is_trivial_false():
-                return False
+                return c2.tags
             if not c2.is_trivial_true():
                 new_ineqs.append(c2)
         ineqs = new_ineqs
@@ -229,7 +265,7 @@ def _satisfiable(constraints: List[Constraint], limit: int = 4000) -> bool:
     work = [c for c in ineqs if not c.is_trivial_true()]
     for c in work:
         if c.is_trivial_false():
-            return False
+            return c.tags
     while True:
         ups: Dict[Term, int] = {}
         downs: Dict[Term, int] = {}
@@ -241,7 +277,7 @@ def _satisfiable(constraints: List[Constraint], limit: int = 4000) -> bool:
                     downs[v] = downs.get(v, 0) + 1
         variables = set(ups) | set(downs)
         if not variables:
-            return True
+            return None
         # Choose the variable with the fewest pairings to limit blowup.
         var = min(variables, key=lambda v: ups.get(v, 0) * downs.get(v, 0))
         uppers = [c for c in work if c.coeffs.get(var, _ZERO) > 0]
@@ -258,14 +294,15 @@ def _satisfiable(constraints: List[Constraint], limit: int = 4000) -> bool:
                 coeffs.pop(var, None)
                 const = up.const * cl + low.const * cu
                 op = "<" if (up.op == "<" or low.op == "<") else "<="
-                combo = Constraint(coeffs, const, op).tightened()
+                combo = Constraint(coeffs, const, op, up.tags | low.tags)
+                combo = combo.tightened()
                 if combo.is_trivial_false():
-                    return False
+                    return combo.tags
                 if not combo.is_trivial_true():
                     derived.append(combo)
         work = rest + derived
         if len(work) > limit:
-            return True  # give up: report satisfiable (no proof claimed)
+            return None  # give up: report satisfiable (no proof claimed)
 
 
 def entails_eq(constraints: List[Constraint], a: Term, b: Term) -> bool:
@@ -276,3 +313,18 @@ def entails_eq(constraints: List[Constraint], a: Term, b: Term) -> bool:
     return not satisfiable(constraints + [lt]) and not satisfiable(
         constraints + [gt]
     )
+
+
+def entails_eq_core(
+    constraints: List[Constraint], a: Term, b: Term
+) -> Optional[Tags]:
+    """Explaining variant of :func:`entails_eq`: when the constraints
+    force ``a = b``, answer with the union of tags of the constraints
+    both refutations used (the probe constraints carry no tags)."""
+    lt_core = explain_unsat(constraints + [make_le(a, b, strict=True)])
+    if lt_core is None:
+        return None
+    gt_core = explain_unsat(constraints + [make_le(b, a, strict=True)])
+    if gt_core is None:
+        return None
+    return lt_core | gt_core

@@ -130,11 +130,18 @@ class Prover:
         max_rounds: int = 6,
         max_conflicts: int = 4000,
         time_limit: float = 60.0,
+        explain: bool = True,
     ):
         self.axioms: List[Formula] = []
         self.max_rounds = max_rounds
         self.max_conflicts = max_conflicts
         self.time_limit = time_limit
+        # Explained conflict cores (proof-forest EUF + incremental
+        # theory state per goal); False falls back to the search-based
+        # ddmin minimizer — same verdicts, slower cores (the
+        # ``--no-explain`` ablation).
+        self.explain = explain
+        self._theory_state: Optional[combine.TheoryState] = None
         # Optional derive_triggers memo shared across prove calls; a
         # plain Prover leaves it off (None).
         self.trigger_cache = None
@@ -165,10 +172,13 @@ class Prover:
 
     def _begin_goal(self) -> None:
         """Called once at the start of every uncached prove call."""
+        self._theory_state = combine.TheoryState() if self.explain else None
 
     def _theory_check(self, theory_lits, deadline: Deadline):
         """Nelson–Oppen consistency check; returns a conflict or None."""
-        return combine.check(theory_lits, deadline=deadline.at)
+        return combine.check(
+            theory_lits, deadline=deadline.at, state=self._theory_state
+        )
 
     def _note_conflict(self, conflict) -> None:
         """Observe a learned theory conflict ((atom, polarity) pairs)."""
@@ -185,6 +195,7 @@ class Prover:
             max_rounds=max_rounds,
             max_conflicts=max_conflicts,
             time_limit=time_limit,
+            explain=self.explain,
         )
         attempt.axioms = self.axioms
         return attempt
@@ -367,12 +378,7 @@ class Prover:
             if conflict is None:
                 return model
             result.conflicts += 1
-            db.add_clause(
-                [
-                    (-db.var_of_atom[atom] if polarity else db.var_of_atom[atom])
-                    for atom, polarity in conflict
-                ]
-            )
+            db.learn_theory_conflict(conflict)
             self._note_conflict(conflict)
             if result.conflicts > self.max_conflicts:
                 return "budget"

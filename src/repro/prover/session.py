@@ -140,6 +140,7 @@ class ProverSession:
         time_limit: float = 60.0,
         max_cores: int = MAX_CORES,
         memo_limit: int = MEMO_LIMIT,
+        explain: bool = True,
     ):
         self.axioms: List[Formula] = list(axioms)
         self.context = context
@@ -148,6 +149,14 @@ class ProverSession:
         self.time_limit = time_limit
         self.max_cores = max_cores
         self.memo_limit = memo_limit
+        self.explain = explain
+        # The warm proof forest: one incremental theory state shared by
+        # every obligation of this environment, so successive checks
+        # retract/assert only the literals that differ (None in the
+        # --no-explain ablation; the cold ddmin path runs instead).
+        self.theory_state: Optional[combine.TheoryState] = (
+            combine.TheoryState() if explain else None
+        )
         self.env_digest = _environment_digest(self.axioms, context)
         self.trigger_cache: Dict[object, tuple] = {}
         self.counters: Dict[str, int] = {
@@ -196,7 +205,9 @@ class ProverSession:
                     self._memo.popitem(last=False)
                 self._memo[key] = tuple(conflict)
                 return conflict
-        conflict = combine.check(theory_lits, deadline=deadline.at)
+        conflict = combine.check(
+            theory_lits, deadline=deadline.at, state=self.theory_state
+        )
         if len(self._memo) >= self.memo_limit:
             self._memo.popitem(last=False)
         self._memo[key] = tuple(conflict) if conflict is not None else None
@@ -302,7 +313,16 @@ class ProverSession:
         self._core_set = set()
         self._memo.clear()
         self.trigger_cache.clear()
+        self.theory_state = combine.TheoryState() if self.explain else None
         self.counters["resets"] += 1
+
+    def set_explain(self, explain: bool) -> None:
+        """Switch conflict-core strategies; a flip discards the warm
+        forest (the memo and cores stay — they are strategy-neutral)."""
+        if explain == self.explain:
+            return
+        self.explain = explain
+        self.theory_state = combine.TheoryState() if explain else None
 
     def rebind(self, axioms, context: str = "") -> None:
         """Point the session at a new axiom environment and reset."""
@@ -333,6 +353,7 @@ class SessionPool:
         max_rounds: int = 6,
         max_conflicts: int = 4000,
         time_limit: float = 60.0,
+        explain: bool = True,
     ) -> ProverSession:
         digest = _environment_digest(list(axioms), context)
         session = self._sessions.get(digest)
@@ -341,6 +362,7 @@ class SessionPool:
             session.max_rounds = max_rounds
             session.max_conflicts = max_conflicts
             session.time_limit = time_limit
+            session.set_explain(explain)
             return session
         session = ProverSession(
             axioms,
@@ -348,6 +370,7 @@ class SessionPool:
             max_rounds=max_rounds,
             max_conflicts=max_conflicts,
             time_limit=time_limit,
+            explain=explain,
         )
         self._sessions[digest] = session
         while len(self._sessions) > self.max_sessions:

@@ -96,7 +96,7 @@ _OP_KEYS = {
     "prove": _BATCH_KEYS
     | {
         "qualifier", "time_limit", "retries", "cache", "cache_dir",
-        "session", "shard",
+        "session", "shard", "explain",
     },
     "infer": _BATCH_KEYS | {"qualifier", "flow_sensitive"},
     "invalidate": frozenset(("path",)),
@@ -182,6 +182,7 @@ def batch_request(op: str, params: Any):
                 cache_dir=str(params.get("cache_dir", DEFAULT_CACHE_DIR)),
                 session=bool(params.get("session", True)),
                 shard=bool(params.get("shard", True)),
+                explain=bool(params.get("explain", True)),
                 **common,
             )
         if op == "infer":

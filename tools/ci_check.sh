@@ -120,6 +120,50 @@ print(f"   {len(want)} obligation(s) identical across serial/sharded/pooled, "
       f"session_reuse={reuse}, groups={groups}")
 ' "$tmpdir/serial.json" "$tmpdir/sharded.json" "$tmpdir/pooled.json"
 
+echo "== conflict cores: explain vs ddmin verdicts identical, no perf regression"
+python benchmarks/bench_prover.py --cold --quick --json \
+    > "$tmpdir/cores-explain-1.json"
+python benchmarks/bench_prover.py --cold --quick --json \
+    > "$tmpdir/cores-explain-2.json"
+python benchmarks/bench_prover.py --cold --quick --no-explain --json \
+    > "$tmpdir/cores-ddmin.json"
+python -c '
+import json, sys
+runs = [json.load(open(p)) for p in sys.argv[1:3]]
+ddmin = json.load(open(sys.argv[3]))
+explain = min(runs, key=lambda r: r["theory_ms"])  # best-of-2 vs noise
+assert explain["verdicts"], "cold sweep discharged no obligations"
+assert explain["verdicts"] == ddmin["verdicts"], (
+    "conflict-core strategy changed verdicts: "
+    + str({k: (explain["verdicts"][k], ddmin["verdicts"][k])
+           for k in explain["verdicts"]
+           if explain["verdicts"][k] != ddmin["verdicts"][k]})
+)
+assert explain["explain_fallbacks"] == 0, (
+    "explained cores fell back to ddmin: %r" % explain
+)
+history = json.load(open("BENCH_prover.json"))["history"]
+baseline = next(
+    (e["cold_sweep"] for e in reversed(history)
+     if e.get("cold_sweep", {}).get("workload") == "quick"
+     and e["cold_sweep"].get("explain")),
+    None,
+)
+assert baseline is not None, (
+    "no quick-workload cold_sweep baseline in BENCH_prover.json history"
+)
+measured, committed = explain["theory_ms"], baseline["theory_ms"]
+limit = committed * 1.2
+assert measured <= limit, (
+    "prover.theory_ms regressed: %.1f ms vs committed baseline "
+    "%.1f ms (+20%% gate %.1f ms)" % (measured, committed, limit)
+)
+print("   %d verdict(s) identical across strategies, "
+      "theory_ms %.1f <= gate %.1f"
+      % (len(explain["verdicts"]), measured, limit))
+' "$tmpdir/cores-explain-1.json" "$tmpdir/cores-explain-2.json" \
+  "$tmpdir/cores-ddmin.json"
+
 echo "== differential testing smoke run (expect exit 0, no disagreements)"
 python -m repro difftest --seed 0 --count 50 --budget 60 \
     --out-dir "$tmpdir/difftest-artifacts" --format json \
