@@ -6,13 +6,15 @@
     python -m repro show-ir FILE.c
     python -m repro infer FILE.c [MORE.c ...] --qualifier NAME [--quals DEFS.qual]
     python -m repro cache stats|clear [--cache-dir DIR]
-    python -m repro serve [--socket PATH] [--status] [--stop]
+    python -m repro serve [--socket PATH] [--listen HOST:PORT]
+                          [--workers N] [--status] [--stop]
 
-``check``, ``prove`` and ``infer`` also take ``--server SOCKET`` (or
-``$REPRO_SERVE_SOCKET``) to proxy the command to a running ``serve``
-daemon — warm state, function-granularity incremental re-checking,
-identical output — falling back to in-process execution when nothing
-is listening (see docs/serve.md).
+``check``, ``prove`` and ``infer`` also take ``--server ADDR`` (or
+``$REPRO_SERVE_ADDR`` / ``$REPRO_SERVE_SOCKET``; a unix-socket path or
+``host:port``) to proxy the command to a running ``serve`` daemon —
+warm state, function-granularity incremental re-checking, identical
+output — falling back to in-process execution when nothing is
+listening (see docs/serve.md).
 
 Every command body is a thin adapter over :mod:`repro.api` — the
 stable library facade — plus terminal formatting; programmatic users
@@ -193,8 +195,26 @@ def _run_on_server(args, op: str) -> Optional[int]:
     try:
         final = client.request(op, _server_params(args, op), on_unit=on_unit)
     except serve_client.ServeError as exc:
+        if exc.code == "connection-lost" and not exc.mid_stream:
+            # The daemon went away before anything streamed: an
+            # in-process rerun produces exactly the output the user
+            # asked for, with nothing duplicated.
+            print(
+                f"note: lost connection to {args.server}; "
+                "running in-process",
+                file=sys.stderr,
+            )
+            return None
         print(f"error: {exc}", file=sys.stderr)
-        return 3 if exc.code == "internal" else 2
+        # Daemon-side breakage — including a crashed workspace worker
+        # or a connection lost after output already streamed — is exit
+        # 3 (the caller must not trust partial output); bad requests
+        # and bad input stay exit 2.
+        return (
+            3
+            if exc.code in ("internal", "worker-crashed", "connection-lost")
+            else 2
+        )
     finally:
         client.close()
     report = api.report_from_dict(final["report"])
@@ -400,10 +420,13 @@ def cmd_serve(args) -> int:
     from repro.serve import server as serve_server
 
     if args.status or args.stop:
+        # --status/--stop talk to a running daemon: over TCP when
+        # --listen is given, else over the unix socket.
+        address = args.listen or args.socket
         try:
-            client = serve_client.connect(args.socket)
+            client = serve_client.connect(address)
         except OSError as exc:
-            print(f"error: no server at {args.socket}: {exc}", file=sys.stderr)
+            print(f"error: no server at {address}: {exc}", file=sys.stderr)
             return 2
         try:
             if args.status:
@@ -416,7 +439,9 @@ def cmd_serve(args) -> int:
         finally:
             client.close()
         return 0
-    return serve_server.serve_main(args.socket)
+    return serve_server.serve_main(
+        args.socket, listen=args.listen, workers=args.workers
+    )
 
 
 def cmd_difftest(args) -> int:
@@ -549,14 +574,17 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     def server_flag(p):
+        from repro.serve.protocol import default_server_address
+
         p.add_argument(
             "--server",
-            metavar="SOCKET",
-            default=os.environ.get("REPRO_SERVE_SOCKET") or None,
+            metavar="ADDR",
+            default=default_server_address(),
             help="proxy this command to a running `repro serve` daemon "
-            "on SOCKET (default: $REPRO_SERVE_SOCKET); falls back to "
-            "in-process execution when nothing is listening, with "
-            "identical output either way",
+            "at ADDR — a unix-socket path, host:port, or tcp://host:port "
+            "(default: $REPRO_SERVE_ADDR or $REPRO_SERVE_SOCKET); falls "
+            "back to in-process execution when nothing is listening, "
+            "with identical output either way",
         )
 
     def batch_flags(p):
@@ -794,16 +822,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        help="run the checker daemon on a unix socket",
+        help="run the checker daemon (unix socket and/or TCP)",
         description=(
             "Long-lived checker-as-a-service: keeps workspaces (parsed "
             "state fingerprints, incremental per-function verdicts, warm "
             "proof caches) resident and serves check/prove/infer/status/"
             "shutdown requests as newline-delimited JSON over a unix "
-            "socket.  Point `repro check --server SOCKET` (or "
-            "$REPRO_SERVE_SOCKET) at it; see docs/serve.md."
+            "socket and/or a TCP endpoint.  Point `repro check --server "
+            "ADDR` (or $REPRO_SERVE_ADDR / $REPRO_SERVE_SOCKET) at it; "
+            "see docs/serve.md."
         ),
     )
+    from repro.harness.supervisor import env_knob
     from repro.serve.protocol import DEFAULT_SOCKET
 
     p_serve.add_argument(
@@ -812,6 +842,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=os.environ.get("REPRO_SERVE_SOCKET") or DEFAULT_SOCKET,
         help="unix socket path to serve on "
         f"(default: $REPRO_SERVE_SOCKET or {DEFAULT_SOCKET})",
+    )
+    p_serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="additionally serve the same protocol over TCP (port 0 "
+        "picks an ephemeral port, announced on stdout)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=env_knob("REPRO_SERVE_WORKERS", 0, int),
+        help="run each configuration's workspace in one of up to N "
+        "persistent worker processes (crash-isolated, multi-core); "
+        "0 keeps work in-process on executor threads "
+        "(default: $REPRO_SERVE_WORKERS or 0)",
     )
     p_serve.add_argument(
         "--status",

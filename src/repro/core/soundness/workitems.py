@@ -133,13 +133,39 @@ def discharge_work_item(
     return outcome_from_result(item, result)
 
 
+def proof_result_to_dict(result: Optional[ProofResult]) -> Optional[Dict]:
+    """Flatten one ProofResult into a pickle/JSON-safe dict (the
+    ``proof`` field of an outcome; also the payload the serve dedup
+    table shares between in-flight requests)."""
+    if result is None:
+        return None
+    proof = result.to_cache_payload()
+    proof["elapsed"] = result.elapsed
+    proof["cached"] = result.cached
+    return proof
+
+
+def proof_result_from_dict(proof: Optional[Dict]) -> Optional[ProofResult]:
+    """Reconstruct the ProofResult a proof dict came from."""
+    if proof is None:
+        return None
+    return ProofResult(
+        proved=bool(proof.get("proved")),
+        rounds=int(proof.get("rounds", 0)),
+        instances=int(proof.get("instances", 0)),
+        conflicts=int(proof.get("conflicts", 0)),
+        elapsed=float(proof.get("elapsed", 0.0)),
+        reason=str(proof.get("reason", "")),
+        verdict=str(proof.get("verdict", GAVE_UP)),
+        attempts=int(proof.get("attempts", 1)),
+        cached=bool(proof.get("cached")),
+        countermodel=[str(f) for f in proof.get("countermodel", ())],
+    )
+
+
 def outcome_from_result(item: ObligationWorkItem, entry) -> Dict:
     """Flatten an ObligationResult into a pickle/JSON-safe dict."""
-    proof = None
-    if entry.result is not None:
-        proof = entry.result.to_cache_payload()
-        proof["elapsed"] = entry.result.elapsed
-        proof["cached"] = entry.result.cached
+    proof = proof_result_to_dict(entry.result)
     return {
         "key": item.key,
         "unit": item.unit,
@@ -158,21 +184,7 @@ def result_from_outcome(item: ObligationWorkItem, outcome: Dict):
     """Reconstruct the ObligationResult an outcome dict came from."""
     from repro.core.soundness.checker import ObligationResult
 
-    proof = outcome.get("proof")
-    result = None
-    if proof is not None:
-        result = ProofResult(
-            proved=bool(proof.get("proved")),
-            rounds=int(proof.get("rounds", 0)),
-            instances=int(proof.get("instances", 0)),
-            conflicts=int(proof.get("conflicts", 0)),
-            elapsed=float(proof.get("elapsed", 0.0)),
-            reason=str(proof.get("reason", "")),
-            verdict=str(proof.get("verdict", GAVE_UP)),
-            attempts=int(proof.get("attempts", 1)),
-            cached=bool(proof.get("cached")),
-            countermodel=[str(f) for f in proof.get("countermodel", ())],
-        )
+    result = proof_result_from_dict(outcome.get("proof"))
     return ObligationResult(
         item.to_obligation(), result, error=outcome.get("error", "")
     )

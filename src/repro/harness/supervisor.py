@@ -63,6 +63,7 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
+import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -83,6 +84,43 @@ from repro.harness.batch import (
     _child_entry,
     _reap,
 )
+
+
+# Environment variables already warned about (warn once per process,
+# not once per Supervisor — from_env runs on every batch).
+_WARNED_ENV: set = set()
+
+
+def env_knob(name: str, default, parse, env=None):
+    """Parse one numeric environment override, falling back to
+    ``default`` on a malformed value instead of crashing the run.
+
+    A bad knob warns once per process (on stderr, so it survives
+    ``--format json``) and every knob is parsed independently — one
+    typo must not silently disable the overrides that follow it.
+    """
+    source = os.environ if env is None else env
+    raw = source.get(name)
+    if raw is None:
+        return default
+    try:
+        return parse(raw)
+    except (TypeError, ValueError):
+        if name not in _WARNED_ENV:
+            _WARNED_ENV.add(name)
+            print(
+                f"warning: malformed {name}={raw!r}; using default {default!r}",
+                file=sys.stderr,
+            )
+        return default
+
+
+def pool_context():
+    """The multiprocessing context worker pools are built from: fork
+    where the platform has it (cheap, shares the warm parent state),
+    spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
 @dataclass
@@ -113,16 +151,15 @@ class SupervisorConfig:
         ``REPRO_MAX_WORKER_DEATHS``) — how tests and CI make hang
         detection fast without threading flags through every layer."""
         config = cls(**overrides)
-        env = os.environ
-        try:
-            if "REPRO_HANG_TIMEOUT" in env:
-                config.hang_timeout = float(env["REPRO_HANG_TIMEOUT"])
-            if "REPRO_HEARTBEAT_INTERVAL" in env:
-                config.heartbeat_interval = float(env["REPRO_HEARTBEAT_INTERVAL"])
-            if "REPRO_MAX_WORKER_DEATHS" in env:
-                config.max_worker_deaths = int(env["REPRO_MAX_WORKER_DEATHS"])
-        except ValueError:
-            pass
+        config.hang_timeout = env_knob(
+            "REPRO_HANG_TIMEOUT", config.hang_timeout, float
+        )
+        config.heartbeat_interval = env_knob(
+            "REPRO_HEARTBEAT_INTERVAL", config.heartbeat_interval, float
+        )
+        config.max_worker_deaths = env_knob(
+            "REPRO_MAX_WORKER_DEATHS", config.max_worker_deaths, int
+        )
         return config
 
 
@@ -153,10 +190,7 @@ class _UnitState:
 class Supervisor:
     def __init__(self, config: SupervisorConfig):
         self.config = config
-        methods = multiprocessing.get_all_start_methods()
-        self._ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn"
-        )
+        self._ctx = pool_context()
         # Every child ever spawned — joined in run()'s finally so not
         # even an already-exited child is left as a zombie.
         self.spawned: List[object] = []

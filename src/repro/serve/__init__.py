@@ -2,21 +2,30 @@
 
 A long-lived process (:mod:`repro.serve.server`) keeps
 :class:`repro.api.Workspace` state — parsed units, per-function
-fingerprints, the warm proof cache — resident in memory and serves
+fingerprints, the warm proof cache — resident and serves
 ``check``/``prove``/``infer``/``status``/``invalidate``/``shutdown``
-requests over a unix socket, so an edit loop pays only for the
-functions that actually changed.  The wire format is newline-delimited
-JSON (:mod:`repro.serve.protocol`); responses embed the same
-schema-v1 ``Report.to_dict()`` payloads the CLI prints, and unit
-results stream back as they settle.
+requests over a unix socket and/or a TCP ``--listen host:port``
+endpoint, so an edit loop pays only for the functions that actually
+changed.  With ``--workers N`` each configuration's workspace lives in
+a persistent worker *process* (:mod:`repro.serve.workers`), so
+concurrent requests use multiple cores; a parent-side dedup table
+(:mod:`repro.serve.dedup`) single-flights identical in-flight
+obligations across requests.  The wire format is newline-delimited
+JSON (:mod:`repro.serve.protocol`); responses embed the same schema-v1
+``Report.to_dict()`` payloads the CLI prints, and unit results stream
+back as they settle.
 
 Use :func:`repro.serve.client.connect` (re-exported here) to talk to a
-running daemon, or pass ``--server <socket>`` to ``repro check`` /
+running daemon, or pass ``--server <address>`` to ``repro check`` /
 ``prove`` / ``infer``.  See docs/serve.md for the protocol spec.
 """
 
 from repro.serve.client import ServeClient, ServeError, connect
-from repro.serve.protocol import DEFAULT_SOCKET, PROTOCOL_VERSION
+from repro.serve.protocol import (
+    DEFAULT_SOCKET,
+    PROTOCOL_VERSION,
+    parse_address,
+)
 from repro.serve.server import ServeServer, serve_main
 
 __all__ = [
@@ -24,6 +33,7 @@ __all__ = [
     "ServeError",
     "ServeServer",
     "connect",
+    "parse_address",
     "serve_main",
     "DEFAULT_SOCKET",
     "PROTOCOL_VERSION",

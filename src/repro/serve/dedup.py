@@ -1,0 +1,108 @@
+"""Cross-request obligation dedup: single-flight for in-flight proofs.
+
+The proof cache already collapses *repeated* work — a request proving
+an obligation the cache has settled replays the verdict.  What it
+cannot collapse is *concurrent* work: two requests proving the same
+qualifier at the same time each miss the cache and each run the
+prover.  :class:`ObligationDedup` closes that window with the classic
+single-flight shape: the first request to reach a key becomes the
+**leader** and proves it; every request that arrives while the leader
+is in flight becomes a **follower** and blocks until the leader
+publishes, then reuses the payload instead of re-proving.
+
+Keys are ``(environment key, obligation fingerprint)`` — exactly the
+pair the proof cache addresses by (axioms + qualifier definition text,
+plus the canonical goal rendering), so two requests share a key iff
+the cache would have given one the other's verdict.  Payloads are the
+pickle/JSON-safe proof dicts of :func:`repro.core.soundness.workitems.
+proof_result_to_dict`; only settled ``PROVED``/``REFUTED`` results are
+published (an unsettled ``GAVE_UP``/``TIMEOUT`` leader, or one that
+crashed, publishes ``None`` and each follower falls back to proving
+for itself — sharing can never change a verdict).
+
+Entries are single-flight only: publishing removes the key, so a later
+request for the same obligation goes to the proof cache like before.
+The serve daemon owns one table per process; in process-worker mode
+the workers reach it through a pipe-backed proxy serviced by the
+parent (:mod:`repro.serve.workers`), so dedup still spans workspaces.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro import obs
+
+
+class _Entry:
+    """One in-flight obligation: the leader's promise to publish."""
+
+    __slots__ = ("done", "payload")
+
+    def __init__(self) -> None:
+        self.done = False
+        self.payload: Optional[dict] = None
+
+
+class ObligationDedup:
+    """Thread-safe single-flight table keyed by (env key, fingerprint).
+
+    The contract (also implemented by the worker-side proxy):
+
+    - ``acquire(key)`` returns ``("leader", None)`` or
+      ``("follower", ticket)``;
+    - a leader MUST eventually ``publish(key, payload_or_None)``
+      (``None`` means "nothing shareable — prove it yourself");
+    - a follower calls ``wait(ticket, timeout)`` and gets the payload,
+      or ``None`` on an empty-handed (or overdue) leader.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._inflight: Dict[Tuple[str, str], _Entry] = {}
+        #: Always-on counters (surfaced by the daemon's ``status``).
+        self.counters: Dict[str, int] = {
+            "leaders": 0,
+            "waits": 0,
+            "shared": 0,
+            "misses": 0,
+        }
+
+    def acquire(self, key: Tuple[str, str]):
+        with self._cond:
+            entry = self._inflight.get(key)
+            if entry is None:
+                self._inflight[key] = _Entry()
+                self.counters["leaders"] += 1
+                obs.incr("serve.dedup_leaders")
+                return "leader", None
+            self.counters["waits"] += 1
+            obs.incr("serve.dedup_waits")
+            return "follower", entry
+
+    def publish(self, key: Tuple[str, str], payload: Optional[dict]) -> None:
+        with self._cond:
+            entry = self._inflight.pop(key, None)
+            if entry is None or entry.done:
+                return
+            entry.done = True
+            entry.payload = payload
+            self._cond.notify_all()
+
+    def wait(
+        self, ticket: _Entry, timeout: Optional[float] = None
+    ) -> Optional[dict]:
+        with self._cond:
+            self._cond.wait_for(lambda: ticket.done, timeout=timeout)
+            # An overdue leader counts as a miss: the follower gives up
+            # waiting and proves for itself (the leader's eventual
+            # publish completes the entry late, harmlessly).
+            payload = ticket.payload if ticket.done else None
+            if payload is not None:
+                self.counters["shared"] += 1
+                obs.incr("serve.dedup_shared")
+            else:
+                self.counters["misses"] += 1
+                obs.incr("serve.dedup_misses")
+            return payload

@@ -43,6 +43,12 @@ PROTOCOL_VERSION = 1
 #: Default unix-socket path, overridable with ``REPRO_SERVE_SOCKET``.
 DEFAULT_SOCKET = ".repro-serve.sock"
 
+#: Environment variable naming the default server *address* for
+#: clients (``--server``): either a unix-socket path or a TCP
+#: ``host:port`` / ``tcp://host:port`` form.  Takes precedence over
+#: ``REPRO_SERVE_SOCKET`` when both are set.
+ADDR_ENV = "REPRO_SERVE_ADDR"
+
 #: The operations a daemon understands.
 OPS = ("check", "prove", "infer", "status", "invalidate", "shutdown")
 
@@ -53,6 +59,12 @@ E_UNKNOWN_OP = "unknown-op"
 E_INPUT = "input-error"  # unreadable/unparseable input files (CLI exit 2)
 E_SHUTTING_DOWN = "shutting-down"  # daemon is draining; no new work
 E_INTERNAL = "internal"  # daemon-side bug, survived (CLI exit 3)
+E_WORKER_CRASH = "worker-crashed"  # workspace worker died (CLI exit 3)
+
+#: Client-side code (never sent by a daemon): the connection died
+#: before the ``done`` line.  Shares the error-code namespace so the
+#: CLI's exit-code mapping treats all codes uniformly.
+E_CONNECTION_LOST = "connection-lost"
 
 
 class ProtocolError(ValueError):
@@ -201,3 +213,68 @@ def batch_request(op: str, params: Any):
             raise
         raise ProtocolError(E_BAD_REQUEST, f"bad params for {op!r}: {exc}")
     raise ProtocolError(E_UNKNOWN_OP, f"not a batch op: {op!r}")
+
+
+# ------------------------------------------------------------- addresses
+#
+# A daemon address is either a unix-socket path or a TCP endpoint; the
+# client, the CLI and the ``serve`` subcommand all accept both forms:
+#
+#   .repro-serve.sock      unix-socket path (anything with a path
+#                          separator, or no usable host:port shape)
+#   host:1234              TCP — host plus an all-digits port
+#   tcp://host:1234        TCP, explicit scheme
+#   [::1]:1234             TCP, bracketed IPv6 host
+#
+# The one ambiguity — a *relative* file name that happens to look like
+# ``name:123`` — is resolved in favor of TCP; spell such a socket path
+# ``./name:123``.
+
+
+def _host_port(text: str) -> Tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"not a host:port address: {text!r}")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]  # bracketed IPv6 literal
+    return (host or "127.0.0.1", int(port))
+
+
+def parse_address(address: str):
+    """Classify one daemon address: ``("unix", path)`` or
+    ``("tcp", host, port)``."""
+    if address.startswith("tcp://"):
+        host, port = _host_port(address[len("tcp://"):])
+        return ("tcp", host, port)
+    if "/" not in address and not address.startswith("."):
+        try:
+            host, port = _host_port(address)
+        except ValueError:
+            return ("unix", address)
+        return ("tcp", host, port)
+    return ("unix", address)
+
+
+def parse_listen(listen: str) -> Tuple[str, int]:
+    """Parse a ``--listen`` value into ``(host, port)`` (port 0 asks
+    the kernel for an ephemeral port)."""
+    if listen.startswith("tcp://"):
+        listen = listen[len("tcp://"):]
+    return _host_port(listen)
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    """Render ``(host, port)`` back into the ``host:port`` form
+    clients accept (IPv6 hosts get their brackets back)."""
+    host, port = address
+    if ":" in host:
+        host = f"[{host}]"
+    return f"{host}:{port}"
+
+
+def default_server_address():
+    """The client-side default daemon address:
+    ``$REPRO_SERVE_ADDR``, else ``$REPRO_SERVE_SOCKET``, else None."""
+    import os
+
+    return os.environ.get(ADDR_ENV) or os.environ.get("REPRO_SERVE_SOCKET") or None

@@ -39,10 +39,7 @@ def daemon(tmp_path):
 
     thread = threading.Thread(target=run, daemon=True)
     thread.start()
-    deadline = time.monotonic() + 10.0
-    while not os.path.exists(sock):
-        assert time.monotonic() < deadline, "daemon never bound its socket"
-        time.sleep(0.02)
+    assert server.ready.wait(10.0), "daemon never bound its socket"
     yield sock, server
     if not server._shutting_down:
         try:

@@ -372,4 +372,120 @@ test ! -e "$tmpdir/serve.sock" || {
 }
 echo "   daemon shut down cleanly, socket removed"
 
+echo "== serve smoke: process mode over TCP, worker crash recovery"
+cat > "$tmpdir/mp_a.c" <<'EOF'
+int add1(int x) { return x + 1; }
+int dbl(int y) { return y * 2; }
+EOF
+cat > "$tmpdir/mp_b.c" <<'EOF'
+int flip(int v) { return 0 - v; }
+int idf(int z) { return z; }
+EOF
+python -m repro serve --socket "$tmpdir/mp.sock" \
+    --listen 127.0.0.1:0 --workers 2 > "$tmpdir/mp_serve.log" 2>&1 &
+mp_pid=$!
+tries=0
+until [ -s "$tmpdir/mp_serve.log" ]; do
+    tries=$((tries + 1))
+    test "$tries" -le 100 || {
+        echo "process-mode daemon never announced" >&2
+        cat "$tmpdir/mp_serve.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+mp_addr="$(python -c '
+import json, sys
+line = open(sys.argv[1]).readline()
+print(json.loads(line)["listen"])
+' "$tmpdir/mp_serve.log")"
+python -m repro check "$tmpdir/mp_a.c" --format json > "$tmpdir/mp_a_local.json"
+python -m repro check "$tmpdir/mp_b.c" --trust-constants --format json \
+    > "$tmpdir/mp_b_local.json"
+# two distinct-config checks in flight over TCP, against distinct workers
+python -m repro check "$tmpdir/mp_a.c" --server "$mp_addr" --format json \
+    > "$tmpdir/mp_a_served.json" &
+mp_req_a=$!
+python -m repro check "$tmpdir/mp_b.c" --trust-constants --server "$mp_addr" \
+    --format json > "$tmpdir/mp_b_served.json" &
+mp_req_b=$!
+wait "$mp_req_a" "$mp_req_b"
+python -c '
+import json, sys
+
+
+def strip(report):
+    report.pop("elapsed", None)
+    report.pop("incremental", None)
+    for unit in report.get("units", ()):
+        unit.pop("elapsed", None)
+        detail = unit.get("detail", {})
+        detail.pop("incremental", None)
+        if "dataflow" in detail:
+            detail["dataflow"]["totals"].pop("ms", None)
+            for stats in detail["dataflow"]["functions"].values():
+                stats.pop("ms", None)
+    if isinstance(report.get("dataflow"), dict):
+        report["dataflow"].pop("ms", None)
+    return report
+
+
+for served_path, local_path in (sys.argv[1:3], sys.argv[3:5]):
+    served = strip(json.load(open(served_path)))
+    local = strip(json.load(open(local_path)))
+    assert served == local, f"served report drifted: {served_path}"
+print("   2 concurrent TCP checks byte-identical to in-process")
+' "$tmpdir/mp_a_served.json" "$tmpdir/mp_a_local.json" \
+  "$tmpdir/mp_b_served.json" "$tmpdir/mp_b_local.json"
+python -m repro serve --status --listen "$mp_addr" > "$tmpdir/mp_status1.json"
+worker_pid="$(python -c '
+import json, sys
+status = json.load(open(sys.argv[1]))
+assert status["workers"] == 2, status["workers"]
+assert len(status["workspaces"]) == 2, len(status["workspaces"])
+workers = [ws["worker"] for ws in status["workspaces"]]
+assert all(w["alive"] for w in workers), workers
+print(workers[0]["pid"])
+' "$tmpdir/mp_status1.json")"
+kill -9 "$worker_pid"
+# the poisoned workspace respawns transparently; verdicts unchanged
+python -m repro check "$tmpdir/mp_a.c" --server "$mp_addr" --format json \
+    > "$tmpdir/mp_a_again.json"
+python -m repro check "$tmpdir/mp_b.c" --trust-constants --server "$mp_addr" \
+    --format json > "$tmpdir/mp_b_again.json"
+python -m repro serve --status --listen "$mp_addr" > "$tmpdir/mp_status2.json"
+python -c '
+import json, sys
+for path in sys.argv[1:3]:
+    report = json.load(open(path))
+    assert report["exit_code"] == 0, (path, report["exit_code"])
+status = json.load(open(sys.argv[3]))
+counters = status["counters"]
+assert counters["workers_crashed"] >= 1, counters
+assert counters["workers_spawned"] >= 3, counters
+assert int(sys.argv[4]) not in [
+    ws["worker"]["pid"] for ws in status["workspaces"] if ws["worker"]["alive"]
+], "killed worker still listed alive"
+crashed = counters["workers_crashed"]
+spawned = counters["workers_spawned"]
+print(f"   worker kill recovered: {crashed} crash(es), {spawned} spawn(s)")
+' "$tmpdir/mp_a_again.json" "$tmpdir/mp_b_again.json" \
+  "$tmpdir/mp_status2.json" "$worker_pid"
+python -m repro serve --stop --listen "$mp_addr" > /dev/null
+tries=0
+while kill -0 "$mp_pid" 2> /dev/null; do
+    tries=$((tries + 1))
+    test "$tries" -le 100 || {
+        echo "process-mode daemon did not shut down within 10s" >&2
+        kill -9 "$mp_pid" 2> /dev/null || true
+        exit 1
+    }
+    sleep 0.1
+done
+test ! -e "$tmpdir/mp.sock" || {
+    echo "process-mode daemon left its socket file behind" >&2
+    exit 1
+}
+echo "   process-mode daemon shut down cleanly, socket removed"
+
 echo "ci_check: all stages passed"
